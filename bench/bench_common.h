@@ -1,0 +1,65 @@
+// Shared helpers for the experiment benches.
+//
+// Each bench binary regenerates one paper artifact (EXPERIMENTS.md index):
+// it prints the experiment's table(s) from main(), then runs any registered
+// google-benchmark microbenchmarks.  Everything is seeded, so output is
+// reproducible run-to-run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+
+namespace openei::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Human-readable engineering formats.
+inline std::string format_seconds(double seconds) {
+  char buffer[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  }
+  return buffer;
+}
+
+inline std::string format_bytes(double bytes) {
+  char buffer[32];
+  if (bytes < 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f B", bytes);
+  } else if (bytes < 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f kB", bytes / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB", bytes / (1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
+/// Standard bench main body: quiet logs, print the experiment, then run the
+/// registered microbenchmarks.
+#define OPENEI_BENCH_MAIN(print_experiment_fn)                       \
+  int main(int argc, char** argv) {                                  \
+    ::openei::common::set_log_level(::openei::common::LogLevel::kError); \
+    print_experiment_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                            \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    return 0;                                                        \
+  }
+
+}  // namespace openei::bench

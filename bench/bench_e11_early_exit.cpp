@@ -1,0 +1,111 @@
+// E11 (extension) — distributed early-exit inference.
+//
+// The paper cites DDNN [17] ("distributed deep neural networks over the
+// cloud, the edge and end devices", Sec. II-C) and EMI-RNN [42] ("72x less
+// computation", Sec. IV-A2) as the collaboration/efficiency directions for
+// EI.  This bench quantifies both on the OpenEI substrate:
+//   (a) DDNN-style: exit-head confidence threshold sweep — local-exit
+//       fraction vs accuracy vs mean latency against full offload;
+//   (b) EMI-style: FastGRNN per-step early exit — computation saved vs
+//       accuracy across thresholds.
+#include "bench_common.h"
+
+#include "collab/early_exit.h"
+#include "common/rng.h"
+#include "data/metrics.h"
+#include "data/synthetic.h"
+#include "eialg/fastgrnn.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+void run_e11() {
+  bench::banner("E11 (extension): early-exit inference (DDNN / EMI-RNN)");
+
+  bench::section("(a) DDNN-style exit head: Pi-3 front, edge-server back, LTE");
+  common::Rng rng(201);
+  auto dataset = data::make_blobs(800, 12, 4, rng, /*separation=*/1.1F,
+                                  /*stddev=*/1.5F);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  nn::Model backbone = nn::zoo::make_mlp("backbone", 12, 4, {48, 24}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 25;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(backbone, train, topt);
+  double full_accuracy = nn::evaluate_accuracy(backbone, test);
+
+  collab::EarlyExitModel exit_model(backbone, /*exit_layer=*/2, 4, rng);
+  nn::TrainOptions head_opt = topt;
+  head_opt.epochs = 20;
+  exit_model.fit_exit(train, head_opt);
+
+  std::printf("backbone accuracy %.3f; exit after layer %zu ships %zu B per "
+              "escalation\n",
+              full_accuracy, exit_model.exit_layer(),
+              exit_model.escalation_bytes());
+  std::printf("%-11s %12s %10s %14s %16s %14s\n", "threshold", "local frac",
+              "accuracy", "mean latency", "offload latency", "bytes/inf");
+  for (float threshold : {0.0F, 0.6F, 0.8F, 0.9F, 0.95F, 0.99F, 1.0F}) {
+    auto metrics = collab::evaluate_early_exit(
+        exit_model, test, threshold, hwsim::openei_package(),
+        hwsim::raspberry_pi_3(), hwsim::edge_server(), hwsim::cellular_lte());
+    std::printf("%-11.2f %12.2f %10.3f %14s %16s %14s\n", threshold,
+                metrics.local_fraction, metrics.accuracy,
+                bench::format_seconds(metrics.mean_latency_s).c_str(),
+                bench::format_seconds(metrics.offload_latency_s).c_str(),
+                bench::format_bytes(metrics.mean_bytes_per_inference).c_str());
+  }
+  std::printf("(DDNN shape: confident samples exit on-edge; only hard ones "
+              "pay the network)\n");
+
+  bench::section("(b) EMI-style FastGRNN early exit (16-step HAR)");
+  eialg::FastGrnnOptions options;
+  options.steps = 16;
+  options.input_dims = 3;
+  options.hidden = 16;
+  options.epochs = 15;
+  options.learning_rate = 0.08F;
+  options.early_exit_supervision = 0.5F;
+  auto sequences = data::make_sequences(700, options.steps, options.input_dims,
+                                        4, rng, /*noise=*/0.8F);
+  auto [seq_train, seq_test] = data::train_test_split(sequences, 0.8, rng);
+  eialg::FastGrnn grnn(options);
+  grnn.fit(seq_train);
+  double grnn_full = eialg::evaluate(grnn, seq_test);
+  std::printf("full-sequence accuracy %.3f (16/16 steps)\n", grnn_full);
+  std::printf("%-11s %14s %12s %16s\n", "threshold", "steps used", "accuracy",
+              "compute saved");
+  for (float threshold : {0.6F, 0.8F, 0.9F, 0.95F, 0.99F}) {
+    auto result = grnn.predict_early(seq_test.features, threshold);
+    std::printf("%-11.2f %13.1f%% %12.3f %15.1f%%\n", threshold,
+                result.mean_steps_fraction * 100.0,
+                data::accuracy(result.predictions, seq_test.labels),
+                (1.0 - result.mean_steps_fraction) * 100.0);
+  }
+  std::printf("(EMI shape: large compute savings at small accuracy cost)\n");
+}
+
+void BM_EarlyExitRun(benchmark::State& state) {
+  common::Rng rng(202);
+  auto dataset = data::make_blobs(200, 12, 3, rng);
+  nn::Model backbone = nn::zoo::make_mlp("b", 12, 3, {48, 24}, rng);
+  collab::EarlyExitModel exit_model(backbone, 2, 3, rng);
+  nn::TrainOptions opt;
+  opt.epochs = 3;
+  exit_model.fit_exit(dataset, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exit_model.run(dataset.features, 0.9F));
+  }
+}
+BENCHMARK(BM_EarlyExitRun);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_e11)

@@ -1,0 +1,112 @@
+// E2 — Figure 1 / Sec. I motivation: why push intelligence to the edge.
+//
+// The paper's headline argument: sensors generate data faster than uplinks
+// can carry it ("an autonomous vehicle generates about 1 GB of data per
+// second"), so cloud offload breaks on bandwidth and latency.  This bench
+// quantifies the claim on the simulated substrate:
+//   (a) uplink utilization of cloud offload across sensor rates and links;
+//   (b) end-to-end per-frame latency: offload vs on-edge inference;
+//   (c) edge radio energy per inference.
+#include "bench_common.h"
+
+#include "collab/cloud_edge.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+void run_fig1() {
+  bench::banner("E2 / Fig. 1: cloud offload vs edge intelligence");
+
+  bench::section("(a) can the uplink even carry the sensor stream?");
+  std::printf("%-14s", "frame size");
+  for (const auto& link : hwsim::default_links()) {
+    std::printf(" %16s", link.name.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t frame_bytes : {10UL << 10, 100UL << 10, 1UL << 20, 10UL << 20}) {
+    std::printf("%-14s", bench::format_bytes(static_cast<double>(frame_bytes)).c_str());
+    for (const auto& link : hwsim::default_links()) {
+      // Frames per second the link sustains vs a 30 fps camera.
+      double fps = 1.0 / link.transfer_time_s(frame_bytes);
+      std::printf(" %9.2f fps%s", fps, fps >= 30.0 ? " ok" : "  X");
+    }
+    std::printf("\n");
+  }
+  std::printf("(X = cannot sustain a single 30 fps camera; the 1 GB/s vehicle "
+              "needs ~250x a LAN)\n");
+
+  bench::section("(b) end-to-end latency & (c) edge energy per inference");
+  common::Rng rng(111);
+  auto dataset = data::make_blobs(400, 64, 4, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  nn::Model model = nn::zoo::make_mlp("perception", 64, 4, {128, 64}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 15;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(model, train, topt);
+
+  std::printf("%-14s %22s %22s %14s\n", "link", "cloud offload (ms)",
+              "edge on-device (ms)", "edge wins?");
+  for (const auto& link : hwsim::default_links()) {
+    auto cloud = collab::dataflow_cloud_inference(
+        model, test, hwsim::cloud_gpu(), hwsim::full_framework(), link);
+    auto edge = collab::dataflow_edge_inference(
+        model, test, hwsim::raspberry_pi_4(), hwsim::openei_package(), link);
+    std::printf("%-14s %19.3f ms %19.3f ms %14s\n", link.name.c_str(),
+                cloud.latency_per_inference_s * 1e3,
+                edge.latency_per_inference_s * 1e3,
+                edge.latency_per_inference_s < cloud.latency_per_inference_s
+                    ? "edge"
+                    : "cloud");
+  }
+
+  std::printf("\nper-inference bandwidth: cloud offload %s vs edge %s "
+              "(amortized model download over %zu inferences)\n",
+              bench::format_bytes(
+                  collab::dataflow_cloud_inference(model, test, hwsim::cloud_gpu(),
+                                                   hwsim::full_framework(),
+                                                   hwsim::wifi())
+                      .bytes_per_inference)
+                  .c_str(),
+              bench::format_bytes(
+                  collab::dataflow_edge_inference(model, test,
+                                                  hwsim::raspberry_pi_4(),
+                                                  hwsim::openei_package(),
+                                                  hwsim::wifi())
+                      .bytes_per_inference)
+                  .c_str(),
+              test.size());
+
+  std::printf("edge radio energy saved per inference on LTE: %.2e J -> %.2e J\n",
+              collab::dataflow_cloud_inference(model, test, hwsim::cloud_gpu(),
+                                               hwsim::full_framework(),
+                                               hwsim::cellular_lte())
+                  .energy_per_inference_j,
+              collab::dataflow_edge_inference(model, test, hwsim::raspberry_pi_4(),
+                                              hwsim::openei_package(),
+                                              hwsim::cellular_lte())
+                  .energy_per_inference_j);
+}
+
+void BM_EdgeInferenceWallClock(benchmark::State& state) {
+  common::Rng rng(112);
+  nn::Model model = nn::zoo::make_mlp("perception", 64, 4, {128, 64}, rng);
+  nn::Tensor frame = nn::Tensor::random_uniform(tensor::Shape{1, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(frame, false));
+  }
+}
+BENCHMARK(BM_EdgeInferenceWallClock);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_fig1)

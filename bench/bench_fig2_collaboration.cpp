@@ -1,0 +1,139 @@
+// E3 — Figure 2: cloud-edge and edge-edge collaboration.
+//
+// Reproduces the two collaboration modes of Sec. II-C:
+//   (a) edge-edge: a compute-intensive batch partitioned across
+//       heterogeneous edges "according to the computing power" — speedup
+//       over the best single edge;
+//   (b) edge-edge split inference (DDNN [17] flavour): optimal split layer
+//       between a weak front device and a strong back device per link;
+//   (c) cloud-edge: federated training rounds (retrain locally, upload,
+//       average into a global model).
+#include "bench_common.h"
+
+#include "collab/cloud_edge.h"
+#include "collab/edge_edge.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+void run_fig2() {
+  bench::banner("E3 / Fig. 2: collaboration modes");
+  common::Rng rng(121);
+
+  bench::section("(a) edge-edge collaborative batch (1000 inferences)");
+  nn::Model job = nn::zoo::make_mlp("batch_job", 32, 4, {256, 128}, rng);
+  std::vector<hwsim::DeviceProfile> fleet = {
+      hwsim::raspberry_pi_3(), hwsim::raspberry_pi_4(), hwsim::mobile_phone(),
+      hwsim::jetson_tx2()};
+  std::printf("%-28s %14s %12s %10s\n", "edges", "makespan", "best single",
+              "speedup");
+  for (std::size_t count = 1; count <= fleet.size(); ++count) {
+    std::vector<hwsim::DeviceProfile> subset(fleet.begin(),
+                                             fleet.begin() + count);
+    auto result =
+        collab::collaborative_batch(job, hwsim::openei_package(), subset, 1000);
+    std::string names;
+    for (const auto& device : subset) {
+      names += names.empty() ? device.name : "+" + device.name;
+    }
+    std::printf("%-28s %14s %12s %9.2fx\n",
+                count == 1 ? subset[0].name.c_str() : (std::to_string(count) + " edges").c_str(),
+                bench::format_seconds(result.makespan_s).c_str(),
+                bench::format_seconds(result.best_single_s).c_str(),
+                result.speedup());
+    if (count == fleet.size()) {
+      std::printf("  power-proportional allocation:");
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        std::printf(" %s=%zu", subset[i].name.c_str(), result.allocation[i]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::section("(b) split inference: vehicle front + edge-server back");
+  nn::zoo::ImageSpec spec;
+  nn::Model cnn = nn::zoo::make_mini_vgg(spec, rng);
+  std::printf("%-14s %12s %14s %14s\n", "link", "best split", "split latency",
+              "all-on-front");
+  for (const auto& link : hwsim::default_links()) {
+    auto split = collab::best_split(cnn, hwsim::openei_package(),
+                                    hwsim::raspberry_pi_3(),
+                                    hwsim::edge_server(), link);
+    auto local = collab::evaluate_split(cnn, cnn.layer_count(),
+                                        hwsim::openei_package(),
+                                        hwsim::raspberry_pi_3(),
+                                        hwsim::edge_server(), link);
+    std::printf("%-14s %9zu/%-2zu %14s %14s\n", link.name.c_str(), split.layer,
+                cnn.layer_count(),
+                bench::format_seconds(split.latency_s).c_str(),
+                bench::format_seconds(local.latency_s).c_str());
+  }
+  std::printf("(poor links push the split late — compute locally, ship less)\n");
+
+  bench::section("(c) cloud-edge federated rounds (3 edges, disjoint shards)");
+  auto pooled = data::make_blobs(900, 12, 3, rng, 2.2F);
+  auto held_out = data::make_blobs(300, 12, 3, rng, 2.2F);
+  // Shards must share class geometry with `pooled`: use slices.
+  std::vector<data::Dataset> shards;
+  for (int s = 0; s < 3; ++s) shards.push_back(pooled.slice(s * 300, (s + 1) * 300));
+  std::vector<hwsim::DeviceProfile> edges(3, hwsim::raspberry_pi_4());
+
+  nn::Model global = nn::zoo::make_mlp("global", 12, 3, {16}, rng);
+  nn::TrainOptions retrain;
+  retrain.epochs = 5;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+  std::printf("%-8s %18s %14s %16s\n", "round", "global accuracy",
+              "bytes moved", "round latency");
+  std::printf("%-8s %17.3f\n", "init", nn::evaluate_accuracy(global, pooled));
+  for (int round = 1; round <= 4; ++round) {
+    auto result = collab::federated_round(global, shards, edges,
+                                          hwsim::openei_package(), hwsim::wifi(),
+                                          retrain);
+    global = std::move(result.global_model);
+    std::printf("%-8d %17.3f %14s %16s\n", round,
+                nn::evaluate_accuracy(global, pooled),
+                bench::format_bytes(
+                    static_cast<double>(result.bytes_transferred))
+                    .c_str(),
+                bench::format_seconds(result.round_latency_s).c_str());
+  }
+  (void)held_out;
+}
+
+void BM_FederatedAverage(benchmark::State& state) {
+  common::Rng rng(122);
+  std::vector<nn::Model> models;
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(nn::zoo::make_mlp("m", 32, 4, {64, 32}, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collab::federated_average(models));
+  }
+}
+BENCHMARK(BM_FederatedAverage);
+
+void BM_BestSplitSearch(benchmark::State& state) {
+  common::Rng rng(123);
+  nn::zoo::ImageSpec spec;
+  nn::Model cnn = nn::zoo::make_mini_vgg(spec, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collab::best_split(cnn, hwsim::openei_package(),
+                                                hwsim::raspberry_pi_3(),
+                                                hwsim::edge_server(),
+                                                hwsim::wifi()));
+  }
+}
+BENCHMARK(BM_BestSplitSearch);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_fig2)

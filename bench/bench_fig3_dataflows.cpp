@@ -1,0 +1,114 @@
+// E4 — Figure 3: the three EI dataflows, compared head-to-head.
+//
+//   dataflow 1 (cloud inference)      — "traditional machine intelligence"
+//   dataflow 2 (edge inference)       — "the current EI dataflow"
+//   dataflow 3 (edge personalization) — "the future dataflow of EI"
+//
+// The edge's local data is drifted relative to the cloud training set, so
+// the experiment shows exactly the paper's story: dataflows 1/2 share the
+// general model's degraded accuracy; dataflow 3 pays a one-time local
+// retraining cost and wins accuracy while keeping edge-inference latency.
+#include "bench_common.h"
+
+#include "collab/cloud_edge.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "runtime/inference.h"
+
+using namespace openei;
+
+namespace {
+
+void print_metrics(const collab::DataflowMetrics& m) {
+  std::printf("%-22s %9.3f %14s %14s %14s %12.2e\n", m.dataflow.c_str(),
+              m.accuracy,
+              bench::format_seconds(m.latency_per_inference_s).c_str(),
+              bench::format_bytes(m.bytes_per_inference).c_str(),
+              bench::format_seconds(m.setup_latency_s).c_str(),
+              m.energy_per_inference_j);
+}
+
+void run_fig3() {
+  bench::banner("E4 / Fig. 3: the three EI dataflows");
+
+  // Cloud-side training data vs drifted edge-local data.
+  common::Rng rng(131);
+  auto cloud_data = data::make_blobs(800, 16, 4, rng, 2.0F, 1.2F);
+  auto [cloud_train, cloud_test] = data::train_test_split(cloud_data, 0.8, rng);
+
+  nn::Model general = nn::zoo::make_mlp("general", 16, 4, {32}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 25;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(general, cloud_train, topt);
+  std::printf("cloud-trained general model: accuracy %.3f on cloud test data\n",
+              nn::evaluate_accuracy(general, cloud_test));
+
+  common::Rng drift_rng(132);
+  auto local = data::apply_drift(cloud_data, drift_rng, 0.8F);
+  common::Rng split_rng(133);
+  auto [local_train, local_test] = data::train_test_split(local, 0.7, split_rng);
+  std::printf("edge-local data is drifted: general model drops to %.3f\n\n",
+              nn::evaluate_accuracy(general, local_test));
+
+  auto edge = hwsim::raspberry_pi_4();
+  auto link = hwsim::cellular_lte();
+  nn::TrainOptions retrain;
+  retrain.epochs = 15;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+
+  std::printf("%-22s %9s %14s %14s %14s %12s\n", "dataflow", "accuracy",
+              "latency/inf", "bytes/inf", "setup", "energy/inf J");
+  print_metrics(collab::dataflow_cloud_inference(
+      general, local_test, hwsim::cloud_gpu(), hwsim::full_framework(), link));
+  print_metrics(collab::dataflow_edge_inference(general, local_test, edge,
+                                                hwsim::openei_package(), link));
+  print_metrics(collab::dataflow_edge_personalized(
+      general, local_train, local_test, edge, hwsim::openei_package(), link,
+      retrain));
+
+  std::printf("\npaper shape check: dataflow 2 beats 1 on latency+bandwidth; "
+              "dataflow 3 adds accuracy for a one-time setup cost\n");
+
+  // Sweep drift magnitude: when is personalization worth it?
+  bench::section("personalization gain vs drift magnitude");
+  std::printf("%-10s %18s %22s\n", "drift", "general accuracy",
+              "personalized accuracy");
+  for (float magnitude : {0.0F, 0.25F, 0.5F, 0.75F, 1.0F}) {
+    common::Rng d_rng(134);
+    auto drifted = data::apply_drift(cloud_data, d_rng, magnitude);
+    common::Rng s_rng(135);
+    auto [d_train, d_test] = data::train_test_split(drifted, 0.7, s_rng);
+    auto personalized = collab::dataflow_edge_personalized(
+        general, d_train, d_test, edge, hwsim::openei_package(), link, retrain);
+    nn::Model general_copy = general.clone();
+    std::printf("%-10.2f %18.3f %22.3f\n", magnitude,
+                nn::evaluate_accuracy(general_copy, d_test),
+                personalized.accuracy);
+  }
+}
+
+void BM_LocalHeadRetraining(benchmark::State& state) {
+  common::Rng rng(136);
+  auto dataset = data::make_blobs(200, 16, 4, rng);
+  nn::Model model = nn::zoo::make_mlp("m", 16, 4, {32}, rng);
+  nn::TrainOptions retrain;
+  retrain.epochs = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::retrain_head_locally(
+        model, dataset, hwsim::openei_package(), hwsim::raspberry_pi_4(),
+        retrain));
+  }
+}
+BENCHMARK(BM_LocalHeadRetraining);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_fig3)

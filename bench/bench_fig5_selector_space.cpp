@@ -1,0 +1,114 @@
+// E6 — Figure 5: the model-selector cube (models x packages x devices).
+//
+// Materializes the full capability cube for the six zoo image models, three
+// packages, and six edge devices, then shows who wins each device under
+// each objective — the multi-dimensional selection problem of Sec. III-C.
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "selector/capability_db.h"
+#include "selector/selecting_algorithm.h"
+
+using namespace openei;
+
+namespace {
+
+selector::CapabilityDatabase build_cube(std::vector<nn::Model>& models_out) {
+  common::Rng rng(151);
+  nn::zoo::ImageSpec spec;
+  spec.channels = 3;
+  spec.size = 12;
+  spec.classes = 4;
+  auto frames = data::make_images(300, spec.channels, spec.size, spec.classes,
+                                  rng, 0.3F);
+  auto [train, test] = data::train_test_split(frames, 0.8, rng);
+
+  nn::TrainOptions topt;
+  topt.epochs = 4;
+  topt.batch_size = 24;
+  topt.sgd.learning_rate = 0.03F;
+  topt.sgd.momentum = 0.9F;
+  for (const auto& entry : nn::zoo::image_catalog()) {
+    nn::Model model = entry.build(spec, rng);
+    nn::fit(model, train, topt);
+    models_out.push_back(std::move(model));
+  }
+  return selector::CapabilityDatabase::build(
+      models_out, hwsim::default_packages(), hwsim::edge_fleet(), test);
+}
+
+void run_fig5() {
+  bench::banner("E6 / Fig. 5: the (model x package x device) selection cube");
+
+  std::vector<nn::Model> models;
+  selector::CapabilityDatabase db = build_cube(models);
+  std::printf("cube size: %zu models x 3 packages x 6 devices = %zu entries\n",
+              models.size(), db.entries().size());
+
+  bench::section("one slice: openei package on raspberry-pi-4");
+  std::printf("%-20s %9s %12s %12s %12s\n", "model", "accuracy", "latency",
+              "energy", "memory");
+  for (const auto& entry : db.on_device("raspberry-pi-4")) {
+    if (entry.package_name != "openei-package-manager") continue;
+    std::printf("%-20s %9.3f %12s %10.2e J %12s\n", entry.model_name.c_str(),
+                entry.alem.accuracy,
+                bench::format_seconds(entry.alem.latency_s).c_str(),
+                entry.alem.energy_j,
+                bench::format_bytes(
+                    static_cast<double>(entry.alem.memory_bytes))
+                    .c_str());
+  }
+
+  bench::section("winner per device per objective (openei package slice)");
+  std::printf("%-20s %-22s %-22s\n", "device", "min-latency winner",
+              "max-accuracy winner");
+  for (const auto& device : hwsim::edge_fleet()) {
+    selector::SelectionRequest fast;
+    fast.objective = selector::Objective::kMinLatency;
+    fast.device_name = device.name;
+    selector::SelectionRequest accurate;
+    accurate.objective = selector::Objective::kMaxAccuracy;
+    accurate.device_name = device.name;
+    auto fast_pick = selector::select(db, fast);
+    auto accurate_pick = selector::select(db, accurate);
+    std::printf("%-20s %-22s %-22s\n", device.name.c_str(),
+                fast_pick ? fast_pick->model_name.c_str() : "(none fits)",
+                accurate_pick ? accurate_pick->model_name.c_str()
+                              : "(none fits)");
+  }
+  std::printf("(the MCU row is the paper's mismatch problem: nothing deploys "
+              "-> Sec. IV-A2 EI algorithms exist for that regime)\n");
+
+  bench::section("deployability: fraction of cube cells that fit each device");
+  for (const auto& device : hwsim::edge_fleet()) {
+    std::size_t total = 0;
+    std::size_t fits = 0;
+    for (const auto& entry : db.on_device(device.name)) {
+      ++total;
+      if (entry.deployable) ++fits;
+    }
+    std::printf("%-20s %zu/%zu\n", device.name.c_str(), fits, total);
+  }
+}
+
+void BM_BuildCapabilityCube(benchmark::State& state) {
+  common::Rng rng(152);
+  auto dataset = data::make_blobs(100, 8, 2, rng);
+  std::vector<nn::Model> models;
+  models.push_back(nn::zoo::make_mlp("a", 8, 2, {16}, rng));
+  models.push_back(nn::zoo::make_mlp("b", 8, 2, {64}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector::CapabilityDatabase::build(
+        models, hwsim::default_packages(), hwsim::edge_fleet(), dataset));
+  }
+}
+BENCHMARK(BM_BuildCapabilityCube);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_fig5)

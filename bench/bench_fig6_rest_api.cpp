@@ -1,0 +1,135 @@
+// E8 — Figure 6 / Sec. III-D/E: libei's RESTful API over real loopback HTTP.
+//
+//   (a) the Sec. III-E walkthrough timed end-to-end: data API then
+//       algorithm API;
+//   (b) wall-clock latency microbenchmarks for each route class;
+//   (c) concurrent-client throughput of the edge node's HTTP server.
+#include "bench_common.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/edge_node.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+/// One shared live node for the whole binary.
+core::EdgeNode& node() {
+  static auto instance = [] {
+    auto n = std::make_unique<core::EdgeNode>(core::EdgeNodeConfig{
+        hwsim::raspberry_pi_4(), hwsim::openei_package(), 4096});
+    common::Rng rng(171);
+    auto dataset = data::make_blobs(400, 8, 3, rng);
+    auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+    nn::TrainOptions topt;
+    topt.epochs = 15;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::Model model = nn::zoo::make_mlp("detector", 8, 3, {16}, rng);
+    nn::fit(model, train, topt);
+    double accuracy = nn::evaluate_accuracy(model, test);
+    n->deploy_model("safety", "detection", std::move(model), accuracy);
+    for (std::size_t i = 0; i < 100; ++i) {
+      common::JsonArray features;
+      for (std::size_t f = 0; f < 8; ++f) {
+        features.emplace_back(static_cast<double>(test.features.at2(i % test.size(), f)));
+      }
+      n->ingest("camera1", static_cast<double>(i),
+                common::Json(std::move(features)));
+    }
+    n->start_server(0);
+    return n;
+  }();
+  return *instance;
+}
+
+void run_fig6() {
+  bench::banner("E8 / Fig. 6: the libei RESTful API over loopback HTTP");
+  core::EdgeNode& edge = node();
+  net::HttpClient client(edge.port());
+  std::printf("edge node '%s' serving at http://127.0.0.1:%u\n",
+              edge.device().name.c_str(), edge.port());
+
+  bench::section("(a) Sec. III-E walkthrough, timed");
+  common::Stopwatch data_timer;
+  auto frame = client.get("/ei_data/realtime/camera1?timestamp=50");
+  double data_ms = data_timer.elapsed_ms();
+  common::Stopwatch algo_timer;
+  auto detection = client.get(
+      "/ei_algorithms/safety/detection?sensor=camera1&timestamp=50");
+  double algo_ms = algo_timer.elapsed_ms();
+  std::printf("GET /ei_data/realtime/camera1?timestamp=50     -> %d in %.2f ms\n",
+              frame.status, data_ms);
+  std::printf("GET /ei_algorithms/safety/detection            -> %d in %.2f ms\n",
+              detection.status, algo_ms);
+  std::printf("  %s\n", detection.body.substr(0, 140).c_str());
+
+  bench::section("(c) concurrent-client throughput (4 clients x 50 requests)");
+  std::atomic<int> completed{0};
+  common::Stopwatch throughput_timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&completed, port = edge.port()] {
+      net::HttpClient worker(port);
+      for (int i = 0; i < 50; ++i) {
+        if (worker.get("/ei_data/realtime/camera1?timestamp=10").status == 200) {
+          ++completed;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double elapsed = throughput_timer.elapsed_seconds();
+  std::printf("%d/200 requests ok in %.2f s -> %.0f req/s\n", completed.load(),
+              elapsed, 200.0 / elapsed);
+}
+
+void BM_RestDataRealtime(benchmark::State& state) {
+  net::HttpClient client(node().port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.get("/ei_data/realtime/camera1?timestamp=10"));
+  }
+}
+BENCHMARK(BM_RestDataRealtime);
+
+void BM_RestDataHistory(benchmark::State& state) {
+  net::HttpClient client(node().port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        client.get("/ei_data/history/camera1?start=0&end=50"));
+  }
+}
+BENCHMARK(BM_RestDataHistory);
+
+void BM_RestAlgorithmCall(benchmark::State& state) {
+  net::HttpClient client(node().port());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.get(
+        "/ei_algorithms/safety/detection?sensor=camera1&timestamp=10"));
+  }
+}
+BENCHMARK(BM_RestAlgorithmCall);
+
+void BM_InProcessAlgorithmCall(benchmark::State& state) {
+  // Same route without HTTP: isolates the transport cost.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node().call(
+        "GET", "/ei_algorithms/safety/detection?sensor=camera1&timestamp=10"));
+  }
+}
+BENCHMARK(BM_InProcessAlgorithmCall);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_fig6)

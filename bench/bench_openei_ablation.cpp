@@ -1,0 +1,194 @@
+// E10 — Sec. III goal: "the EI attributes ... will have an order of
+// magnitude improvement comparing to the current AI algorithms running on
+// the deep learning package."
+//
+// Ablation: starting from a naive deployment (full cloud framework + the
+// most accurate model), stack OpenEI's mechanisms one at a time on a
+// Raspberry Pi 3 and track the ALEM attributes:
+//   baseline -> +lite openei package -> +int8 quantization -> +pruning
+//   -> +model selector (latency objective, accuracy floor).
+// Plus kernel microbenchmarks for the substrate (matmul, conv paths,
+// quantized matmul).
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "data/synthetic.h"
+#include "hwsim/cost_model.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "selector/capability_db.h"
+#include "selector/selecting_algorithm.h"
+#include "tensor/ops.h"
+#include "tensor/quantize.h"
+
+using namespace openei;
+
+namespace {
+
+void print_stage(const char* stage, double accuracy,
+                 const hwsim::InferenceCost& cost,
+                 const hwsim::InferenceCost& baseline) {
+  std::printf("%-34s acc %.3f  %10s (%5.1fx)  %9s (%5.1fx)  %8.2e J (%5.1fx)\n",
+              stage, accuracy, bench::format_seconds(cost.latency_s).c_str(),
+              baseline.latency_s / cost.latency_s,
+              bench::format_bytes(static_cast<double>(cost.memory_bytes)).c_str(),
+              static_cast<double>(baseline.memory_bytes) /
+                  static_cast<double>(cost.memory_bytes),
+              cost.energy_j, baseline.energy_j / cost.energy_j);
+}
+
+void run_ablation() {
+  bench::banner("E10: stacked OpenEI optimizations on raspberry-pi-3");
+  common::Rng rng(191);
+  auto dataset = data::make_blobs(800, 24, 5, rng, 2.5F);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+
+  nn::TrainOptions topt;
+  topt.epochs = 25;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::Model big = nn::zoo::make_mlp("big", 24, 5, {256, 128}, rng);
+  nn::fit(big, train, topt);
+  nn::Model small = nn::zoo::make_mlp("small", 24, 5, {16}, rng);
+  nn::fit(small, train, topt);
+
+  auto pi = hwsim::raspberry_pi_3();
+  auto baseline_cost = hwsim::estimate_inference(big, hwsim::full_framework(), pi);
+  std::printf("%-34s %9s %21s %19s %20s\n", "stage", "", "latency", "memory",
+              "energy");
+  print_stage("baseline: big model, full fw", nn::evaluate_accuracy(big, test),
+              baseline_cost, baseline_cost);
+
+  auto lite_cost = hwsim::estimate_inference(big, hwsim::openei_package(), pi);
+  print_stage("+ openei lite package", nn::evaluate_accuracy(big, test),
+              lite_cost, baseline_cost);
+
+  auto quantized = compress::quantize_int8(big);
+  auto quant_cost =
+      hwsim::estimate_inference(quantized.model, hwsim::openei_package(), pi);
+  print_stage("+ int8 quantization",
+              nn::evaluate_accuracy(quantized.model, test), quant_cost,
+              baseline_cost);
+
+  compress::PruneOptions prune;
+  prune.sparsity = 0.8F;
+  prune.finetune_epochs = 4;
+  prune.train.sgd.learning_rate = 0.02F;
+  prune.train.sgd.momentum = 0.9F;
+  auto pruned = compress::magnitude_prune(big, prune, &train);
+  auto pruned_quantized = compress::quantize_int8(pruned.model);
+  auto pruned_cost = hwsim::estimate_inference(pruned_quantized.model,
+                                               hwsim::openei_package(), pi);
+  print_stage("+ 80% pruning (fine-tuned)",
+              nn::evaluate_accuracy(pruned_quantized.model, test), pruned_cost,
+              baseline_cost);
+
+  // Model selector: allow the small model when it still meets the accuracy
+  // floor (A_req = 95% of the big model's accuracy).
+  std::vector<nn::Model> candidates;
+  candidates.push_back(big.clone());
+  candidates.push_back(small.clone());
+  candidates.push_back(pruned_quantized.model.clone());
+  auto db = selector::CapabilityDatabase::build(
+      candidates, {hwsim::openei_package()}, {pi}, test);
+  selector::SelectionRequest request;
+  request.objective = selector::Objective::kMinLatency;
+  request.device_name = pi.name;
+  request.requirements.min_accuracy = 0.95 * nn::evaluate_accuracy(big, test);
+  auto pick = selector::select(db, request);
+  if (pick) {
+    hwsim::InferenceCost pick_cost{pick->alem.latency_s, pick->alem.energy_j,
+                                   pick->alem.memory_bytes};
+    print_stage(("+ model selector -> " + pick->model_name).c_str(),
+                pick->alem.accuracy, pick_cost, baseline_cost);
+  }
+  std::printf("\n(goal check: 'an order of magnitude improvement' — see the "
+              "x-factors above)\n");
+}
+
+// --- Substrate kernel microbenchmarks -------------------------------------
+
+void BM_Matmul(benchmark::State& state) {
+  common::Rng rng(192);
+  auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Tensor a = tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_QuantizedMatmul(benchmark::State& state) {
+  common::Rng rng(193);
+  auto n = static_cast<std::size_t>(state.range(0));
+  auto a = tensor::QuantizedTensor::quantize(
+      tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng));
+  auto b = tensor::QuantizedTensor::quantize(
+      tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::quantized_matmul(a, b));
+  }
+}
+BENCHMARK(BM_QuantizedMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvDirect(benchmark::State& state) {
+  common::Rng rng(194);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  spec.kernel = 3;
+  spec.padding = 1;
+  tensor::Tensor input =
+      tensor::Tensor::random_uniform(tensor::Shape{1, 8, 16, 16}, rng);
+  tensor::Tensor w =
+      tensor::Tensor::random_uniform(tensor::Shape{16, 8, 3, 3}, rng);
+  tensor::Tensor b = tensor::Tensor::zeros(tensor::Shape{16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d(input, w, b, spec));
+  }
+}
+BENCHMARK(BM_ConvDirect);
+
+void BM_ConvIm2col(benchmark::State& state) {
+  common::Rng rng(195);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  spec.kernel = 3;
+  spec.padding = 1;
+  tensor::Tensor input =
+      tensor::Tensor::random_uniform(tensor::Shape{1, 8, 16, 16}, rng);
+  tensor::Tensor w =
+      tensor::Tensor::random_uniform(tensor::Shape{16, 8, 3, 3}, rng);
+  tensor::Tensor b = tensor::Tensor::zeros(tensor::Shape{16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d_im2col(input, w, b, spec));
+  }
+}
+BENCHMARK(BM_ConvIm2col);
+
+void BM_PrunedSparseMatmul(benchmark::State& state) {
+  // matmul's zero-skip fast path: 90%-sparse A.
+  common::Rng rng(196);
+  std::size_t n = 128;
+  tensor::Tensor a = tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng);
+  for (std::size_t i = 0; i < a.elements(); ++i) {
+    if (rng.uniform() < 0.9) a[i] = 0.0F;
+  }
+  tensor::Tensor b = tensor::Tensor::random_uniform(tensor::Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+}
+BENCHMARK(BM_PrunedSparseMatmul);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_ablation)

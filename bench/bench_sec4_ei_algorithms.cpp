@@ -1,0 +1,175 @@
+// E9 — Sec. IV-A2: EI algorithms for resource-constrained edges.
+//
+// Bonsai-style tree, ProtoNN, and FastGRNN against a small MLP on the same
+// workloads: accuracy vs model size vs FLOPs, plus which candidates fit the
+// paper's flagship constraint — "an Arduino UNO with 2kB RAM" (ProtoNN) —
+// and what they cost on MCU-class vs Pi-class hardware.
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "eialg/bonsai.h"
+#include "eialg/fastgrnn.h"
+#include "eialg/protonn.h"
+#include "hwsim/device.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double accuracy;
+  std::size_t size_bytes;
+  std::size_t flops;
+};
+
+void print_rows(const std::vector<Row>& rows) {
+  auto mcu = hwsim::arduino_class();
+  auto pi = hwsim::raspberry_pi_3();
+  std::printf("%-14s %9s %10s %10s %7s %14s %14s\n", "model", "accuracy",
+              "size", "FLOPs", "2kB?", "MCU latency", "Pi latency");
+  for (const Row& row : rows) {
+    // MCU latency ~ flops / device rate (these models are compute-bound).
+    double mcu_latency =
+        static_cast<double>(row.flops) / (mcu.effective_gflops * 1e9);
+    double pi_latency =
+        static_cast<double>(row.flops) / (pi.effective_gflops * 1e9);
+    std::printf("%-14s %9.3f %10s %10zu %7s %14s %14s\n", row.name.c_str(),
+                row.accuracy,
+                bench::format_bytes(static_cast<double>(row.size_bytes)).c_str(),
+                row.flops, row.size_bytes <= 2048 ? "yes" : "no",
+                bench::format_seconds(mcu_latency).c_str(),
+                bench::format_seconds(pi_latency).c_str());
+  }
+}
+
+void run_sec4() {
+  bench::banner("E9 / Sec. IV-A2: EI algorithms on tiny edges");
+
+  bench::section("tabular workload (20 features, 4 classes)");
+  common::Rng rng(181);
+  auto tabular = data::make_blobs(800, 20, 4, rng, 2.5F);
+  auto [train, test] = data::train_test_split(tabular, 0.8, rng);
+
+  std::vector<Row> rows;
+  {
+    eialg::BonsaiTree bonsai{eialg::BonsaiOptions{.projection_dim = 8,
+                                                  .max_depth = 5}};
+    bonsai.fit(train);
+    rows.push_back({"bonsai", eialg::evaluate(bonsai, test),
+                    bonsai.model_size_bytes(), bonsai.flops_per_sample()});
+  }
+  {
+    eialg::ProtoNn protonn{eialg::ProtoNnOptions{.projection_dim = 8,
+                                                 .prototypes_per_class = 3}};
+    protonn.fit(train);
+    rows.push_back({"protonn", eialg::evaluate(protonn, test),
+                    protonn.model_size_bytes(), protonn.flops_per_sample()});
+  }
+  {
+    nn::Model mlp = nn::zoo::make_mlp("mlp32", 20, 4, {32}, rng);
+    nn::TrainOptions topt;
+    topt.epochs = 25;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::fit(mlp, train, topt);
+    rows.push_back({"mlp32", nn::evaluate_accuracy(mlp, test),
+                    mlp.storage_bytes(), mlp.flops_per_sample()});
+  }
+  print_rows(rows);
+
+  bench::section("sequence workload (16 steps x 3 dims, 4 activities)");
+  eialg::FastGrnnOptions grnn_options;
+  grnn_options.steps = 16;
+  grnn_options.input_dims = 3;
+  grnn_options.hidden = 16;
+  grnn_options.epochs = 12;
+  grnn_options.learning_rate = 0.08F;
+  auto sequences =
+      data::make_sequences(600, grnn_options.steps, grnn_options.input_dims, 4, rng);
+  auto [seq_train, seq_test] = data::train_test_split(sequences, 0.8, rng);
+
+  std::vector<Row> seq_rows;
+  {
+    eialg::FastGrnn grnn(grnn_options);
+    grnn.fit(seq_train);
+    seq_rows.push_back({"fastgrnn", eialg::evaluate(grnn, seq_test),
+                        grnn.model_size_bytes(), grnn.flops_per_sample()});
+  }
+  {
+    nn::Model mlp = nn::zoo::make_mlp("mlp_seq", 48, 4, {64}, rng);
+    nn::TrainOptions topt;
+    topt.epochs = 25;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::fit(mlp, seq_train, topt);
+    seq_rows.push_back({"mlp_seq", nn::evaluate_accuracy(mlp, seq_test),
+                        mlp.storage_bytes(), mlp.flops_per_sample()});
+  }
+  print_rows(seq_rows);
+
+  bench::section("model-size budget sweep (bonsai depth / protonn prototypes)");
+  std::printf("%-26s %10s %9s\n", "configuration", "size", "accuracy");
+  for (std::size_t depth : {2UL, 4UL, 6UL}) {
+    eialg::BonsaiTree tree{eialg::BonsaiOptions{.projection_dim = 6,
+                                                .max_depth = depth}};
+    tree.fit(train);
+    std::printf("bonsai depth=%-13zu %10s %9.3f\n", depth,
+                bench::format_bytes(
+                    static_cast<double>(tree.model_size_bytes()))
+                    .c_str(),
+                eialg::evaluate(tree, test));
+  }
+  for (std::size_t prototypes : {1UL, 3UL, 6UL}) {
+    eialg::ProtoNn model{eialg::ProtoNnOptions{
+        .projection_dim = 6, .prototypes_per_class = prototypes}};
+    model.fit(train);
+    std::printf("protonn m/class=%-10zu %10s %9.3f\n", prototypes,
+                bench::format_bytes(
+                    static_cast<double>(model.model_size_bytes()))
+                    .c_str(),
+                eialg::evaluate(model, test));
+  }
+}
+
+void BM_BonsaiPredict(benchmark::State& state) {
+  common::Rng rng(182);
+  auto dataset = data::make_blobs(400, 20, 4, rng);
+  eialg::BonsaiTree tree{eialg::BonsaiOptions{}};
+  tree.fit(dataset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(dataset.features));
+  }
+}
+BENCHMARK(BM_BonsaiPredict);
+
+void BM_ProtoNnPredict(benchmark::State& state) {
+  common::Rng rng(183);
+  auto dataset = data::make_blobs(400, 20, 4, rng);
+  eialg::ProtoNn model{eialg::ProtoNnOptions{}};
+  model.fit(dataset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(dataset.features));
+  }
+}
+BENCHMARK(BM_ProtoNnPredict);
+
+void BM_FastGrnnPredict(benchmark::State& state) {
+  common::Rng rng(184);
+  eialg::FastGrnnOptions options;
+  options.epochs = 2;
+  auto dataset = data::make_sequences(200, options.steps, options.input_dims, 3, rng);
+  eialg::FastGrnn model(options);
+  model.fit(dataset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(dataset.features));
+  }
+}
+BENCHMARK(BM_FastGrnnPredict);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_sec4)

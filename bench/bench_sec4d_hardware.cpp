@@ -1,0 +1,129 @@
+// E12 — Sec. IV-D: heterogeneous hardware for EI.
+//
+// Reproduces the section's cited orderings on the simulated substrate:
+//  - EIE [56] "exploits DNN sparsity ... 60x more energy efficient":
+//    a sparse accelerator's advantage appears only on pruned models;
+//  - ESE [59] on FPGA "achieved higher energy efficiency compared with the
+//    CPU and GPU": the int8 datapath pays off on quantized models;
+//  - Biookaghazadeh et al. [60]: "the FPGA is more suitable for EI
+//    application scenarios" (throughput-per-watt), while the GPU keeps the
+//    raw-latency crown on dense float models.
+#include "bench_common.h"
+
+#include "common/rng.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "data/synthetic.h"
+#include "hwsim/cost_model.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+namespace {
+
+void print_device_row(const char* label, const nn::Model& model,
+                      const hwsim::DeviceProfile& device) {
+  auto cost = hwsim::estimate_inference(model, hwsim::openei_package(), device);
+  double inferences_per_joule = cost.energy_j > 0.0 ? 1.0 / cost.energy_j : 0.0;
+  std::printf("  %-24s %12s %10.2e J %14.0f inf/J\n", label,
+              bench::format_seconds(cost.latency_s).c_str(), cost.energy_j,
+              inferences_per_joule);
+}
+
+void run_sec4d() {
+  bench::banner("E12 / Sec. IV-D: heterogeneous hardware for EI");
+  // A speech/LSTM-scale dense workload (ESE's regime): big enough that
+  // compute and weight traffic — not per-op dispatch — dominate, which is
+  // where accelerator datapaths differentiate.  Accuracy is not at issue
+  // here (E1 covers compression-vs-accuracy), so no training is needed.
+  common::Rng rng(211);
+  nn::Model dense_model = nn::zoo::make_mlp("dnn", 32, 4, {2048, 1024}, rng);
+
+  compress::PruneOptions prune;
+  prune.sparsity = 0.9F;
+  prune.finetune_epochs = 0;
+  auto pruned = compress::magnitude_prune(dense_model, prune, nullptr);
+  auto quantized = compress::quantize_int8(dense_model);
+
+  std::vector<std::pair<const char*, hwsim::DeviceProfile>> devices = {
+      {"raspberry-pi-4 (CPU)", hwsim::raspberry_pi_4()},
+      {"edge-gpu", hwsim::edge_gpu()},
+      {"edge-fpga", hwsim::edge_fpga()},
+      {"eie-sparse-accelerator", hwsim::eie_sparse_accelerator()},
+  };
+
+  bench::section("dense float model (what GPUs like)");
+  for (const auto& [label, device] : devices) {
+    print_device_row(label, dense_model, device);
+  }
+
+  bench::section("90%-pruned model (what EIE was built for)");
+  for (const auto& [label, device] : devices) {
+    print_device_row(label, pruned.model, device);
+  }
+
+  bench::section("int8-quantized model (what the FPGA datapath likes)");
+  for (const auto& [label, device] : devices) {
+    print_device_row(label, quantized.model, device);
+  }
+
+  std::printf("\npaper shape checks:\n");
+  auto eff = [&](const nn::Model& model, const hwsim::DeviceProfile& device) {
+    return 1.0 /
+           hwsim::estimate_inference(model, hwsim::openei_package(), device)
+               .energy_j;
+  };
+  std::printf("  EIE inf/J gain from pruning: %.1fx (dense) -> %.1fx (pruned) "
+              "vs edge-gpu\n",
+              eff(dense_model, hwsim::eie_sparse_accelerator()) /
+                  eff(dense_model, hwsim::edge_gpu()),
+              eff(pruned.model, hwsim::eie_sparse_accelerator()) /
+                  eff(pruned.model, hwsim::edge_gpu()));
+  std::printf("  FPGA-vs-GPU inf/J on quantized model: %.1fx\n",
+              eff(quantized.model, hwsim::edge_fpga()) /
+                  eff(quantized.model, hwsim::edge_gpu()));
+  double gpu_latency =
+      hwsim::estimate_inference(dense_model, hwsim::openei_package(),
+                                hwsim::edge_gpu())
+          .latency_s;
+  double fpga_latency =
+      hwsim::estimate_inference(dense_model, hwsim::openei_package(),
+                                hwsim::edge_fpga())
+          .latency_s;
+  std::printf("  GPU keeps the raw-latency crown on dense floats: %.1fx "
+              "faster than FPGA\n",
+              fpga_latency / gpu_latency);
+
+  bench::section("open problem IV-D #1: max speed under a power cap "
+                 "(jetson-tx2, DVFS f^3 law)");
+  auto jetson = hwsim::jetson_tx2();
+  std::printf("%-12s %12s %14s %12s\n", "cap (W)", "GFLOPS", "latency",
+              "energy/inf");
+  for (double cap : {15.0, 12.0, 10.0, 8.0, 6.5, 5.5}) {
+    auto capped = jetson.with_power_cap(cap);
+    auto cost =
+        hwsim::estimate_inference(dense_model, hwsim::openei_package(), capped);
+    std::printf("%-12.1f %12.1f %14s %10.2e J\n", cap, capped.effective_gflops,
+                bench::format_seconds(cost.latency_s).c_str(), cost.energy_j);
+  }
+  std::printf("(the f^3 dynamic-power law answers 'the maximum speed the "
+              "hardware reaches' at each budget)\n");
+}
+
+void BM_CostEstimateDense(benchmark::State& state) {
+  common::Rng rng(212);
+  nn::Model model = nn::zoo::make_mlp("m", 32, 4, {256, 128}, rng);
+  auto device = hwsim::eie_sparse_accelerator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hwsim::estimate_inference(model, hwsim::openei_package(), device));
+  }
+}
+BENCHMARK(BM_CostEstimateDense);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_sec4d)

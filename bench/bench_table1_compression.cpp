@@ -1,0 +1,225 @@
+// E1 — Table I: typical approaches for deep compression, quantified.
+//
+// Paper claims reproduced as numbers (EXPERIMENTS.md E1):
+//  - parameter sharing/pruning is robust but REQUIRES fine-tuning;
+//    k-means sharing reaches ~24x weight compression with ~1% loss [21];
+//  - low-rank factorization is straightforward and shrinks FLOPs, but the
+//    decomposition itself is computationally expensive [25];
+//  - knowledge transfer makes models much thinner but only applies to
+//    softmax classification [29].
+#include "bench_common.h"
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "compress/compressed_model.h"
+#include "compress/distill.h"
+#include "compress/lowrank.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "compress/weight_sharing.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+// (conv factorization section uses the image zoo + factor_convs option)
+
+using namespace openei;
+
+namespace {
+
+struct Workbench {
+  data::Dataset train;
+  data::Dataset test;
+  nn::Model teacher;
+};
+
+Workbench make_workbench() {
+  common::Rng rng(101);
+  auto dataset = data::make_blobs(900, 24, 5, rng, /*separation=*/1.3F,
+                                  /*stddev=*/1.5F);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  // AlexNet-like parameter distribution: heavy dense layers.
+  nn::Model teacher = nn::zoo::make_mlp("teacher", 24, 5, {128, 64}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 30;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(teacher, train, topt);
+  return Workbench{std::move(train), std::move(test), std::move(teacher)};
+}
+
+void print_row(const compress::CompressionReport& report, const char* note) {
+  std::printf("%-26s %9.1fx  acc %.3f -> %.3f (%+.3f)  FLOPs %7zu -> %7zu  %s\n",
+              report.method.c_str(), report.compression_ratio,
+              report.accuracy_before, report.accuracy_after,
+              report.accuracy_delta, report.flops_before, report.flops_after,
+              note);
+}
+
+void run_table1() {
+  bench::banner("E1 / Table I: deep-compression approaches, quantified");
+  Workbench wb = make_workbench();
+  std::printf("teacher: %zu params, %s, test accuracy %.3f\n\n",
+              wb.teacher.param_count(),
+              bench::format_bytes(
+                  static_cast<double>(wb.teacher.storage_bytes()))
+                  .c_str(),
+              nn::evaluate_accuracy(wb.teacher, wb.test));
+
+  bench::section("parameter sharing & pruning");
+  {
+    compress::PruneOptions no_ft;
+    no_ft.sparsity = 0.9F;
+    no_ft.finetune_epochs = 0;
+    auto pruned = compress::magnitude_prune(wb.teacher, no_ft, nullptr);
+    print_row(compress::make_report(wb.teacher, pruned, wb.test),
+              "(90% sparsity, NO fine-tune)");
+
+    compress::PruneOptions with_ft = no_ft;
+    with_ft.finetune_epochs = 5;
+    with_ft.train.sgd.learning_rate = 0.02F;
+    with_ft.train.sgd.momentum = 0.9F;
+    auto finetuned = compress::magnitude_prune(wb.teacher, with_ft, &wb.train);
+    print_row(compress::make_report(wb.teacher, finetuned, wb.test),
+              "(90% sparsity, fine-tuned — Table I: pruning needs retraining)");
+
+    common::Rng rng(103);
+    compress::WeightShareOptions share;
+    share.clusters = 16;
+    auto shared = compress::kmeans_share_weights(wb.teacher, share, rng);
+    print_row(compress::make_report(wb.teacher, shared, wb.test),
+              "(16-centroid k-means codebook, Gong et al. [21])");
+
+    auto binary = compress::binarize_weights(wb.teacher);
+    print_row(compress::make_report(wb.teacher, binary, wb.test),
+              "(binary +-alpha weights, Courbariaux et al. [20])");
+
+    auto quantized = compress::quantize_int8(wb.teacher);
+    print_row(compress::make_report(wb.teacher, quantized, wb.test),
+              "(int8 post-training quantization)");
+  }
+
+  bench::section("low-rank factorization");
+  {
+    for (float fraction : {0.5F, 0.25F, 0.125F}) {
+      compress::LowRankOptions options;
+      options.rank_fraction = fraction;
+      common::Stopwatch factorization_timer;
+      auto factored = compress::lowrank_factorize(wb.teacher, options);
+      double factor_ms = factorization_timer.elapsed_ms();
+      auto report = compress::make_report(wb.teacher, factored, wb.test);
+      char note[128];
+      std::snprintf(note, sizeof(note),
+                    "(rank %.0f%%, SVD took %.1f ms — Table I: decomposition is "
+                    "compute-expensive)",
+                    static_cast<double>(fraction) * 100.0, factor_ms);
+      print_row(report, note);
+    }
+  }
+
+  bench::section("low-rank factorization of CONV layers (Denton et al. do both)");
+  {
+    common::Rng cnn_rng(105);
+    nn::zoo::ImageSpec ispec;
+    ispec.channels = 3;
+    ispec.size = 12;
+    ispec.classes = 4;
+    auto frames = data::make_images(240, 3, 12, 4, cnn_rng, 0.3F);
+    auto [img_train, img_test] = data::train_test_split(frames, 0.8, cnn_rng);
+    nn::Model cnn = nn::zoo::make_mini_vgg(ispec, cnn_rng);
+    nn::TrainOptions cnn_opt;
+    cnn_opt.epochs = 5;
+    cnn_opt.batch_size = 24;
+    cnn_opt.sgd.learning_rate = 0.03F;
+    cnn_opt.sgd.momentum = 0.9F;
+    nn::fit(cnn, img_train, cnn_opt);
+
+    for (float fraction : {0.75F, 0.5F}) {
+      compress::LowRankOptions options;
+      options.rank_fraction = fraction;
+      options.factor_convs = true;
+      common::Stopwatch timer;
+      auto factored = compress::lowrank_factorize(cnn, options);
+      double factor_ms = timer.elapsed_ms();
+      auto report = compress::make_report(cnn, factored, img_test);
+      char note[128];
+      std::snprintf(note, sizeof(note),
+                    "(mini_vgg convs at rank %.0f%%, SVD %.0f ms)",
+                    static_cast<double>(fraction) * 100.0, factor_ms);
+      print_row(report, note);
+    }
+  }
+
+  bench::section("knowledge transfer (distillation)");
+  {
+    common::Rng rng(104);
+    nn::Model student = nn::zoo::make_mlp("student", 24, 5, {16}, rng);
+    compress::DistillOptions options;
+    options.temperature = 3.0F;
+    options.train.epochs = 40;
+    options.train.sgd.learning_rate = 0.1F;
+    options.train.sgd.momentum = 0.9F;
+    auto distilled =
+        compress::distill(wb.teacher, std::move(student), wb.train, options);
+    print_row(compress::make_report(wb.teacher, distilled, wb.test),
+              "(T=3 teacher-student; classification-only per Table I)");
+
+    // Baseline: same student trained on hard labels only.
+    nn::Model hard_student = nn::zoo::make_mlp("student_hard", 24, 5, {16}, rng);
+    nn::TrainOptions hard;
+    hard.epochs = 40;
+    hard.sgd.learning_rate = 0.1F;
+    hard.sgd.momentum = 0.9F;
+    nn::fit(hard_student, wb.train, hard);
+    std::printf("%-26s (same 16-wide student on hard labels: accuracy %.3f)\n",
+                "hard-label baseline", nn::evaluate_accuracy(hard_student, wb.test));
+  }
+}
+
+// Microbenchmarks: wall-clock inference of the original vs compressed forms.
+void BM_InferenceOriginal(benchmark::State& state) {
+  static Workbench wb = make_workbench();
+  nn::Tensor batch = wb.test.slice(0, 16).features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wb.teacher.forward(batch, false));
+  }
+}
+BENCHMARK(BM_InferenceOriginal);
+
+void BM_InferencePruned90(benchmark::State& state) {
+  static Workbench wb = make_workbench();
+  compress::PruneOptions options;
+  options.sparsity = 0.9F;
+  options.finetune_epochs = 0;
+  static auto pruned = compress::magnitude_prune(wb.teacher, options, nullptr);
+  nn::Tensor batch = wb.test.slice(0, 16).features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruned.model.forward(batch, false));
+  }
+}
+BENCHMARK(BM_InferencePruned90);
+
+void BM_InferenceLowRank25(benchmark::State& state) {
+  static Workbench wb = make_workbench();
+  compress::LowRankOptions options;
+  options.rank_fraction = 0.25F;
+  static auto factored = compress::lowrank_factorize(wb.teacher, options);
+  nn::Tensor batch = wb.test.slice(0, 16).features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factored.model.forward(batch, false));
+  }
+}
+BENCHMARK(BM_InferenceLowRank25);
+
+void BM_InferenceInt8(benchmark::State& state) {
+  static Workbench wb = make_workbench();
+  static auto quantized = compress::quantize_int8(wb.teacher);
+  nn::Tensor batch = wb.test.slice(0, 16).features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized.model.forward(batch, false));
+  }
+}
+BENCHMARK(BM_InferenceInt8);
+
+}  // namespace
+
+OPENEI_BENCH_MAIN(run_table1)

@@ -1,0 +1,83 @@
+// Smart and connected health (paper Sec. V-D).
+//
+// Wearable sensors classify activity/emotion from accelerometer-style
+// time-series.  The example shows:
+//   1. a FastGRNN-style compact RNN running on a wearable-class budget
+//      (paper Sec. IV-A2: EMI-RNN/FastGRNN for sequence workloads);
+//   2. privacy-preserving collaboration: three patients' devices improve a
+//      shared model via federated rounds — raw vitals never leave the
+//      device, only model weights do (Sec. II-C cloud-edge collaboration).
+#include <cstdio>
+
+#include "collab/cloud_edge.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "eialg/fastgrnn.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+using namespace openei;
+
+int main() {
+  std::printf("=== Connected health: HAR on wearables ===\n\n");
+
+  // 1. Activity recognition with a compact gated RNN.
+  common::Rng rng(19);
+  eialg::FastGrnnOptions options;
+  options.steps = 16;
+  options.input_dims = 3;  // tri-axial accelerometer
+  options.hidden = 16;
+  options.epochs = 12;
+  options.learning_rate = 0.08F;
+  auto har = data::make_sequences(600, options.steps, options.input_dims, 4, rng);
+  auto [train, test] = data::train_test_split(har, 0.8, rng);
+
+  eialg::FastGrnn rnn(options);
+  rnn.fit(train);
+  std::printf("FastGRNN activity recognizer: accuracy %.3f, %zu params "
+              "(%zu B — wearable-class), %zu FLOPs/window\n\n",
+              eialg::evaluate(rnn, test), rnn.param_count(),
+              rnn.model_size_bytes(), rnn.flops_per_sample());
+
+  // 2. Federated personalization across three patients.
+  //    Each patient's motion patterns differ (per-patient drift); their
+  //    wearables fine-tune locally and only weights are shared.
+  auto pooled = data::make_blobs(900, 12, 3, rng, 2.0F, 1.2F);
+  std::vector<data::Dataset> patients;
+  common::Rng drift_rng(20);
+  for (int p = 0; p < 3; ++p) {
+    auto shard = pooled.slice(p * 300, (p + 1) * 300);
+    patients.push_back(data::apply_drift(shard, drift_rng, 0.3F * (p + 1)));
+  }
+
+  nn::Model global = nn::zoo::make_mlp("vitals_classifier", 12, 3, {16}, rng);
+  std::vector<hwsim::DeviceProfile> wearables(3, hwsim::mobile_phone());
+  nn::TrainOptions retrain;
+  retrain.epochs = 6;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+
+  std::printf("federated rounds (3 patients, weights-only sharing over LTE):\n");
+  for (int round = 1; round <= 3; ++round) {
+    collab::FederatedRoundResult result = collab::federated_round(
+        global, patients, wearables, hwsim::openei_package(),
+        hwsim::cellular_lte(), retrain);
+    global = std::move(result.global_model);
+    double mean_acc = 0.0;
+    for (const auto& patient : patients) {
+      mean_acc += nn::evaluate_accuracy(global, patient);
+    }
+    mean_acc /= static_cast<double>(patients.size());
+    std::printf("  round %d: mean on-patient accuracy %.3f, %zu kB transferred,"
+                " %.1f s round latency\n",
+                round, mean_acc, result.bytes_transferred >> 10,
+                result.round_latency_s);
+  }
+
+  std::printf("\nraw vitals transferred to the cloud: 0 bytes\n");
+  std::printf("\n=== connected health example complete ===\n");
+  return 0;
+}

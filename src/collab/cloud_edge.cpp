@@ -1,0 +1,151 @@
+#include "collab/cloud_edge.h"
+
+#include "common/error.h"
+#include "runtime/inference.h"
+
+namespace openei::collab {
+
+namespace {
+
+std::size_t sample_bytes(const data::Dataset& dataset) {
+  return dataset.features.elements() / dataset.size() * sizeof(float);
+}
+
+double measure_accuracy(const nn::Model& model, const data::Dataset& test) {
+  nn::Model copy = model.clone();
+  return nn::evaluate_accuracy(copy, test);
+}
+
+}  // namespace
+
+DataflowMetrics dataflow_cloud_inference(const nn::Model& cloud_model,
+                                         const data::Dataset& test,
+                                         const hwsim::DeviceProfile& cloud,
+                                         const hwsim::PackageSpec& cloud_package,
+                                         const hwsim::NetworkLink& link) {
+  test.check();
+  DataflowMetrics metrics;
+  metrics.dataflow = "cloud_inference";
+  metrics.accuracy = measure_accuracy(cloud_model, test);
+
+  std::size_t up = sample_bytes(test);
+  std::size_t down = 16;  // class id + envelope
+  hwsim::InferenceCost cloud_cost =
+      hwsim::estimate_inference(cloud_model, cloud_package, cloud);
+
+  metrics.latency_per_inference_s =
+      link.round_trip_s(up, down) + cloud_cost.latency_s;
+  metrics.bytes_per_inference = static_cast<double>(up + down);
+  metrics.energy_per_inference_j = link.transfer_energy_j(up + down);
+  return metrics;
+}
+
+DataflowMetrics dataflow_edge_inference(const nn::Model& cloud_model,
+                                        const data::Dataset& test,
+                                        const hwsim::DeviceProfile& edge,
+                                        const hwsim::PackageSpec& edge_package,
+                                        const hwsim::NetworkLink& link) {
+  test.check();
+  DataflowMetrics metrics;
+  metrics.dataflow = "edge_inference";
+  metrics.accuracy = measure_accuracy(cloud_model, test);
+
+  std::size_t model_bytes = cloud_model.storage_bytes();
+  hwsim::InferenceCost edge_cost =
+      hwsim::estimate_inference(cloud_model, edge_package, edge);
+
+  metrics.setup_latency_s = link.transfer_time_s(model_bytes);
+  metrics.latency_per_inference_s = edge_cost.latency_s;
+  metrics.bytes_per_inference =
+      static_cast<double>(model_bytes) / static_cast<double>(test.size());
+  metrics.energy_per_inference_j =
+      edge_cost.energy_j + link.transfer_energy_j(model_bytes) /
+                               static_cast<double>(test.size());
+  return metrics;
+}
+
+DataflowMetrics dataflow_edge_personalized(const nn::Model& cloud_model,
+                                           const data::Dataset& local_train,
+                                           const data::Dataset& local_test,
+                                           const hwsim::DeviceProfile& edge,
+                                           const hwsim::PackageSpec& edge_package,
+                                           const hwsim::NetworkLink& link,
+                                           const nn::TrainOptions& retrain) {
+  local_test.check();
+  DataflowMetrics metrics;
+  metrics.dataflow = "edge_personalized";
+
+  runtime::LocalTrainingResult trained = runtime::retrain_head_locally(
+      cloud_model, local_train, edge_package, edge, retrain);
+  metrics.accuracy = measure_accuracy(trained.model, local_test);
+
+  std::size_t model_bytes = cloud_model.storage_bytes();
+  hwsim::InferenceCost edge_cost =
+      hwsim::estimate_inference(trained.model, edge_package, edge);
+
+  metrics.setup_latency_s =
+      link.transfer_time_s(model_bytes) + trained.simulated_latency_s;
+  metrics.latency_per_inference_s = edge_cost.latency_s;
+  metrics.bytes_per_inference =
+      static_cast<double>(model_bytes) / static_cast<double>(local_test.size());
+  metrics.energy_per_inference_j =
+      edge_cost.energy_j +
+      (link.transfer_energy_j(model_bytes) + trained.simulated_energy_j) /
+          static_cast<double>(local_test.size());
+  return metrics;
+}
+
+nn::Model federated_average(const std::vector<nn::Model>& models) {
+  OPENEI_CHECK(!models.empty(), "federated_average of zero models");
+  nn::Model average = models.front().clone();
+  auto avg_params = average.parameters();
+
+  for (std::size_t m = 1; m < models.size(); ++m) {
+    nn::Model copy = models[m].clone();  // parameters() needs mutable access
+    auto params = copy.parameters();
+    OPENEI_CHECK(params.size() == avg_params.size(),
+                 "federated models have different architectures");
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      OPENEI_CHECK(params[p]->shape() == avg_params[p]->shape(),
+                   "federated parameter ", p, " shape mismatch");
+      *avg_params[p] += *params[p];
+    }
+  }
+  float inv = 1.0F / static_cast<float>(models.size());
+  for (nn::Tensor* p : avg_params) *p *= inv;
+  return average;
+}
+
+FederatedRoundResult federated_round(const nn::Model& global_model,
+                                     const std::vector<data::Dataset>& edge_shards,
+                                     const std::vector<hwsim::DeviceProfile>& edges,
+                                     const hwsim::PackageSpec& edge_package,
+                                     const hwsim::NetworkLink& link,
+                                     const nn::TrainOptions& retrain) {
+  OPENEI_CHECK(!edge_shards.empty() && edge_shards.size() == edges.size(),
+               "shard/device count mismatch");
+
+  std::size_t model_bytes = global_model.storage_bytes();
+  std::vector<nn::Model> locals;
+  locals.reserve(edge_shards.size());
+  double slowest = 0.0;
+
+  for (std::size_t i = 0; i < edge_shards.size(); ++i) {
+    nn::Model local = global_model.clone();
+    nn::fit(local, edge_shards[i], retrain);  // full local fine-tuning
+    hwsim::InferenceCost train_cost = hwsim::estimate_training(
+        local, edge_package, edges[i], edge_shards[i].size(), retrain.epochs);
+    double edge_time = link.transfer_time_s(model_bytes) +  // download
+                       train_cost.latency_s +
+                       link.transfer_time_s(model_bytes);  // upload
+    slowest = std::max(slowest, edge_time);
+    locals.push_back(std::move(local));
+  }
+
+  FederatedRoundResult result{federated_average(locals),
+                              2 * model_bytes * edge_shards.size(), slowest};
+  result.global_model.set_name(global_model.name());
+  return result;
+}
+
+}  // namespace openei::collab

@@ -1,0 +1,82 @@
+// Cloud-edge collaboration (paper Sec. II-C/II-D, Fig. 3).
+//
+// The three dataflows, each producing comparable per-inference metrics:
+//   1. cloud inference  — edge uploads raw data, cloud runs the model,
+//                         result comes back ("traditional machine
+//                         intelligence");
+//   2. edge inference   — the cloud-trained model is downloaded once and
+//                         runs on the edge ("the current EI dataflow");
+//   3. edge personalization — the edge retrains the model head on local
+//                         data before inferring ("the future dataflow").
+// Plus federated model combination: retrained edge models are uploaded and
+// averaged into "a general and global model".
+#pragma once
+
+#include "data/dataset.h"
+#include "hwsim/cost_model.h"
+#include "hwsim/network.h"
+#include "nn/train.h"
+
+namespace openei::collab {
+
+/// Comparable outcome of serving `test` under one dataflow.
+struct DataflowMetrics {
+  std::string dataflow;
+  double accuracy = 0.0;
+  /// Mean end-to-end latency per inference (network + compute).
+  double latency_per_inference_s = 0.0;
+  /// Bytes crossing the edge-cloud link per inference (amortized setup
+  /// included).
+  double bytes_per_inference = 0.0;
+  /// One-time setup latency (model download, local retraining).
+  double setup_latency_s = 0.0;
+  /// Edge-side energy per inference (radio + compute above idle).
+  double energy_per_inference_j = 0.0;
+};
+
+/// Dataflow 1: per-sample upload to the cloud, inference there, result back.
+DataflowMetrics dataflow_cloud_inference(const nn::Model& cloud_model,
+                                         const data::Dataset& test,
+                                         const hwsim::DeviceProfile& cloud,
+                                         const hwsim::PackageSpec& cloud_package,
+                                         const hwsim::NetworkLink& link);
+
+/// Dataflow 2: one model download, then on-edge inference.
+DataflowMetrics dataflow_edge_inference(const nn::Model& cloud_model,
+                                        const data::Dataset& test,
+                                        const hwsim::DeviceProfile& edge,
+                                        const hwsim::PackageSpec& edge_package,
+                                        const hwsim::NetworkLink& link);
+
+/// Dataflow 3: model download + local head retraining on `local_train`,
+/// then on-edge inference on `local_test`.
+DataflowMetrics dataflow_edge_personalized(const nn::Model& cloud_model,
+                                           const data::Dataset& local_train,
+                                           const data::Dataset& local_test,
+                                           const hwsim::DeviceProfile& edge,
+                                           const hwsim::PackageSpec& edge_package,
+                                           const hwsim::NetworkLink& link,
+                                           const nn::TrainOptions& retrain);
+
+/// Parameter-averages same-architecture models ("combined into a general
+/// and global model").  Throws on architecture mismatch.
+nn::Model federated_average(const std::vector<nn::Model>& models);
+
+/// One cloud-edge federated round: every edge retrains a copy of `global_model`
+/// on its local shard (full fine-tuning), uploads it, and the cloud averages.
+struct FederatedRoundResult {
+  nn::Model global_model;
+  /// Bytes moved over the link (model down + up per edge).
+  std::size_t bytes_transferred = 0;
+  /// Wall-clock of the round: slowest edge (download + retrain + upload).
+  double round_latency_s = 0.0;
+};
+
+FederatedRoundResult federated_round(const nn::Model& global_model,
+                                     const std::vector<data::Dataset>& edge_shards,
+                                     const std::vector<hwsim::DeviceProfile>& edges,
+                                     const hwsim::PackageSpec& edge_package,
+                                     const hwsim::NetworkLink& link,
+                                     const nn::TrainOptions& retrain);
+
+}  // namespace openei::collab

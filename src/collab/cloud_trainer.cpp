@@ -1,0 +1,43 @@
+#include "collab/cloud_trainer.h"
+
+#include "net/http.h"
+#include "nn/serialize.h"
+
+namespace openei::collab {
+
+CloudTrainer::CloudTrainer(data::Dataset train, data::Dataset test,
+                           hwsim::DeviceProfile cloud_device,
+                           hwsim::PackageSpec cloud_package)
+    : train_(std::move(train)),
+      test_(std::move(test)),
+      device_(std::move(cloud_device)),
+      package_(std::move(cloud_package)) {
+  train_.check();
+  test_.check();
+  OPENEI_CHECK(package_.supports_training, "cloud package '", package_.name,
+               "' cannot train");
+}
+
+CloudTrainer::TrainedModel CloudTrainer::train(
+    nn::Model model, const nn::TrainOptions& options) const {
+  nn::fit(model, train_, options);
+  hwsim::InferenceCost cost = hwsim::estimate_training(
+      model, package_, device_, train_.size(), options.epochs);
+  TrainedModel out{std::move(model), 0.0, cost.latency_s, cost.energy_j};
+  out.test_accuracy = nn::evaluate_accuracy(out.model, test_);
+  return out;
+}
+
+void CloudTrainer::push_to_edge(std::uint16_t edge_port, const nn::Model& model,
+                                const std::string& scenario,
+                                const std::string& algorithm, double accuracy) {
+  net::HttpClient edge(edge_port);
+  net::HttpResponse response = edge.post(
+      "/ei_models?scenario=" + scenario + "&algorithm=" + algorithm +
+          "&accuracy=" + std::to_string(accuracy),
+      nn::save_model(model));
+  OPENEI_CHECK(response.status == 201, "edge rejected model '", model.name(),
+               "' with HTTP ", response.status, ": ", response.body);
+}
+
+}  // namespace openei::collab

@@ -1,0 +1,55 @@
+// CloudTrainer — the cloud half of the Fig. 3 dataflows as a reusable API:
+// "the models are usually trained on the cloud and then downloaded to the
+// edge" (Sec. II-C).
+//
+// Training executes for real on the NN engine; the *cost* of training is
+// accounted on the cloud device profile (simulated time/energy), and the
+// trained model can be pushed to any live edge node's libei over HTTP.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "hwsim/cost_model.h"
+#include "nn/train.h"
+
+namespace openei::collab {
+
+class CloudTrainer {
+ public:
+  /// `train`/`test` are the cloud's pooled corpus; the device/package pair
+  /// is what the data center runs (defaults in cloud_trainer.cpp use the
+  /// cloud-gpu profile + full framework).
+  CloudTrainer(data::Dataset train, data::Dataset test,
+               hwsim::DeviceProfile cloud_device,
+               hwsim::PackageSpec cloud_package);
+
+  struct TrainedModel {
+    nn::Model model;
+    double test_accuracy = 0.0;
+    /// Simulated cloud-side cost of the training job.
+    double training_latency_s = 0.0;
+    double training_energy_j = 0.0;
+  };
+
+  /// Trains `model` on the pooled corpus (really) and accounts the cost on
+  /// the cloud profile (simulated).
+  TrainedModel train(nn::Model model, const nn::TrainOptions& options) const;
+
+  /// Pushes a trained model to a live edge node (POST /ei_models on
+  /// 127.0.0.1:`edge_port`) under (scenario, algorithm).  Throws IoError
+  /// when the edge is unreachable and Error when it rejects the deployment.
+  static void push_to_edge(std::uint16_t edge_port, const nn::Model& model,
+                           const std::string& scenario,
+                           const std::string& algorithm, double accuracy);
+
+  const data::Dataset& test_set() const { return test_; }
+
+ private:
+  data::Dataset train_;
+  data::Dataset test_;
+  hwsim::DeviceProfile device_;
+  hwsim::PackageSpec package_;
+};
+
+}  // namespace openei::collab

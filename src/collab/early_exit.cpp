@@ -1,0 +1,145 @@
+#include "collab/early_exit.h"
+
+#include <cmath>
+
+#include "collab/edge_edge.h"
+#include "data/metrics.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "tensor/ops.h"
+
+namespace openei::collab {
+
+EarlyExitModel::EarlyExitModel(const nn::Model& model, std::size_t exit_layer,
+                               std::size_t classes, common::Rng& rng)
+    : model_(model.clone()),
+      exit_layer_(exit_layer),
+      classes_(classes),
+      exit_head_("exit_head", model.shape_after(exit_layer)) {
+  OPENEI_CHECK(exit_layer > 0 && exit_layer < model.layer_count(),
+               "exit layer must be strictly inside the model");
+  std::size_t features = model.shape_after(exit_layer).elements();
+  if (model.shape_after(exit_layer).rank() > 1) {
+    exit_head_.add(std::make_unique<nn::Flatten>());
+  }
+  exit_head_.add(std::make_unique<nn::Dense>(features, classes, rng));
+}
+
+nn::Tensor EarlyExitModel::exit_logits(const nn::Tensor& prefix_out, bool training) {
+  return exit_head_.forward(prefix_out, training);
+}
+
+void EarlyExitModel::fit_exit(const data::Dataset& train,
+                              const nn::TrainOptions& options) {
+  train.check();
+  // Precompute the frozen prefix features once, then train the head as a
+  // standalone classifier on them.
+  nn::Tensor features = model_.forward_prefix(train.features, exit_layer_);
+  data::Dataset head_train{features, train.labels, train.classes};
+  nn::fit(exit_head_, head_train, options);
+}
+
+EarlyExitModel::Result EarlyExitModel::run(const nn::Tensor& batch,
+                                           float confidence_threshold) {
+  OPENEI_CHECK(confidence_threshold >= 0.0F && confidence_threshold <= 1.0F,
+               "confidence threshold outside [0, 1]");
+  nn::Tensor prefix_out = model_.forward_prefix(batch, exit_layer_);
+  nn::Tensor logits = exit_logits(prefix_out, false);
+  nn::Tensor probabilities = tensor::softmax_rows(logits);
+
+  std::size_t n = batch.shape().dim(0);
+  Result result;
+  result.predictions.resize(n);
+  result.exited_locally.resize(n);
+
+  // Escalated samples run the suffix; gather them into one sub-batch.
+  std::vector<std::size_t> escalated;
+  for (std::size_t i = 0; i < n; ++i) {
+    float best = 0.0F;
+    std::size_t arg = 0;
+    for (std::size_t c = 0; c < classes_; ++c) {
+      if (probabilities.at2(i, c) > best) {
+        best = probabilities.at2(i, c);
+        arg = c;
+      }
+    }
+    if (best >= confidence_threshold) {
+      result.predictions[i] = arg;
+      result.exited_locally[i] = true;
+    } else {
+      escalated.push_back(i);
+      result.exited_locally[i] = false;
+    }
+  }
+
+  if (!escalated.empty()) {
+    // Build the escalated activation sub-batch.
+    std::size_t sample_elems = prefix_out.elements() / n;
+    std::vector<std::size_t> dims = prefix_out.shape().dims();
+    dims[0] = escalated.size();
+    nn::Tensor sub{tensor::Shape(dims)};
+    auto src = prefix_out.data();
+    auto dst = sub.data();
+    for (std::size_t j = 0; j < escalated.size(); ++j) {
+      for (std::size_t e = 0; e < sample_elems; ++e) {
+        dst[j * sample_elems + e] = src[escalated[j] * sample_elems + e];
+      }
+    }
+    nn::Tensor suffix_logits = model_.forward_suffix(sub, exit_layer_);
+    for (std::size_t j = 0; j < escalated.size(); ++j) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < suffix_logits.shape().dim(1); ++c) {
+        if (suffix_logits.at2(j, c) > suffix_logits.at2(j, best)) best = c;
+      }
+      result.predictions[escalated[j]] = best;
+    }
+  }
+
+  result.local_fraction =
+      1.0 - static_cast<double>(escalated.size()) / static_cast<double>(n);
+  return result;
+}
+
+std::size_t EarlyExitModel::escalation_bytes() const {
+  return model_.shape_after(exit_layer_).elements() * sizeof(float);
+}
+
+EarlyExitMetrics evaluate_early_exit(EarlyExitModel& model,
+                                     const data::Dataset& test,
+                                     float confidence_threshold,
+                                     const hwsim::PackageSpec& package,
+                                     const hwsim::DeviceProfile& front,
+                                     const hwsim::DeviceProfile& back,
+                                     const hwsim::NetworkLink& link) {
+  test.check();
+  EarlyExitModel::Result result = model.run(test.features, confidence_threshold);
+
+  EarlyExitMetrics metrics;
+  metrics.accuracy = data::accuracy(result.predictions, test.labels);
+  metrics.local_fraction = result.local_fraction;
+
+  // Every sample pays the prefix on the front device; escalated samples add
+  // the activation transfer plus the suffix on the back device.  (The tiny
+  // linear exit head is folded into the prefix's per-op overhead.)
+  std::size_t k = model.exit_layer();
+  std::size_t depth = model.model().layer_count();
+  double prefix_s = stage_latency(model.model(), 0, k, package, front);
+  double escalation_s = link.transfer_time_s(model.escalation_bytes()) +
+                        stage_latency(model.model(), k, depth, package, back);
+
+  metrics.mean_latency_s =
+      prefix_s + (1.0 - metrics.local_fraction) * escalation_s;
+
+  // Baseline: full offload — every sample ships its raw input to the back.
+  std::size_t input_bytes =
+      test.features.elements() / test.size() * sizeof(float);
+  metrics.offload_latency_s =
+      link.transfer_time_s(input_bytes) +
+      stage_latency(model.model(), 0, depth, package, back);
+  metrics.mean_bytes_per_inference =
+      (1.0 - metrics.local_fraction) *
+      static_cast<double>(model.escalation_bytes());
+  return metrics;
+}
+
+}  // namespace openei::collab

@@ -1,0 +1,77 @@
+// DDNN-style early-exit inference (Teerapittayanon et al. [17], cited in
+// paper Sec. II-C as the exemplar of distributed cloud-edge DNNs).
+//
+// A small exit classifier is attached at an intermediate layer of the main
+// model and trained on the frozen prefix's features.  At inference the
+// front (edge) device computes the prefix + exit head; samples the exit is
+// confident about are answered locally, the rest ship their intermediate
+// activation to the back device, which runs the remaining layers.  The
+// result: most inferences never leave the edge, and the ones that do get
+// the full model's accuracy.
+#pragma once
+
+#include "hwsim/cost_model.h"
+#include "hwsim/network.h"
+#include "nn/train.h"
+
+namespace openei::collab {
+
+/// A model with one local exit at `exit_layer`.
+class EarlyExitModel {
+ public:
+  /// Clones `model` and attaches an untrained linear exit head reading the
+  /// flattened activation after layer `exit_layer`.
+  EarlyExitModel(const nn::Model& model, std::size_t exit_layer,
+                 std::size_t classes, common::Rng& rng);
+
+  /// Trains only the exit head (prefix frozen) on `train`.
+  void fit_exit(const data::Dataset& train, const nn::TrainOptions& options);
+
+  /// Per-sample result of confidence-gated inference.
+  struct Result {
+    std::vector<std::size_t> predictions;
+    /// true = answered by the local exit, false = escalated to the suffix.
+    std::vector<bool> exited_locally;
+    double local_fraction = 0.0;
+  };
+
+  /// Runs early-exit inference: exit locally when the exit head's max
+  /// softmax probability >= `confidence_threshold`.
+  Result run(const nn::Tensor& batch, float confidence_threshold);
+
+  std::size_t exit_layer() const { return exit_layer_; }
+  const nn::Model& model() const { return model_; }
+
+  /// Bytes shipped per escalated sample (the intermediate activation).
+  std::size_t escalation_bytes() const;
+
+ private:
+  nn::Tensor exit_logits(const nn::Tensor& prefix_out, bool training);
+
+  nn::Model model_;
+  std::size_t exit_layer_;
+  std::size_t classes_;
+  nn::Model exit_head_;  // flatten + dense on the prefix activation
+};
+
+/// Aggregate economics of an early-exit deployment.
+struct EarlyExitMetrics {
+  double accuracy = 0.0;
+  double local_fraction = 0.0;
+  /// Mean per-inference latency: front prefix+exit always, plus transfer +
+  /// back suffix for escalated samples.
+  double mean_latency_s = 0.0;
+  /// All-on-back baseline latency (every sample ships its *input*).
+  double offload_latency_s = 0.0;
+  double mean_bytes_per_inference = 0.0;
+};
+
+EarlyExitMetrics evaluate_early_exit(EarlyExitModel& model,
+                                     const data::Dataset& test,
+                                     float confidence_threshold,
+                                     const hwsim::PackageSpec& package,
+                                     const hwsim::DeviceProfile& front,
+                                     const hwsim::DeviceProfile& back,
+                                     const hwsim::NetworkLink& link);
+
+}  // namespace openei::collab

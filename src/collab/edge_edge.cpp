@@ -1,0 +1,122 @@
+#include "collab/edge_edge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace openei::collab {
+
+std::vector<std::size_t> partition_by_power(
+    std::size_t total_items, const std::vector<double>& compute_gflops) {
+  OPENEI_CHECK(!compute_gflops.empty(), "no workers to partition across");
+  double total_power = 0.0;
+  for (double p : compute_gflops) {
+    OPENEI_CHECK(p > 0.0, "non-positive compute power");
+    total_power += p;
+  }
+
+  std::vector<std::size_t> shares(compute_gflops.size(), 0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < compute_gflops.size(); ++i) {
+    shares[i] = static_cast<std::size_t>(std::floor(
+        static_cast<double>(total_items) * compute_gflops[i] / total_power));
+    assigned += shares[i];
+  }
+  // Distribute the remainder to the most powerful workers first.
+  std::vector<std::size_t> order(compute_gflops.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return compute_gflops[a] > compute_gflops[b];
+  });
+  for (std::size_t i = 0; assigned < total_items; ++i, ++assigned) {
+    ++shares[order[i % order.size()]];
+  }
+  return shares;
+}
+
+CollaborativeBatchResult collaborative_batch(
+    const nn::Model& model, const hwsim::PackageSpec& package,
+    const std::vector<hwsim::DeviceProfile>& edges, std::size_t total_items) {
+  OPENEI_CHECK(!edges.empty() && total_items > 0, "empty collaborative job");
+
+  std::vector<double> powers;
+  std::vector<double> per_item;
+  powers.reserve(edges.size());
+  for (const hwsim::DeviceProfile& edge : edges) {
+    powers.push_back(edge.effective_gflops);
+    per_item.push_back(hwsim::estimate_inference(model, package, edge).latency_s);
+  }
+
+  CollaborativeBatchResult result;
+  result.allocation = partition_by_power(total_items, powers);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    result.makespan_s =
+        std::max(result.makespan_s,
+                 per_item[i] * static_cast<double>(result.allocation[i]));
+  }
+  double best = 1e300;
+  for (double t : per_item) best = std::min(best, t);
+  result.best_single_s = best * static_cast<double>(total_items);
+  return result;
+}
+
+double stage_latency(const nn::Model& model, std::size_t begin, std::size_t end,
+                     const hwsim::PackageSpec& package,
+                     const hwsim::DeviceProfile& device) {
+  OPENEI_CHECK(begin <= end && end <= model.layer_count(), "bad stage range");
+  double total = 0.0;
+  tensor::Shape shape = model.shape_after(begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    double flops = static_cast<double>(model.layer(i).flops(shape));
+    double compute_s = flops / (device.effective_gflops * 1e9);
+    total += compute_s * package.kernel_efficiency_factor +
+             package.per_op_overhead_s;
+    shape = model.layer(i).output_shape(shape);
+  }
+  return total;
+}
+
+SplitPoint evaluate_split(const nn::Model& model, std::size_t k,
+                          const hwsim::PackageSpec& package,
+                          const hwsim::DeviceProfile& front,
+                          const hwsim::DeviceProfile& back,
+                          const hwsim::NetworkLink& link) {
+  OPENEI_CHECK(k <= model.layer_count(), "split point beyond model depth");
+
+  SplitPoint split;
+  split.layer = k;
+  split.transfer_bytes =
+      k == model.layer_count()
+          ? 16  // only the final class id crosses the link
+          : model.shape_after(k).elements() * sizeof(float);
+  split.latency_s = stage_latency(model, 0, k, package, front) +
+                    link.transfer_time_s(split.transfer_bytes) +
+                    stage_latency(model, k, model.layer_count(), package, back);
+  return split;
+}
+
+SplitPoint best_split(const nn::Model& model, const hwsim::PackageSpec& package,
+                      const hwsim::DeviceProfile& front,
+                      const hwsim::DeviceProfile& back,
+                      const hwsim::NetworkLink& link) {
+  SplitPoint best;
+  bool first = true;
+  for (std::size_t k = 0; k <= model.layer_count(); ++k) {
+    SplitPoint candidate = evaluate_split(model, k, package, front, back, link);
+    if (first || candidate.latency_s < best.latency_s) {
+      best = candidate;
+      first = false;
+    }
+  }
+  return best;
+}
+
+nn::Tensor split_forward(nn::Model& front_copy, nn::Model& back_copy,
+                         std::size_t k, const nn::Tensor& batch) {
+  nn::Tensor intermediate = front_copy.forward_prefix(batch, k);
+  return back_copy.forward_suffix(intermediate, k);
+}
+
+}  // namespace openei::collab

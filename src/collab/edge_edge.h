@@ -1,0 +1,69 @@
+// Edge-edge collaboration (paper Sec. II-C):
+//   (1) "multiple edges work collaboratively to accomplish a compute-
+//       intensive task ... allocated according to the computing power" —
+//       power-proportional batch partitioning;
+//   (2) DDNN-flavoured split inference [17]: a weak front edge runs the
+//       model prefix next to the sensor, ships the (smaller) intermediate
+//       activation to a strong edge that runs the suffix.
+#pragma once
+
+#include "hwsim/cost_model.h"
+#include "hwsim/network.h"
+#include "nn/model.h"
+
+namespace openei::collab {
+
+/// Splits `total_items` across workers proportionally to `compute_gflops`;
+/// remainders go to the most powerful workers.  Sum of shares ==
+/// total_items.
+std::vector<std::size_t> partition_by_power(std::size_t total_items,
+                                            const std::vector<double>& compute_gflops);
+
+/// A compute-intensive batch job run collaboratively across edges.
+struct CollaborativeBatchResult {
+  std::vector<std::size_t> allocation;  // items per edge
+  double makespan_s = 0.0;              // slowest edge finishes last
+  /// Same job on the single fastest edge alone.
+  double best_single_s = 0.0;
+  double speedup() const {
+    return makespan_s > 0.0 ? best_single_s / makespan_s : 0.0;
+  }
+};
+
+CollaborativeBatchResult collaborative_batch(
+    const nn::Model& model, const hwsim::PackageSpec& package,
+    const std::vector<hwsim::DeviceProfile>& edges, std::size_t total_items);
+
+/// Split inference between a weak front device and a strong back device.
+struct SplitPoint {
+  std::size_t layer = 0;  // front runs layers [0, layer)
+  double latency_s = 0.0;  // front compute + activation transfer + back compute
+  std::size_t transfer_bytes = 0;
+};
+
+/// Roofline latency of running layers [begin, end) of `model` on `device`
+/// under `package` (per-layer dispatch overhead included).
+double stage_latency(const nn::Model& model, std::size_t begin, std::size_t end,
+                     const hwsim::PackageSpec& package,
+                     const hwsim::DeviceProfile& device);
+
+/// Latency of splitting at layer `k` (0 = everything on back, layer_count =
+/// everything on front).
+SplitPoint evaluate_split(const nn::Model& model, std::size_t k,
+                          const hwsim::PackageSpec& package,
+                          const hwsim::DeviceProfile& front,
+                          const hwsim::DeviceProfile& back,
+                          const hwsim::NetworkLink& link);
+
+/// The latency-optimal split point over all k in [0, layer_count].
+SplitPoint best_split(const nn::Model& model, const hwsim::PackageSpec& package,
+                      const hwsim::DeviceProfile& front,
+                      const hwsim::DeviceProfile& back,
+                      const hwsim::NetworkLink& link);
+
+/// Functional check: distributed prefix/suffix execution reproduces local
+/// inference exactly (used by tests and the quickstart example).
+nn::Tensor split_forward(nn::Model& front_copy, nn::Model& back_copy,
+                         std::size_t k, const nn::Tensor& batch);
+
+}  // namespace openei::collab

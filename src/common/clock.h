@@ -1,0 +1,56 @@
+// Time abstraction.
+//
+// Simulated components (hwsim, collab) account time with a virtual clock so
+// experiments are deterministic; the HTTP server and schedulers use the wall
+// clock.  SimClock is a plain value type advanced explicitly by cost models.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace openei::common {
+
+/// Monotonic wall-clock timestamp in nanoseconds.
+inline std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stopwatch over the wall clock for measuring real elapsed time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(wall_now_ns()) {}
+  void reset() { start_ns_ = wall_now_ns(); }
+  double elapsed_seconds() const {
+    return static_cast<double>(wall_now_ns() - start_ns_) * 1e-9;
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// Deterministic virtual clock: simulated latencies advance it explicitly.
+class SimClock {
+ public:
+  double now_seconds() const { return now_s_; }
+
+  /// Advances by `seconds` (must be non-negative).
+  void advance(double seconds) {
+    OPENEI_CHECK(seconds >= 0.0, "cannot advance clock by ", seconds, "s");
+    now_s_ += seconds;
+  }
+
+  /// Moves the clock forward to `t` if `t` is later; otherwise no-op.
+  void advance_to(double t) {
+    if (t > now_s_) now_s_ = t;
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace openei::common

@@ -1,0 +1,73 @@
+// Error model for OpenEI.
+//
+// Contract violations and unrecoverable conditions throw openei::Error (or a
+// subclass); recoverable "not found / would block" conditions are expressed
+// with std::optional at the API level.  Following the C++ Core Guidelines
+// (E.2), exceptions signal that a function cannot perform its assigned task.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace openei {
+
+/// Base exception for all OpenEI errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, bad argument...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A named resource (model, sensor, route, file) does not exist.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+/// Parsing of an external representation (JSON, HTTP, model file) failed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A resource limit of the (simulated) edge device was exceeded.
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what) : Error(what) {}
+};
+
+/// An I/O or networking operation failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+[[nodiscard]] std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+
+}  // namespace openei
+
+/// OPENEI_CHECK(cond, msg...) throws InvalidArgument when `cond` is false.
+/// Used to validate public API preconditions; always active (not NDEBUG-gated)
+/// because edge deployments run release builds.
+#define OPENEI_CHECK(cond, ...)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::openei::InvalidArgument(::openei::detail::concat(       \
+          "check failed: " #cond " — ", __VA_ARGS__));                \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,96 @@
+// Self-contained JSON value model, parser, and writer.
+//
+// libei (Sec. III-D of the paper) exposes every resource over a RESTful API;
+// responses and algorithm arguments are JSON.  This is a strict recursive-
+// descent parser (UTF-8 pass-through, \uXXXX escapes for BMP code points) and
+// a deterministic writer (object keys keep insertion order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace openei::common {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object representation: deterministic serialization
+/// matters for reproducible experiment logs.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : type_(Type::kNumber), number_(value) {}
+  Json(std::int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(std::size_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(JsonArray value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(JsonObject value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw InvalidArgument on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field lookup; throws NotFound if `key` is absent.
+  const Json& at(std::string_view key) const;
+  /// Object field lookup; returns nullptr if absent.
+  const Json* find(std::string_view key) const;
+  /// True if object has `key`.
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Inserts or replaces an object field (keeps insertion order on insert).
+  void set(std::string key, Json value);
+
+  /// Array element; throws InvalidArgument when out of range.
+  const Json& at(std::size_t index) const;
+
+  /// Serializes to compact JSON text.
+  std::string dump() const;
+  /// Serializes with 2-space indentation.
+  std::string pretty() const;
+
+  /// Parses strict JSON; throws ParseError with position info on failure.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace openei::common

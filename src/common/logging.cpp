@@ -1,0 +1,35 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace openei::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[openei " << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace openei::common

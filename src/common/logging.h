@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (server lifecycle, collaboration rounds); tests
+// and benches set the level to `kWarn` to keep output clean.  Thread-safe:
+// each message is formatted into one string and written with a single mutex-
+// guarded call.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace openei::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log-level control. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace openei::common

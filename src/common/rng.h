@@ -1,0 +1,78 @@
+// Deterministic random-number source.
+//
+// All randomness in OpenEI (dataset synthesis, weight init, schedulers with
+// jitter, RL exploration) flows through Rng with an explicit seed so every
+// experiment is reproducible bit-for-bit (DESIGN.md, "Determinism").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.h"
+
+namespace openei::common {
+
+/// Seeded pseudo-random generator with convenience distributions.
+/// Copyable: copying captures the full generator state, which lets callers
+/// fork reproducible sub-streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    OPENEI_CHECK(lo <= hi, "uniform bounds reversed: ", lo, " > ", hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_float(float lo = 0.0F, float hi = 1.0F) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    OPENEI_CHECK(lo <= hi, "uniform_int bounds reversed: ", lo, " > ", hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian sample.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    OPENEI_CHECK(stddev >= 0.0, "negative stddev ", stddev);
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  float normal_float(float mean = 0.0F, float stddev = 1.0F) {
+    return static_cast<float>(normal(mean, stddev));
+  }
+
+  /// Bernoulli draw.
+  bool flip(double p = 0.5) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// A permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    shuffle(perm);
+    return perm;
+  }
+
+  /// Fork a child stream whose seed derives from this stream.  The child is
+  /// independent of later draws from the parent.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace openei::common

@@ -1,0 +1,112 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace openei::common {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_nonempty(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : split(text, sep)) {
+    if (!piece.empty()) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool is_unreserved(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.' || c == '~';
+}
+
+}  // namespace
+
+std::string uri_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) throw ParseError("truncated percent escape");
+      int hi = hex_digit(text[i + 1]);
+      int lo = hex_digit(text[i + 2]);
+      if (hi < 0 || lo < 0) throw ParseError("bad percent escape in URI");
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string uri_encode(std::string_view text) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex[byte >> 4]);
+      out.push_back(hex[byte & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+}  // namespace openei::common

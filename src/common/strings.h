@@ -1,0 +1,36 @@
+// Small string utilities shared across modules (HTTP parsing, URI routing,
+// model naming).  Kept allocation-light; inputs are passed as string_view.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openei::common {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on `sep`, dropping empty fields ("/a//b/" -> {"a","b"}).
+std::vector<std::string> split_nonempty(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// Percent-decodes a URI component ("%20" -> " ", "+" -> " ").
+/// Throws ParseError on a malformed escape.
+std::string uri_decode(std::string_view text);
+
+/// Percent-encodes a URI component (conservative: everything but unreserved).
+std::string uri_encode(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace openei::common

@@ -1,0 +1,30 @@
+#include "compress/compressed_model.h"
+
+#include "nn/train.h"
+
+namespace openei::compress {
+
+CompressionReport make_report(const nn::Model& original,
+                              const CompressedModel& compressed,
+                              const data::Dataset& test) {
+  CompressionReport report;
+  report.method = compressed.method;
+  report.original_params = original.param_count();
+  report.original_bytes = original.storage_bytes();
+  report.compressed_bytes = compressed.storage_bytes;
+  report.compression_ratio =
+      compressed.storage_bytes == 0
+          ? 0.0
+          : static_cast<double>(report.original_bytes) /
+                static_cast<double>(compressed.storage_bytes);
+  nn::Model original_copy = original.clone();
+  nn::Model compressed_copy = compressed.model.clone();
+  report.accuracy_before = nn::evaluate_accuracy(original_copy, test);
+  report.accuracy_after = nn::evaluate_accuracy(compressed_copy, test);
+  report.accuracy_delta = report.accuracy_after - report.accuracy_before;
+  report.flops_before = original.flops_per_sample();
+  report.flops_after = compressed.model.flops_per_sample();
+  return report;
+}
+
+}  // namespace openei::compress

@@ -1,0 +1,41 @@
+// Common result type of the deep-compression transforms (paper Sec. IV-A1,
+// Table I) plus the report the Table-I bench prints.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace openei::compress {
+
+/// A transformed model with the storage footprint its compact encoding would
+/// occupy.  `storage_bytes` differs from Model::storage_bytes() when the
+/// compact form needs an auxiliary encoding (sparse indices, cluster
+/// codebooks, bit-packed signs) that the in-memory float tensors don't show.
+struct CompressedModel {
+  nn::Model model;
+  std::size_t storage_bytes = 0;
+  std::string method;
+};
+
+/// One Table-I row, quantified: what the method costs and buys.
+struct CompressionReport {
+  std::string method;
+  std::size_t original_params = 0;
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double compression_ratio = 1.0;  // original_bytes / compressed_bytes
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  double accuracy_delta = 0.0;  // after - before (negative = loss)
+  std::size_t flops_before = 0;
+  std::size_t flops_after = 0;
+};
+
+/// Evaluates both models on `test` and assembles the report.
+CompressionReport make_report(const nn::Model& original,
+                              const CompressedModel& compressed,
+                              const data::Dataset& test);
+
+}  // namespace openei::compress

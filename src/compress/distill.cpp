@@ -1,0 +1,31 @@
+#include "compress/distill.h"
+
+#include "tensor/ops.h"
+
+namespace openei::compress {
+
+CompressedModel distill(const nn::Model& teacher, nn::Model student,
+                        const data::Dataset& transfer_set,
+                        const DistillOptions& options) {
+  transfer_set.check();
+  OPENEI_CHECK(teacher.input_shape() == student.input_shape(),
+               "teacher/student input shapes differ");
+  OPENEI_CHECK(teacher.output_shape() == student.output_shape(),
+               "teacher/student class counts differ");
+  OPENEI_CHECK(teacher.output_shape().rank() == 1,
+               "distillation requires classification logits (Table I caveat)");
+
+  // Teacher soft targets at the distillation temperature.
+  nn::Model teacher_copy = teacher.clone();
+  nn::Tensor logits = teacher_copy.forward(transfer_set.features, false);
+  nn::Tensor targets =
+      tensor::softmax_rows(logits * (1.0F / options.temperature));
+
+  nn::fit_soft(student, transfer_set.features, targets, options.temperature,
+               options.train);
+
+  std::size_t bytes = student.storage_bytes();
+  return CompressedModel{std::move(student), bytes, "knowledge_distillation"};
+}
+
+}  // namespace openei::compress

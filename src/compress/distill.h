@@ -1,0 +1,27 @@
+// Knowledge distillation (teacher-student training; Bucilua/Caruana [29],
+// paper Table I "knowledge transfer"): a compact student is trained to
+// reproduce the teacher's softened output distribution.  Table I's caveat —
+// "only applies to classification tasks with softmax loss" — is enforced:
+// the teacher must emit class logits.
+#pragma once
+
+#include "compress/compressed_model.h"
+#include "nn/train.h"
+
+namespace openei::compress {
+
+struct DistillOptions {
+  /// Softmax temperature applied to teacher logits (and student, in the
+  /// soft-target loss).  Higher = softer targets, more dark knowledge.
+  float temperature = 3.0F;
+  nn::TrainOptions train;
+};
+
+/// Trains `student` on `transfer_set` features against the teacher's soft
+/// targets; returns it with storage = its own dense footprint.  Teacher and
+/// student must agree on input shape and class count.
+CompressedModel distill(const nn::Model& teacher, nn::Model student,
+                        const data::Dataset& transfer_set,
+                        const DistillOptions& options);
+
+}  // namespace openei::compress

@@ -1,0 +1,68 @@
+#include "compress/lowrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/factored_conv.h"
+#include "tensor/linalg.h"
+
+namespace openei::compress {
+
+std::size_t chosen_rank(std::size_t in, std::size_t out,
+                        const LowRankOptions& options) {
+  std::size_t full = std::min(in, out);
+  auto r = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(full) * static_cast<double>(options.rank_fraction)));
+  return std::clamp<std::size_t>(r, 1, full);
+}
+
+CompressedModel lowrank_factorize(const nn::Model& model,
+                                  const LowRankOptions& options) {
+  OPENEI_CHECK(options.rank_fraction > 0.0F && options.rank_fraction <= 1.0F,
+               "rank_fraction outside (0, 1]");
+  CompressedModel out{model.clone(), 0, "lowrank_svd"};
+
+  for (std::size_t i = 0; i < out.model.layer_count(); ++i) {
+    if (options.factor_convs) {
+      if (auto* conv = dynamic_cast<nn::Conv2d*>(&out.model.layer(i))) {
+        const auto& spec = conv->spec();
+        std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+        std::size_t full = std::min(spec.out_channels, patch);
+        if (full >= options.min_dim && spec.kernel > 1) {
+          std::size_t rank = chosen_rank(spec.out_channels, patch, options);
+          out.model.replace_layer(i, nn::factorize_conv(*conv, rank));
+        }
+        continue;
+      }
+    }
+    auto* dense = dynamic_cast<nn::Dense*>(&out.model.layer(i));
+    if (dense == nullptr) continue;
+    std::size_t in = dense->in_features();
+    std::size_t cols = dense->out_features();
+    if (std::min(in, cols) < options.min_dim) continue;
+
+    std::size_t rank = chosen_rank(in, cols, options);
+    tensor::SvdResult svd_result = tensor::svd(dense->weights());
+
+    // U_r = U[:, :r] * sqrt(S_r);  V_r = sqrt(S_r) * V[:, :r]^T.
+    nn::Tensor u(tensor::Shape{in, rank});
+    nn::Tensor v(tensor::Shape{rank, cols});
+    for (std::size_t r = 0; r < rank; ++r) {
+      float root = std::sqrt(std::max(svd_result.singular_values[r], 0.0F));
+      for (std::size_t row = 0; row < in; ++row) {
+        u.at2(row, r) = svd_result.u.at2(row, r) * root;
+      }
+      for (std::size_t col = 0; col < cols; ++col) {
+        v.at2(r, col) = svd_result.v.at2(col, r) * root;
+      }
+    }
+    out.model.replace_layer(i, std::make_unique<nn::FactoredDense>(
+                                   std::move(u), std::move(v), dense->bias()));
+  }
+
+  out.storage_bytes = out.model.storage_bytes();
+  return out;
+}
+
+}  // namespace openei::compress

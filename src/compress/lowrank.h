@@ -1,0 +1,33 @@
+// Low-rank factorization (Denton et al. [25], Sainath [27]; paper Table I
+// "low-rank factorization"): each dense layer W [in, out] is SVD-factored and
+// truncated to rank r, replacing it with FactoredDense U[in,r] V[r,out].
+// The Table-I caveat — "the decomposition operation is computationally
+// expensive" — is measured by the bench (factorization time vs inference
+// savings).
+#pragma once
+
+#include "compress/compressed_model.h"
+
+namespace openei::compress {
+
+struct LowRankOptions {
+  /// Target rank as a fraction of min(in, out); clamped to >= 1.
+  float rank_fraction = 0.25F;
+  /// Dense layers smaller than this are left alone (factoring tiny layers
+  /// grows them).
+  std::size_t min_dim = 8;
+  /// Also factor Conv2d layers into basis+1x1-mixer pairs (Denton et al.
+  /// decompose conv layers; "triple the speedups of convolutional layers").
+  bool factor_convs = false;
+};
+
+/// Factorizes every eligible Dense layer (and, when factor_convs is set,
+/// every eligible Conv2d) via truncated SVD.
+CompressedModel lowrank_factorize(const nn::Model& model,
+                                  const LowRankOptions& options);
+
+/// The rank that `options` selects for a [in, out] dense layer.
+std::size_t chosen_rank(std::size_t in, std::size_t out,
+                        const LowRankOptions& options);
+
+}  // namespace openei::compress

@@ -1,0 +1,100 @@
+#include "compress/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace openei::compress {
+
+bool is_weight_tensor(const nn::Tensor& parameter, std::size_t min_elements) {
+  return parameter.shape().rank() >= 2 && parameter.elements() >= min_elements;
+}
+
+namespace {
+
+/// Zeroes the `sparsity` fraction of smallest-|w| entries; returns the mask
+/// (1 = kept).
+nn::Tensor prune_tensor(nn::Tensor& weights, float sparsity) {
+  std::size_t n = weights.elements();
+  auto drop_count = static_cast<std::size_t>(std::floor(
+      static_cast<double>(n) * static_cast<double>(sparsity)));
+  nn::Tensor mask = nn::Tensor::ones(weights.shape());
+  if (drop_count == 0) return mask;
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  auto weight_data = weights.data();
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(drop_count - 1),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     return std::fabs(weight_data[a]) < std::fabs(weight_data[b]);
+                   });
+  for (std::size_t i = 0; i < drop_count; ++i) {
+    weights[order[i]] = 0.0F;
+    mask[order[i]] = 0.0F;
+  }
+  return mask;
+}
+
+}  // namespace
+
+CompressedModel magnitude_prune(const nn::Model& model, const PruneOptions& options,
+                                const data::Dataset* train) {
+  OPENEI_CHECK(options.sparsity >= 0.0F && options.sparsity < 1.0F,
+               "sparsity must be in [0, 1)");
+  CompressedModel out{model.clone(), 0, "magnitude_prune"};
+
+  std::vector<nn::Tensor*> weight_params;
+  std::vector<nn::Tensor> masks;
+  for (nn::Tensor* p : out.model.parameters()) {
+    if (is_weight_tensor(*p)) {
+      weight_params.push_back(p);
+      masks.push_back(prune_tensor(*p, options.sparsity));
+    }
+  }
+
+  if (train != nullptr && options.finetune_epochs > 0) {
+    nn::TrainOptions epoch_options = options.train;
+    epoch_options.epochs = 1;
+    for (std::size_t epoch = 0; epoch < options.finetune_epochs; ++epoch) {
+      epoch_options.shuffle_seed = options.train.shuffle_seed + epoch;
+      nn::fit(out.model, *train, epoch_options);
+      // Re-apply masks: pruned connections stay pruned (Han et al.).
+      for (std::size_t i = 0; i < weight_params.size(); ++i) {
+        *weight_params[i] *= masks[i];
+      }
+    }
+  }
+
+  out.storage_bytes = pruned_storage_bytes(out.model);
+  return out;
+}
+
+std::size_t pruned_storage_bytes(const nn::Model& model) {
+  std::size_t bytes = 0;
+  nn::Model& mutable_model = const_cast<nn::Model&>(model);
+  for (nn::Tensor* p : mutable_model.parameters()) {
+    if (is_weight_tensor(*p)) {
+      std::size_t nonzero = p->elements() - p->count_near_zero();
+      bytes += nonzero * (sizeof(float) + sizeof(std::uint16_t));
+    } else {
+      bytes += p->elements() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+double weight_sparsity(const nn::Model& model) {
+  std::size_t zeros = 0;
+  std::size_t total = 0;
+  nn::Model& mutable_model = const_cast<nn::Model&>(model);
+  for (nn::Tensor* p : mutable_model.parameters()) {
+    if (is_weight_tensor(*p)) {
+      zeros += p->count_near_zero();
+      total += p->elements();
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+}  // namespace openei::compress

@@ -1,0 +1,38 @@
+// Magnitude pruning (Han et al. [24], paper Table I "parameter sharing and
+// pruning"): zero the smallest-magnitude fraction of each weight tensor, then
+// optionally fine-tune with the pruning mask held fixed — the three-step
+// learn/prune/retrain pipeline.
+#pragma once
+
+#include "compress/compressed_model.h"
+#include "nn/train.h"
+
+namespace openei::compress {
+
+struct PruneOptions {
+  /// Fraction of weights zeroed per weight tensor, in [0, 1).
+  float sparsity = 0.8F;
+  /// Fine-tuning epochs with the mask re-applied after every epoch
+  /// (0 = prune only — Table I notes pruning *requires* retraining to keep
+  /// accuracy; benches show both).
+  std::size_t finetune_epochs = 3;
+  nn::TrainOptions train;
+};
+
+/// Identifies weight tensors eligible for compression: rank >= 2 (biases and
+/// batchnorm vectors are rank 1) with at least `min_elements` entries.
+bool is_weight_tensor(const nn::Tensor& parameter, std::size_t min_elements = 16);
+
+/// Prunes (and optionally fine-tunes on `train`); pass nullptr to skip
+/// fine-tuning regardless of options.
+CompressedModel magnitude_prune(const nn::Model& model, const PruneOptions& options,
+                                const data::Dataset* train);
+
+/// Storage of a pruned model in a CSR-like encoding: 4 bytes per surviving
+/// weight + 2-byte index per survivor + dense storage for non-weight tensors.
+std::size_t pruned_storage_bytes(const nn::Model& model);
+
+/// Measured sparsity over the model's weight tensors.
+double weight_sparsity(const nn::Model& model);
+
+}  // namespace openei::compress

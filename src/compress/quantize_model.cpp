@@ -1,0 +1,38 @@
+#include "compress/quantize_model.h"
+
+#include "compress/pruning.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "tensor/quantize.h"
+
+namespace openei::compress {
+
+CompressedModel quantize_int8(const nn::Model& model) {
+  CompressedModel out{model.clone(), 0, "int8_quantization"};
+
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < out.model.layer_count(); ++i) {
+    if (auto* dense = dynamic_cast<nn::Dense*>(&out.model.layer(i))) {
+      auto quantized = nn::QuantizedDense::from_dense(*dense);
+      bytes += quantized->storage_bytes();
+      out.model.replace_layer(i, std::move(quantized));
+      continue;
+    }
+    nn::Layer& layer = out.model.layer(i);
+    // Fake-quantize remaining weight tensors (conv, depthwise, factored):
+    // values are snapped to the int8 grid; storage counts 1 byte per weight.
+    for (nn::Tensor* p : layer.parameters()) {
+      if (is_weight_tensor(*p)) {
+        *p = tensor::QuantizedTensor::quantize(*p).dequantize();
+        bytes += p->elements() + sizeof(tensor::QuantParams);
+      } else {
+        bytes += p->elements() * sizeof(float);
+      }
+    }
+  }
+
+  out.storage_bytes = bytes;
+  return out;
+}
+
+}  // namespace openei::compress

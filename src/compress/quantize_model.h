@@ -1,0 +1,15 @@
+// Post-training int8 quantization — the optimization TensorFlow Lite /
+// QNNPACK apply (paper Sec. IV-B "quantized kernels").  Dense layers are
+// replaced by QuantizedDense (true int8 storage + int8 matmul); conv weights
+// are fake-quantized in place (quantize→dequantize), modelling weight-only
+// quantization with int8 storage accounting.
+#pragma once
+
+#include "compress/compressed_model.h"
+
+namespace openei::compress {
+
+/// Quantizes every dense and conv weight tensor to int8.
+CompressedModel quantize_int8(const nn::Model& model);
+
+}  // namespace openei::compress

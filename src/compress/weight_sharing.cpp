@@ -1,0 +1,68 @@
+#include "compress/weight_sharing.h"
+
+#include <cmath>
+
+#include "compress/pruning.h"
+#include "tensor/linalg.h"
+
+namespace openei::compress {
+
+CompressedModel kmeans_share_weights(const nn::Model& model,
+                                     const WeightShareOptions& options,
+                                     common::Rng& rng) {
+  OPENEI_CHECK(options.clusters >= 2, "need at least 2 clusters");
+  CompressedModel out{model.clone(), 0, "kmeans_weight_sharing"};
+
+  for (nn::Tensor* p : out.model.parameters()) {
+    if (!is_weight_tensor(*p)) continue;
+    std::vector<float> values(p->data().begin(), p->data().end());
+    std::size_t k = std::min(options.clusters, values.size());
+    auto clustered = tensor::kmeans_1d(values, k, rng);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (*p)[i] = clustered.centroids[clustered.assignment[i]];
+    }
+  }
+
+  out.storage_bytes = shared_storage_bytes(out.model, options.clusters);
+  return out;
+}
+
+std::size_t shared_storage_bytes(const nn::Model& model, std::size_t clusters) {
+  OPENEI_CHECK(clusters >= 2, "need at least 2 clusters");
+  auto bits_per_index = static_cast<std::size_t>(
+      std::ceil(std::log2(static_cast<double>(clusters))));
+  std::size_t bytes = 0;
+  nn::Model& mutable_model = const_cast<nn::Model&>(model);
+  for (nn::Tensor* p : mutable_model.parameters()) {
+    if (is_weight_tensor(*p)) {
+      bytes += clusters * sizeof(float);                  // codebook
+      bytes += (p->elements() * bits_per_index + 7) / 8;  // packed indices
+    } else {
+      bytes += p->elements() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+CompressedModel binarize_weights(const nn::Model& model) {
+  CompressedModel out{model.clone(), 0, "binary_weights"};
+
+  std::size_t bytes = 0;
+  for (nn::Tensor* p : out.model.parameters()) {
+    if (!is_weight_tensor(*p)) {
+      bytes += p->elements() * sizeof(float);
+      continue;
+    }
+    // XNOR-Net style scale: alpha = mean |w| preserves the first moment.
+    double alpha_acc = 0.0;
+    for (float v : p->data()) alpha_acc += std::fabs(v);
+    float alpha = static_cast<float>(alpha_acc / static_cast<double>(p->elements()));
+    p->apply([alpha](float v) { return v >= 0.0F ? alpha : -alpha; });
+    bytes += (p->elements() + 7) / 8 + sizeof(float);  // sign bits + alpha
+  }
+
+  out.storage_bytes = bytes;
+  return out;
+}
+
+}  // namespace openei::compress

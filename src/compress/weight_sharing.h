@@ -1,0 +1,31 @@
+// Weight sharing via k-means clustering (Gong et al. [21], HashedNets-style
+// bucketing [22]): every weight in a tensor is replaced by its cluster
+// centroid, so storage needs only the codebook plus log2(k)-bit indices —
+// "up to 24x compression with only 1% accuracy loss".
+#pragma once
+
+#include "compress/compressed_model.h"
+#include "common/rng.h"
+
+namespace openei::compress {
+
+struct WeightShareOptions {
+  /// Codebook size per weight tensor (power of two keeps indices byte-packed).
+  std::size_t clusters = 16;
+};
+
+/// Clusters each weight tensor's values into `clusters` centroids and snaps
+/// weights to them.  Biases and batchnorm vectors are left dense.
+CompressedModel kmeans_share_weights(const nn::Model& model,
+                                     const WeightShareOptions& options,
+                                     common::Rng& rng);
+
+/// Storage: per weight tensor, k floats + ceil(log2 k) bits per weight;
+/// non-weight tensors dense.
+std::size_t shared_storage_bytes(const nn::Model& model, std::size_t clusters);
+
+/// Binary-connect quantization (Courbariaux et al. [20]): weights become
+/// alpha * sign(w) with one alpha per tensor; storage is 1 bit per weight.
+CompressedModel binarize_weights(const nn::Model& model);
+
+}  // namespace openei::compress

@@ -1,0 +1,79 @@
+// openei::EdgeNode — the "deploy and play" facade (paper Sec. III).
+//
+// Deploying OpenEI on any hardware profile turns it into an intelligent
+// edge: the node wires together the data store, the model registry, the
+// package manager, the model selector, and libei's RESTful API, optionally
+// served over real HTTP on loopback.  This is the type the paper's
+// Raspberry Pi walkthrough (Sec. III-A/III-E) maps onto — see
+// examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "datastore/timeseries.h"
+#include "libei/service.h"
+#include "net/http.h"
+#include "runtime/inference.h"
+#include "runtime/model_registry.h"
+
+namespace openei::core {
+
+struct EdgeNodeConfig {
+  hwsim::DeviceProfile device;   // what hardware this node simulates
+  hwsim::PackageSpec package;    // which deep-learning package it runs
+  std::size_t sensor_capacity = 4096;
+};
+
+class EdgeNode {
+ public:
+  /// Deploy-and-play: a node is ready as soon as it is constructed.
+  explicit EdgeNode(EdgeNodeConfig config);
+  ~EdgeNode();
+  EdgeNode(const EdgeNode&) = delete;
+  EdgeNode& operator=(const EdgeNode&) = delete;
+
+  // --- Models (package manager) ---------------------------------------
+  /// Deploys a model under (scenario, algorithm); multiple variants per
+  /// pair feed the model selector.
+  void deploy_model(const std::string& scenario, const std::string& algorithm,
+                    nn::Model model, double accuracy);
+  runtime::ModelRegistry& registry() { return registry_; }
+
+  // --- Data (edge data sharing) ----------------------------------------
+  /// Ingests a sensor reading.
+  void ingest(const std::string& sensor_id, double timestamp,
+              common::Json payload);
+  datastore::SensorStore& store() { return store_; }
+
+  // --- In-process API (same semantics as the REST routes) --------------
+  /// Runs the full Sec. III-E flow for an algorithm call without HTTP.
+  net::HttpResponse call(const std::string& method, const std::string& target,
+                         const std::string& body = "");
+
+  // --- Edge-edge model sharing (Sec. II-C) ------------------------------
+  /// Fetches a model from a peer edge node's libei (`GET /ei_models/{name}`
+  /// on 127.0.0.1:`peer_port`) and deploys it locally under the peer's
+  /// scenario/algorithm.  Throws NotFound when the peer lacks the model and
+  /// IoError when the peer is unreachable.
+  void fetch_model_from_peer(std::uint16_t peer_port, const std::string& name);
+
+  // --- RESTful API (libei over HTTP) -----------------------------------
+  /// Starts serving on 127.0.0.1 (port 0 = ephemeral); returns bound port.
+  std::uint16_t start_server(std::uint16_t port = 0);
+  void stop_server();
+  bool serving() const { return server_ != nullptr; }
+  std::uint16_t port() const;
+
+  const hwsim::DeviceProfile& device() const { return config_.device; }
+  const hwsim::PackageSpec& package() const { return config_.package; }
+
+ private:
+  EdgeNodeConfig config_;
+  runtime::ModelRegistry registry_;
+  datastore::SensorStore store_;
+  libei::EiService service_;
+  std::unique_ptr<net::HttpServer> server_;
+};
+
+}  // namespace openei::core

@@ -1,0 +1,49 @@
+#include "core/failover.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace openei::core {
+
+FailoverClient::FailoverClient(std::vector<std::uint16_t> ports)
+    : ports_(std::move(ports)) {
+  OPENEI_CHECK(!ports_.empty(), "failover client needs at least one replica");
+}
+
+template <typename Call>
+net::HttpResponse FailoverClient::with_failover(Call&& call) {
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt < ports_.size(); ++attempt) {
+    std::size_t replica = (active_ + attempt) % ports_.size();
+    try {
+      net::HttpResponse response = call(ports_[replica]);
+      if (replica != active_) {
+        common::log_info("failover: replica ", active_, " -> ", replica);
+        active_ = replica;
+        ++failovers_;
+      }
+      return response;
+    } catch (const IoError& e) {
+      last_error = e.what();
+    }
+  }
+  throw IoError("all " + std::to_string(ports_.size()) +
+                " replicas unreachable; last error: " + last_error);
+}
+
+net::HttpResponse FailoverClient::get(const std::string& target) {
+  return with_failover([&target](std::uint16_t port) {
+    net::HttpClient client(port);
+    return client.get(target);
+  });
+}
+
+net::HttpResponse FailoverClient::post(const std::string& target,
+                                       const std::string& body) {
+  return with_failover([&target, &body](std::uint16_t port) {
+    net::HttpClient client(port);
+    return client.post(target, body);
+  });
+}
+
+}  // namespace openei::core

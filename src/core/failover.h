@@ -1,0 +1,45 @@
+// Failover client — the availability story of paper Sec. IV-C: "the edge
+// operating system calls for high availability related to ... failure
+// avoidance."
+//
+// A caller addresses a replicated EI service (the same models deployed on a
+// primary and one or more backups).  Requests go to the current primary;
+// when it is unreachable the client fails over to the next replica and
+// sticks with it.  Only transport failures (IoError) trigger failover —
+// application errors (4xx/5xx) are the caller's business and would repeat
+// identically on a replica.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace openei::core {
+
+class FailoverClient {
+ public:
+  /// `ports` lists replica endpoints on 127.0.0.1, preference-ordered.
+  explicit FailoverClient(std::vector<std::uint16_t> ports);
+
+  /// GET with failover; throws IoError only when every replica is down.
+  net::HttpResponse get(const std::string& target);
+  /// POST with failover.
+  net::HttpResponse post(const std::string& target, const std::string& body);
+
+  /// Index of the replica currently serving (0 = most preferred).
+  std::size_t active_replica() const { return active_; }
+  /// Count of failovers performed so far.
+  std::size_t failover_count() const { return failovers_; }
+
+ private:
+  template <typename Call>
+  net::HttpResponse with_failover(Call&& call);
+
+  std::vector<std::uint16_t> ports_;
+  std::size_t active_ = 0;
+  std::size_t failovers_ = 0;
+};
+
+}  // namespace openei::core

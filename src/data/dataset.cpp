@@ -1,0 +1,95 @@
+#include "data/dataset.h"
+
+#include "common/error.h"
+
+namespace openei::data {
+
+Shape Dataset::sample_shape() const {
+  OPENEI_CHECK(features.shape().rank() >= 2, "dataset features need a batch dim");
+  std::vector<std::size_t> dims(features.shape().dims().begin() + 1,
+                                features.shape().dims().end());
+  return Shape(std::move(dims));
+}
+
+void Dataset::check() const {
+  OPENEI_CHECK(features.shape().rank() >= 2, "dataset features need a batch dim");
+  OPENEI_CHECK(features.shape().dim(0) == labels.size(), "feature rows ",
+               features.shape().dim(0), " != label count ", labels.size());
+  OPENEI_CHECK(classes > 0, "dataset with zero classes");
+  for (std::size_t label : labels) {
+    OPENEI_CHECK(label < classes, "label ", label, " out of range ", classes);
+  }
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  OPENEI_CHECK(begin < end && end <= size(), "bad dataset slice [", begin, ",", end,
+               ") of ", size());
+  std::size_t sample_elems = features.elements() / size();
+  std::vector<float> out_data(
+      features.data().begin() + static_cast<std::ptrdiff_t>(begin * sample_elems),
+      features.data().begin() + static_cast<std::ptrdiff_t>(end * sample_elems));
+  std::vector<std::size_t> dims = features.shape().dims();
+  dims[0] = end - begin;
+  Dataset out{Tensor(Shape(std::move(dims)), std::move(out_data)),
+              std::vector<std::size_t>(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       labels.begin() + static_cast<std::ptrdiff_t>(end)),
+              classes};
+  return out;
+}
+
+Dataset Dataset::select(const std::vector<std::size_t>& index) const {
+  OPENEI_CHECK(!index.empty(), "empty selection");
+  std::size_t sample_elems = features.elements() / size();
+  std::vector<std::size_t> dims = features.shape().dims();
+  dims[0] = index.size();
+  Tensor out_features{Shape(std::move(dims))};
+  std::vector<std::size_t> out_labels(index.size());
+  auto src = features.data();
+  auto dst = out_features.data();
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    std::size_t row = index[i];
+    OPENEI_CHECK(row < size(), "selection index ", row, " out of range ", size());
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      dst[i * sample_elems + j] = src[row * sample_elems + j];
+    }
+    out_labels[i] = labels[row];
+  }
+  return Dataset{std::move(out_features), std::move(out_labels), classes};
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& dataset,
+                                             double train_fraction,
+                                             common::Rng& rng) {
+  dataset.check();
+  OPENEI_CHECK(train_fraction > 0.0 && train_fraction < 1.0,
+               "train_fraction must be in (0, 1)");
+  auto perm = rng.permutation(dataset.size());
+  auto train_count = static_cast<std::size_t>(
+      static_cast<double>(dataset.size()) * train_fraction);
+  OPENEI_CHECK(train_count > 0 && train_count < dataset.size(),
+               "split produced an empty side");
+  std::vector<std::size_t> train_idx(perm.begin(),
+                                     perm.begin() + static_cast<std::ptrdiff_t>(train_count));
+  std::vector<std::size_t> test_idx(perm.begin() + static_cast<std::ptrdiff_t>(train_count),
+                                    perm.end());
+  return {dataset.select(train_idx), dataset.select(test_idx)};
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  OPENEI_CHECK(batch_size > 0, "zero batch size");
+  dataset.check();
+}
+
+std::size_t BatchIterator::batch_count() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Dataset BatchIterator::batch(std::size_t i) const {
+  OPENEI_CHECK(i < batch_count(), "batch index out of range");
+  std::size_t begin = i * batch_size_;
+  std::size_t end = std::min(begin + batch_size_, dataset_.size());
+  return dataset_.slice(begin, end);
+}
+
+}  // namespace openei::data

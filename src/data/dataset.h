@@ -1,0 +1,58 @@
+// In-memory labelled dataset plus batching utilities.
+//
+// Substitutes for the paper's external corpora (ImageNet, sensor streams,
+// KITTI): experiments need *relative* accuracy behaviour, which the seeded
+// synthetic generators in synthetic.h provide (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace openei::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Features are [N, ...sample] (rank 2 tabular/sequence or rank 4 NCHW);
+/// labels are class ids < `classes`.
+struct Dataset {
+  Tensor features;
+  std::vector<std::size_t> labels;
+  std::size_t classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  /// Per-sample shape (batch dim stripped).
+  Shape sample_shape() const;
+  /// Validates the invariants (N consistent, labels in range).
+  void check() const;
+
+  /// Extracts samples [begin, end).
+  Dataset slice(std::size_t begin, std::size_t end) const;
+  /// Reorders samples by `index`.
+  Dataset select(const std::vector<std::size_t>& index) const;
+};
+
+/// Shuffles and splits into (train, test); `train_fraction` in (0, 1).
+std::pair<Dataset, Dataset> train_test_split(const Dataset& dataset,
+                                             double train_fraction,
+                                             common::Rng& rng);
+
+/// Fixed-size mini-batch view sequence (last partial batch included).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::size_t batch_size);
+  /// Number of batches.
+  std::size_t batch_count() const;
+  /// Batch `i` as an owned sub-dataset.
+  Dataset batch(std::size_t i) const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+};
+
+}  // namespace openei::data

@@ -1,0 +1,49 @@
+#include "data/metrics.h"
+
+#include "common/error.h"
+
+namespace openei::data {
+
+double accuracy(const std::vector<std::size_t>& predictions,
+                const std::vector<std::size_t>& labels) {
+  OPENEI_CHECK(predictions.size() == labels.size() && !labels.empty(),
+               "accuracy input size mismatch");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<std::size_t>& predictions,
+    const std::vector<std::size_t>& labels, std::size_t classes) {
+  OPENEI_CHECK(predictions.size() == labels.size(), "confusion input size mismatch");
+  std::vector<std::vector<std::size_t>> matrix(classes,
+                                               std::vector<std::size_t>(classes, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    OPENEI_CHECK(labels[i] < classes && predictions[i] < classes,
+                 "class id out of range");
+    ++matrix[labels[i]][predictions[i]];
+  }
+  return matrix;
+}
+
+double mean_average_precision(const std::vector<std::size_t>& predictions,
+                              const std::vector<std::size_t>& labels,
+                              std::size_t classes) {
+  auto matrix = confusion_matrix(predictions, labels, classes);
+  double total = 0.0;
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    std::size_t predicted = 0;
+    for (std::size_t truth = 0; truth < classes; ++truth) {
+      predicted += matrix[truth][cls];
+    }
+    if (predicted > 0) {
+      total += static_cast<double>(matrix[cls][cls]) / static_cast<double>(predicted);
+    }
+  }
+  return total / static_cast<double>(classes);
+}
+
+}  // namespace openei::data

@@ -1,0 +1,25 @@
+// Evaluation metrics.  Accuracy is the paper's A in ALEM; mean per-class
+// precision stands in for the mAP metric the paper names for detection tasks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace openei::data {
+
+/// Fraction of matching entries.
+double accuracy(const std::vector<std::size_t>& predictions,
+                const std::vector<std::size_t>& labels);
+
+/// classes x classes matrix; entry [truth][prediction] counts occurrences.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<std::size_t>& predictions,
+    const std::vector<std::size_t>& labels, std::size_t classes);
+
+/// Mean over classes of per-class precision (mAP proxy for classification-
+/// framed detection).  Classes never predicted contribute 0.
+double mean_average_precision(const std::vector<std::size_t>& predictions,
+                              const std::vector<std::size_t>& labels,
+                              std::size_t classes);
+
+}  // namespace openei::data

@@ -1,0 +1,150 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace openei::data {
+
+Dataset make_blobs(std::size_t samples, std::size_t features, std::size_t classes,
+                   common::Rng& rng, float separation, float stddev) {
+  OPENEI_CHECK(samples > 0 && features > 0 && classes > 1, "bad blob parameters");
+
+  // Class centres: random directions scaled by `separation`.
+  std::vector<std::vector<float>> centres(classes, std::vector<float>(features));
+  for (auto& centre : centres) {
+    for (float& v : centre) v = rng.normal_float() * separation;
+  }
+
+  Tensor x(Shape{samples, features});
+  std::vector<std::size_t> labels(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::size_t cls = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    labels[i] = cls;
+    for (std::size_t f = 0; f < features; ++f) {
+      x.at2(i, f) = centres[cls][f] + rng.normal_float(0.0F, stddev);
+    }
+  }
+  return Dataset{std::move(x), std::move(labels), classes};
+}
+
+Dataset make_images(std::size_t samples, std::size_t channels, std::size_t size,
+                    std::size_t classes, common::Rng& rng, float noise) {
+  OPENEI_CHECK(samples > 0 && channels > 0 && size > 1 && classes > 1,
+               "bad image parameters");
+
+  // Per-class template: smooth random pattern (sum of a few 2-D sinusoids)
+  // so conv layers have structure to latch onto.
+  std::size_t pixels = channels * size * size;
+  std::vector<std::vector<float>> templates(classes, std::vector<float>(pixels));
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    float fx = rng.uniform_float(0.5F, 2.5F);
+    float fy = rng.uniform_float(0.5F, 2.5F);
+    float phase = rng.uniform_float(0.0F, 6.28F);
+    for (std::size_t c = 0; c < channels; ++c) {
+      float channel_gain = rng.uniform_float(0.5F, 1.5F);
+      for (std::size_t h = 0; h < size; ++h) {
+        for (std::size_t w = 0; w < size; ++w) {
+          float u = static_cast<float>(h) / static_cast<float>(size);
+          float v = static_cast<float>(w) / static_cast<float>(size);
+          templates[cls][(c * size + h) * size + w] =
+              channel_gain *
+              std::sin(6.28F * (fx * u + fy * v) + phase);
+        }
+      }
+    }
+  }
+
+  Tensor x(Shape{samples, channels, size, size});
+  std::vector<std::size_t> labels(samples);
+  auto data = x.data();
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::size_t cls = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    labels[i] = cls;
+    for (std::size_t p = 0; p < pixels; ++p) {
+      data[i * pixels + p] = templates[cls][p] + rng.normal_float(0.0F, noise);
+    }
+  }
+  return Dataset{std::move(x), std::move(labels), classes};
+}
+
+Dataset make_sequences(std::size_t samples, std::size_t steps, std::size_t dims,
+                       std::size_t classes, common::Rng& rng, float noise) {
+  OPENEI_CHECK(samples > 0 && steps > 1 && dims > 0 && classes > 1,
+               "bad sequence parameters");
+
+  // Class signatures: per-dimension frequency and phase.
+  std::vector<std::vector<float>> freq(classes, std::vector<float>(dims));
+  std::vector<std::vector<float>> phase(classes, std::vector<float>(dims));
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      freq[cls][d] = rng.uniform_float(0.5F, 4.0F);
+      phase[cls][d] = rng.uniform_float(0.0F, 6.28F);
+    }
+  }
+
+  Tensor x(Shape{samples, steps * dims});
+  std::vector<std::size_t> labels(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::size_t cls = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+    labels[i] = cls;
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        float time = static_cast<float>(t) / static_cast<float>(steps);
+        x.at2(i, t * dims + d) =
+            std::sin(6.28F * freq[cls][d] * time + phase[cls][d]) +
+            rng.normal_float(0.0F, noise);
+      }
+    }
+  }
+  return Dataset{std::move(x), std::move(labels), classes};
+}
+
+Dataset apply_drift(const Dataset& dataset, common::Rng& drift_rng,
+                    float magnitude) {
+  dataset.check();
+  std::size_t sample_elems = dataset.features.elements() / dataset.size();
+  auto src = dataset.features.data();
+
+  // Per-class centroids of the original data.
+  std::vector<std::vector<double>> centroid(dataset.classes,
+                                            std::vector<double>(sample_elems, 0.0));
+  std::vector<std::size_t> counts(dataset.classes, 0);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      centroid[dataset.labels[i]][j] += src[i * sample_elems + j];
+    }
+    ++counts[dataset.labels[i]];
+  }
+  for (std::size_t c = 0; c < dataset.classes; ++c) {
+    OPENEI_CHECK(counts[c] > 0, "class ", c, " has no samples to drift");
+    for (double& v : centroid[c]) v /= static_cast<double>(counts[c]);
+  }
+
+  // Drift vector per class: toward the next class's centroid + small jitter.
+  std::vector<std::vector<float>> offsets(dataset.classes,
+                                          std::vector<float>(sample_elems));
+  for (std::size_t c = 0; c < dataset.classes; ++c) {
+    std::size_t next = (c + 1) % dataset.classes;
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      offsets[c][j] =
+          magnitude * static_cast<float>(centroid[next][j] - centroid[c][j]) +
+          drift_rng.normal_float(0.0F, 0.05F * magnitude);
+    }
+  }
+
+  Dataset out = dataset;
+  auto data = out.features.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto& offset = offsets[out.labels[i]];
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      data[i * sample_elems + j] += offset[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace openei::data

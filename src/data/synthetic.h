@@ -1,0 +1,43 @@
+// Deterministic synthetic dataset generators.
+//
+// Each generator substitutes for a data source the paper assumes (DESIGN.md):
+//   make_blobs      — tabular sensor features (smart-home power, health vitals)
+//   make_images     — camera frames with per-class spatial patterns (VAPS,
+//                     object detection proxies)
+//   make_sequences  — HAR-style time-series (wearables, activity recognition)
+// Every generator is fully determined by its Rng, so experiments reproduce
+// exactly.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace openei::data {
+
+/// Gaussian blobs: `classes` cluster centres in `features` dimensions with
+/// per-class unit-ball centres scaled by `separation` and noise `stddev`.
+Dataset make_blobs(std::size_t samples, std::size_t features, std::size_t classes,
+                   common::Rng& rng, float separation = 3.0F, float stddev = 1.0F);
+
+/// Synthetic images, NCHW: each class has a fixed random spatial template;
+/// samples are template + Gaussian pixel noise.  Harder classes overlap more
+/// as `noise` grows.
+Dataset make_images(std::size_t samples, std::size_t channels, std::size_t size,
+                    std::size_t classes, common::Rng& rng, float noise = 0.35F);
+
+/// HAR-style sequences flattened to [N, steps * dims]: each class is a
+/// sinusoid with class-specific frequency/phase per dimension plus noise.
+Dataset make_sequences(std::size_t samples, std::size_t steps, std::size_t dims,
+                       std::size_t classes, common::Rng& rng, float noise = 0.25F);
+
+/// Applies confusable covariate drift: each class's samples are shifted
+/// `magnitude` of the way toward the *next* class's centroid (cyclically),
+/// plus small per-class random jitter.  At magnitude 1 every class sits on
+/// its neighbour's old position, so a general model systematically
+/// misclassifies — while classes remain mutually separated, so local head
+/// retraining can recover.  Models the "data generated on the edge" whose
+/// distribution differs from the cloud training set — the motivation for
+/// dataflow 3 local retraining (paper Fig. 3).
+Dataset apply_drift(const Dataset& dataset, common::Rng& drift_rng,
+                    float magnitude = 1.0F);
+
+}  // namespace openei::data

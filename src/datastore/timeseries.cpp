@@ -1,0 +1,112 @@
+#include "datastore/timeseries.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace openei::datastore {
+
+SensorStore::SensorStore(std::size_t capacity_per_sensor)
+    : capacity_(capacity_per_sensor) {
+  OPENEI_CHECK(capacity_ > 0, "zero sensor capacity");
+}
+
+void SensorStore::register_sensor(const std::string& sensor_id) {
+  OPENEI_CHECK(!sensor_id.empty(), "empty sensor id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.try_emplace(sensor_id);
+}
+
+void SensorStore::append(const std::string& sensor_id, Record record) {
+  OPENEI_CHECK(!sensor_id.empty(), "empty sensor id");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& ring = rings_[sensor_id];
+  if (!ring.empty()) {
+    OPENEI_CHECK(record.timestamp >= ring.back().timestamp,
+                 "out-of-order append to sensor '", sensor_id, "': ",
+                 record.timestamp, " < ", ring.back().timestamp);
+  }
+  ring.push_back(std::move(record));
+  if (ring.size() > capacity_) ring.pop_front();
+}
+
+const std::deque<Record>& SensorStore::ring_of(const std::string& sensor_id) const {
+  auto it = rings_.find(sensor_id);
+  if (it == rings_.end()) {
+    throw NotFound("unknown sensor '" + sensor_id + "'");
+  }
+  return it->second;
+}
+
+std::optional<Record> SensorStore::realtime(const std::string& sensor_id,
+                                            double timestamp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& ring = ring_of(sensor_id);
+  // Earliest record with t >= timestamp (records are time-sorted).
+  auto it = std::lower_bound(ring.begin(), ring.end(), timestamp,
+                             [](const Record& record, double t) {
+                               return record.timestamp < t;
+                             });
+  if (it == ring.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<Record> SensorStore::latest(const std::string& sensor_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& ring = ring_of(sensor_id);
+  if (ring.empty()) return std::nullopt;
+  return ring.back();
+}
+
+std::vector<Record> SensorStore::history(const std::string& sensor_id, double start,
+                                         double end) const {
+  OPENEI_CHECK(start <= end, "history range reversed: ", start, " > ", end);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& ring = ring_of(sensor_id);
+  std::vector<Record> out;
+  for (const Record& record : ring) {
+    if (record.timestamp >= start && record.timestamp <= end) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+SensorStore::Stats SensorStore::stats(const std::string& sensor_id, double start,
+                                      double end) const {
+  std::vector<Record> records = history(sensor_id, start, end);
+  Stats out;
+  out.count = records.size();
+  if (records.empty()) return out;
+
+  double sum = 0.0;
+  out.min = records.front().payload.as_number();
+  out.max = out.min;
+  for (const Record& record : records) {
+    double value = record.payload.as_number();  // throws on non-numeric
+    sum += value;
+    out.min = std::min(out.min, value);
+    out.max = std::max(out.max, value);
+  }
+  out.mean = sum / static_cast<double>(records.size());
+  double span = records.back().timestamp - records.front().timestamp;
+  if (records.size() >= 2 && span > 0.0) {
+    out.rate_hz = static_cast<double>(records.size() - 1) / span;
+  }
+  return out;
+}
+
+std::vector<std::string> SensorStore::sensors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [id, ring] : rings_) out.push_back(id);
+  return out;
+}
+
+std::size_t SensorStore::size(const std::string& sensor_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_of(sensor_id).size();
+}
+
+}  // namespace openei::datastore

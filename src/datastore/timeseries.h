@@ -1,0 +1,80 @@
+// Edge data store: per-sensor time-series storage behind libei's
+// /ei_data/{realtime|history}/{sensor_id} resources (paper Fig. 6).
+//
+// "Realtime" queries return the freshest record(s) at or after a timestamp;
+// "history" queries return a [start, end] range.  Each sensor keeps a
+// bounded ring of records — edge devices cannot store unbounded video.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace openei::datastore {
+
+struct Record {
+  double timestamp = 0.0;
+  common::Json payload;  // sensor reading: scalar, vector, or frame features
+};
+
+class SensorStore {
+ public:
+  /// `capacity_per_sensor` bounds each sensor's ring buffer.
+  explicit SensorStore(std::size_t capacity_per_sensor = 4096);
+
+  /// Registers a sensor id; appending to an unregistered sensor auto-
+  /// registers it, so this is mainly for declaring sensors up front.
+  void register_sensor(const std::string& sensor_id);
+
+  /// Appends a record; timestamps must be non-decreasing per sensor
+  /// (out-of-order appends throw InvalidArgument).
+  void append(const std::string& sensor_id, Record record);
+
+  /// Most recent record at or after `timestamp` (the Fig. 6 realtime call:
+  /// "get the video data from camera1 by timestamp").  For a timestamp in
+  /// the past this is the earliest record >= timestamp; nullopt when the
+  /// sensor has nothing that recent.
+  std::optional<Record> realtime(const std::string& sensor_id,
+                                 double timestamp) const;
+
+  /// Latest record regardless of time; nullopt when empty.
+  std::optional<Record> latest(const std::string& sensor_id) const;
+
+  /// All records with start <= t <= end, in time order.
+  std::vector<Record> history(const std::string& sensor_id, double start,
+                              double end) const;
+
+  /// Aggregate statistics over numeric payloads in [start, end] — the edge
+  /// data-analysis primitive behind /ei_data/stats (dashboards poll a
+  /// summary instead of pulling raw history over the network).
+  struct Stats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Records per second across the covered span (0 when count < 2).
+    double rate_hz = 0.0;
+  };
+  /// Throws InvalidArgument when a covered payload is not a number.
+  Stats stats(const std::string& sensor_id, double start, double end) const;
+
+  /// Registered sensor ids (sorted).
+  std::vector<std::string> sensors() const;
+
+  /// Record count for one sensor; throws NotFound for unknown sensors.
+  std::size_t size(const std::string& sensor_id) const;
+
+ private:
+  const std::deque<Record>& ring_of(const std::string& sensor_id) const;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::deque<Record>> rings_;
+};
+
+}  // namespace openei::datastore

@@ -1,0 +1,204 @@
+#include "eialg/bonsai.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace openei::eialg {
+
+struct BonsaiTree::Node {
+  bool leaf = true;
+  std::size_t feature = 0;
+  float threshold = 0.0F;
+  std::size_t majority = 0;  // leaf prediction
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  std::size_t count() const {
+    if (leaf) return 1;
+    return 1 + left->count() + right->count();
+  }
+  std::size_t depth() const {
+    if (leaf) return 1;
+    return 1 + std::max(left->depth(), right->depth());
+  }
+};
+
+BonsaiTree::BonsaiTree(BonsaiOptions options) : options_(options) {
+  OPENEI_CHECK(options.projection_dim > 0, "zero projection dim");
+  OPENEI_CHECK(options.max_depth > 0, "zero tree depth");
+  OPENEI_CHECK(options.threshold_candidates > 0, "zero threshold candidates");
+}
+
+BonsaiTree::~BonsaiTree() = default;
+BonsaiTree::BonsaiTree(BonsaiTree&&) noexcept = default;
+BonsaiTree& BonsaiTree::operator=(BonsaiTree&&) noexcept = default;
+
+Tensor BonsaiTree::project(const Tensor& features) const {
+  OPENEI_CHECK(projection_.elements() > 0, "predict before fit");
+  OPENEI_CHECK(features.shape().rank() == 2 &&
+                   features.shape().dim(1) == input_dim_,
+               "bonsai feature width mismatch");
+  return tensor::matmul(features, projection_);
+}
+
+namespace {
+
+double entropy(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<BonsaiTree::Node> BonsaiTree::grow(
+    const Tensor& projected, const std::vector<std::size_t>& labels,
+    const std::vector<std::size_t>& rows, std::size_t depth_left,
+    common::Rng& rng) {
+  auto node = std::make_unique<Node>();
+
+  // Majority label of this node's samples.
+  std::vector<std::size_t> counts(classes_, 0);
+  for (std::size_t row : rows) ++counts[labels[row]];
+  node->majority = static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+  bool pure = counts[node->majority] == rows.size();
+  if (depth_left == 0 || rows.size() < options_.min_split || pure) {
+    return node;
+  }
+
+  // Greedy best split over projected features x quantile thresholds.
+  double parent_entropy = entropy(counts, rows.size());
+  double best_gain = 1e-9;
+  std::size_t best_feature = 0;
+  float best_threshold = 0.0F;
+
+  std::size_t dims = projected.shape().dim(1);
+  std::vector<float> column(rows.size());
+  for (std::size_t f = 0; f < dims; ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      column[i] = projected.at2(rows[i], f);
+    }
+    std::vector<float> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t t = 0; t < options_.threshold_candidates; ++t) {
+      std::size_t idx = ((t + 1) * sorted.size()) / (options_.threshold_candidates + 1);
+      if (idx >= sorted.size()) idx = sorted.size() - 1;
+      float threshold = sorted[idx];
+
+      std::vector<std::size_t> left_counts(classes_, 0);
+      std::vector<std::size_t> right_counts(classes_, 0);
+      std::size_t left_total = 0;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (column[i] <= threshold) {
+          ++left_counts[labels[rows[i]]];
+          ++left_total;
+        } else {
+          ++right_counts[labels[rows[i]]];
+        }
+      }
+      std::size_t right_total = rows.size() - left_total;
+      if (left_total == 0 || right_total == 0) continue;
+
+      double child_entropy =
+          (static_cast<double>(left_total) * entropy(left_counts, left_total) +
+           static_cast<double>(right_total) * entropy(right_counts, right_total)) /
+          static_cast<double>(rows.size());
+      double gain = parent_entropy - child_entropy;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_gain <= 1e-9) return node;  // no useful split found
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t row : rows) {
+    if (projected.at2(row, best_feature) <= best_threshold) {
+      left_rows.push_back(row);
+    } else {
+      right_rows.push_back(row);
+    }
+  }
+
+  node->leaf = false;
+  node->feature = best_feature;
+  node->threshold = best_threshold;
+  node->left = grow(projected, labels, left_rows, depth_left - 1, rng);
+  node->right = grow(projected, labels, right_rows, depth_left - 1, rng);
+  return node;
+}
+
+void BonsaiTree::fit(const data::Dataset& train) {
+  train.check();
+  OPENEI_CHECK(train.features.shape().rank() == 2,
+               "bonsai expects flat [N, D] features");
+  classes_ = train.classes;
+  input_dim_ = train.features.shape().dim(1);
+
+  // Sparse random projection: each entry is ±1/sqrt(d) with prob 1/3 each,
+  // else 0 (Achlioptas) — kept dense in memory, but size accounting uses the
+  // nonzero count as Bonsai's sparse-projection storage would.
+  common::Rng rng(options_.seed);
+  projection_ = Tensor(tensor::Shape{input_dim_, options_.projection_dim});
+  float scale = 1.0F / std::sqrt(static_cast<float>(options_.projection_dim));
+  for (std::size_t i = 0; i < projection_.elements(); ++i) {
+    double u = rng.uniform();
+    projection_[i] = u < 1.0 / 3.0 ? scale : (u < 2.0 / 3.0 ? -scale : 0.0F);
+  }
+
+  Tensor projected = tensor::matmul(train.features, projection_);
+  std::vector<std::size_t> all_rows(train.size());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  root_ = grow(projected, train.labels, all_rows, options_.max_depth, rng);
+}
+
+std::vector<std::size_t> BonsaiTree::predict(const Tensor& features) const {
+  OPENEI_CHECK(root_ != nullptr, "predict before fit");
+  Tensor projected = project(features);
+  std::size_t n = projected.shape().dim(0);
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node* node = root_.get();
+    while (!node->leaf) {
+      node = projected.at2(i, node->feature) <= node->threshold
+                 ? node->left.get()
+                 : node->right.get();
+    }
+    out[i] = node->majority;
+  }
+  return out;
+}
+
+std::size_t BonsaiTree::model_size_bytes() const {
+  if (root_ == nullptr) return 0;
+  // Sparse projection: ~2/3 of entries are nonzero -> value+index per nnz.
+  std::size_t nnz = projection_.elements() - projection_.count_near_zero();
+  std::size_t projection_bytes = nnz * (sizeof(float) + sizeof(std::uint16_t));
+  // Node: feature id (2B) + threshold (4B) + majority (2B).
+  return projection_bytes + root_->count() * 8;
+}
+
+std::size_t BonsaiTree::flops_per_sample() const {
+  std::size_t projection_flops = 2 * input_dim_ * options_.projection_dim;
+  return projection_flops + (root_ ? root_->depth() : 0);
+}
+
+std::size_t BonsaiTree::node_count() const {
+  return root_ ? root_->count() : 0;
+}
+
+std::size_t BonsaiTree::depth() const { return root_ ? root_->depth() : 0; }
+
+}  // namespace openei::eialg

@@ -1,0 +1,59 @@
+// Bonsai-style projected decision tree (Kumar et al. [40]).
+//
+// The defining Bonsai ideas kept here: (1) learn in a low-dimensional
+// projected space so the model fits in kilobytes, (2) a single shallow tree
+// whose path computation is cheap enough for MCU-class devices.  The tree is
+// grown greedily by information gain on the projected features (CART-style),
+// which keeps training gradient-free and fast on-device.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "eialg/classifier.h"
+
+namespace openei::eialg {
+
+struct BonsaiOptions {
+  std::size_t projection_dim = 8;
+  std::size_t max_depth = 4;
+  /// Minimum samples to split a node further.
+  std::size_t min_split = 8;
+  /// Candidate thresholds examined per feature (quantiles).
+  std::size_t threshold_candidates = 8;
+  std::uint64_t seed = 1;
+};
+
+class BonsaiTree final : public EiClassifier {
+ public:
+  explicit BonsaiTree(BonsaiOptions options);
+  ~BonsaiTree() override;
+  BonsaiTree(BonsaiTree&&) noexcept;
+  BonsaiTree& operator=(BonsaiTree&&) noexcept;
+
+  std::string name() const override { return "bonsai_tree"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& features) const override;
+  std::size_t model_size_bytes() const override;
+  std::size_t flops_per_sample() const override;
+
+  /// Node count of the grown tree (0 before fit).
+  std::size_t node_count() const;
+  std::size_t depth() const;
+
+ private:
+  struct Node;
+  Tensor project(const Tensor& features) const;
+  std::unique_ptr<Node> grow(const Tensor& projected,
+                             const std::vector<std::size_t>& labels,
+                             const std::vector<std::size_t>& rows,
+                             std::size_t depth_left, common::Rng& rng);
+
+  BonsaiOptions options_;
+  Tensor projection_;  // [D, d]
+  std::unique_ptr<Node> root_;
+  std::size_t classes_ = 0;
+  std::size_t input_dim_ = 0;
+};
+
+}  // namespace openei::eialg

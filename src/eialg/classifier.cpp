@@ -1,0 +1,12 @@
+#include "eialg/classifier.h"
+
+#include "data/metrics.h"
+
+namespace openei::eialg {
+
+double evaluate(const EiClassifier& classifier, const data::Dataset& test) {
+  test.check();
+  return data::accuracy(classifier.predict(test.features), test.labels);
+}
+
+}  // namespace openei::eialg

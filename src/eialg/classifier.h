@@ -1,0 +1,41 @@
+// Common interface for the EI algorithms of paper Sec. IV-A2 — models
+// "designed for the resource-constrained edges directly" (Bonsai, ProtoNN,
+// FastGRNN).  Unlike nn::Model they are not layer graphs; the interface
+// exposes exactly what the E9 bench compares: accuracy, model size, FLOPs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace openei::eialg {
+
+using tensor::Tensor;
+
+class EiClassifier {
+ public:
+  virtual ~EiClassifier() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains on the dataset (must be called before predict).
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Class predictions for feature rows [N, D].
+  virtual std::vector<std::size_t> predict(const Tensor& features) const = 0;
+
+  /// Serialized model footprint in bytes (the headline constraint: ProtoNN
+  /// targets "an Arduino UNO with 2kB RAM").
+  virtual std::size_t model_size_bytes() const = 0;
+
+  /// FLOPs for one prediction.
+  virtual std::size_t flops_per_sample() const = 0;
+};
+
+/// Test accuracy of a fitted classifier.
+double evaluate(const EiClassifier& classifier, const data::Dataset& test);
+
+}  // namespace openei::eialg

@@ -1,0 +1,77 @@
+// Compact gated RNN in the FastGRNN mould (Kusupati et al. [43]).
+//
+// FastGRNN's core trick: the gate and the candidate share the SAME weight
+// matrices (W, U), halving parameters versus a GRU:
+//   z_t = sigmoid(W x_t + U h_{t-1} + b_z)
+//   c_t = tanh   (W x_t + U h_{t-1} + b_c)
+//   h_t = (zeta * (1 - z_t) + nu) .* c_t + z_t .* h_{t-1}
+// Classification reads out a dense layer on h_T.  Trained with full BPTT.
+#pragma once
+
+#include "common/rng.h"
+#include "eialg/classifier.h"
+
+namespace openei::eialg {
+
+struct FastGrnnOptions {
+  std::size_t steps = 16;       // sequence length
+  std::size_t input_dims = 3;   // features per step
+  std::size_t hidden = 16;
+  float zeta = 1.0F;            // candidate scale (fixed, per FastGRNN-LSQ)
+  float nu = 0.0F;              // candidate offset
+  std::size_t epochs = 10;
+  std::size_t batch_size = 16;
+  float learning_rate = 0.05F;
+  std::uint64_t seed = 3;
+  /// EMI-style auxiliary supervision weight: when > 0, the readout is also
+  /// trained on intermediate hidden states (steps >= steps/2) with this
+  /// loss weight, making predict_early()'s intermediate decisions reliable.
+  float early_exit_supervision = 0.0F;
+};
+
+/// Consumes flattened sequences [N, steps * input_dims] (the layout
+/// data::make_sequences produces).
+class FastGrnn final : public EiClassifier {
+ public:
+  explicit FastGrnn(FastGrnnOptions options);
+
+  std::string name() const override { return "fastgrnn"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& features) const override;
+  std::size_t model_size_bytes() const override;
+  std::size_t flops_per_sample() const override;
+
+  std::size_t param_count() const;
+
+  /// EMI-RNN-style early exit (Dennis et al. [42], paper Sec. IV-A2):
+  /// the readout is applied after every step from `min_steps` on; a sequence
+  /// stops as soon as the max softmax probability reaches
+  /// `confidence_threshold`, saving the remaining steps' computation ("72x
+  /// less computation than an LSTM").  The floor exists because the readout
+  /// is trained on late hidden states — very early states are untrustworthy.
+  /// min_steps == 0 defaults to steps/2.
+  struct EarlyResult {
+    std::vector<std::size_t> predictions;
+    /// Mean fraction of steps actually computed (1.0 = no early exit).
+    double mean_steps_fraction = 1.0;
+  };
+  EarlyResult predict_early(const Tensor& features, float confidence_threshold,
+                            std::size_t min_steps = 0) const;
+
+ private:
+  /// Final hidden state [N, H] for a batch of flattened sequences; when
+  /// caches are supplied, stores per-step values for BPTT.
+  struct StepCache;
+  Tensor run(const Tensor& features, std::vector<StepCache>* caches) const;
+
+  FastGrnnOptions options_;
+  std::size_t classes_ = 0;
+  Tensor w_;        // [D, H] shared input weights
+  Tensor u_;        // [H, H] shared recurrent weights
+  Tensor b_z_;      // [H]
+  Tensor b_c_;      // [H]
+  Tensor readout_;  // [H, classes]
+  Tensor readout_bias_;  // [classes]
+};
+
+}  // namespace openei::eialg

@@ -1,0 +1,209 @@
+#include "eialg/protonn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace openei::eialg {
+
+ProtoNn::ProtoNn(ProtoNnOptions options) : options_(options) {
+  OPENEI_CHECK(options.projection_dim > 0, "zero projection dim");
+  OPENEI_CHECK(options.prototypes_per_class > 0, "zero prototypes per class");
+  OPENEI_CHECK(options.gamma > 0.0F, "non-positive gamma");
+}
+
+namespace {
+
+/// Plain multi-dimensional Lloyd k-means for prototype initialization.
+std::vector<std::vector<float>> kmeans_rows(const Tensor& rows,
+                                            const std::vector<std::size_t>& subset,
+                                            std::size_t k, common::Rng& rng) {
+  std::size_t dims = rows.shape().dim(1);
+  k = std::min(k, subset.size());
+  std::vector<std::vector<float>> centroids(k, std::vector<float>(dims));
+  // Init with k distinct random members.
+  std::vector<std::size_t> pick = subset;
+  rng.shuffle(pick);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t d = 0; d < dims; ++d) centroids[j][d] = rows.at2(pick[j], d);
+  }
+
+  std::vector<std::size_t> assignment(subset.size(), 0);
+  for (int iter = 0; iter < 25; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      double best = 1e30;
+      std::size_t arg = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) {
+          double delta = rows.at2(subset[i], d) - centroids[j][d];
+          dist += delta * delta;
+        }
+        if (dist < best) {
+          best = dist;
+          arg = j;
+        }
+      }
+      if (assignment[i] != arg) {
+        assignment[i] = arg;
+        changed = true;
+      }
+    }
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        sums[assignment[i]][d] += rows.at2(subset[i], d);
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) continue;
+      for (std::size_t d = 0; d < dims; ++d) {
+        centroids[j][d] =
+            static_cast<float>(sums[j][d] / static_cast<double>(counts[j]));
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  return centroids;
+}
+
+}  // namespace
+
+void ProtoNn::fit(const data::Dataset& train) {
+  train.check();
+  OPENEI_CHECK(train.features.shape().rank() == 2,
+               "protonn expects flat [N, D] features");
+  classes_ = train.classes;
+  input_dim_ = train.features.shape().dim(1);
+
+  common::Rng rng(options_.seed);
+  float scale = 1.0F / std::sqrt(static_cast<float>(options_.projection_dim));
+  projection_ = Tensor::random_uniform(
+      tensor::Shape{input_dim_, options_.projection_dim}, rng, -scale, scale);
+
+  Tensor projected = tensor::matmul(train.features, projection_);
+
+  // Per-class k-means prototypes.
+  std::vector<std::vector<float>> prototype_rows;
+  prototype_labels_.clear();
+  for (std::size_t cls = 0; cls < classes_; ++cls) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      if (train.labels[i] == cls) members.push_back(i);
+    }
+    OPENEI_CHECK(!members.empty(), "class ", cls, " has no training samples");
+    auto centroids =
+        kmeans_rows(projected, members, options_.prototypes_per_class, rng);
+    for (auto& centroid : centroids) {
+      prototype_rows.push_back(std::move(centroid));
+      prototype_labels_.push_back(cls);
+    }
+  }
+  std::size_t m = prototype_rows.size();
+  prototypes_ = Tensor(tensor::Shape{m, options_.projection_dim});
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t d = 0; d < options_.projection_dim; ++d) {
+      prototypes_.at2(j, d) = prototype_rows[j][d];
+    }
+  }
+
+  // SGD refinement of prototype positions on softmax cross-entropy.
+  float gamma_sq = options_.gamma * options_.gamma;
+  for (std::size_t epoch = 0; epoch < options_.refine_epochs; ++epoch) {
+    auto perm = rng.permutation(train.size());
+    for (std::size_t idx : perm) {
+      // Similarities s_j = exp(-gamma^2 ||p - B_j||^2).
+      std::vector<float> sim(m);
+      std::vector<float> scores(classes_, 0.0F);
+      for (std::size_t j = 0; j < m; ++j) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < options_.projection_dim; ++d) {
+          double delta = projected.at2(idx, d) - prototypes_.at2(j, d);
+          dist += delta * delta;
+        }
+        sim[j] = std::exp(-gamma_sq * static_cast<float>(dist));
+        scores[prototype_labels_[j]] += sim[j];
+      }
+      // Softmax CE gradient on scores.
+      float max_score = *std::max_element(scores.begin(), scores.end());
+      double denom = 0.0;
+      std::vector<float> probs(classes_);
+      for (std::size_t c = 0; c < classes_; ++c) {
+        probs[c] = std::exp(scores[c] - max_score);
+        denom += probs[c];
+      }
+      for (std::size_t c = 0; c < classes_; ++c) {
+        probs[c] = static_cast<float>(probs[c] / denom);
+      }
+      // dL/dscore_c = p_c - 1[c == y];  dscore_c/dB_j = 1[label_j == c] *
+      // s_j * 2 gamma^2 (p - B_j).
+      for (std::size_t j = 0; j < m; ++j) {
+        float dscore =
+            probs[prototype_labels_[j]] -
+            (prototype_labels_[j] == train.labels[idx] ? 1.0F : 0.0F);
+        float coeff =
+            -options_.learning_rate * dscore * sim[j] * 2.0F * gamma_sq;
+        for (std::size_t d = 0; d < options_.projection_dim; ++d) {
+          prototypes_.at2(j, d) +=
+              coeff * (projected.at2(idx, d) - prototypes_.at2(j, d));
+        }
+      }
+    }
+  }
+}
+
+Tensor ProtoNn::score(const Tensor& projected) const {
+  std::size_t n = projected.shape().dim(0);
+  std::size_t m = prototype_labels_.size();
+  float gamma_sq = options_.gamma * options_.gamma;
+  Tensor scores(tensor::Shape{n, classes_});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double dist = 0.0;
+      for (std::size_t d = 0; d < options_.projection_dim; ++d) {
+        double delta = projected.at2(i, d) - prototypes_.at2(j, d);
+        dist += delta * delta;
+      }
+      scores.at2(i, prototype_labels_[j]) +=
+          std::exp(-gamma_sq * static_cast<float>(dist));
+    }
+  }
+  return scores;
+}
+
+std::vector<std::size_t> ProtoNn::predict(const Tensor& features) const {
+  OPENEI_CHECK(!prototype_labels_.empty(), "predict before fit");
+  OPENEI_CHECK(features.shape().rank() == 2 &&
+                   features.shape().dim(1) == input_dim_,
+               "protonn feature width mismatch");
+  Tensor scores = score(tensor::matmul(features, projection_));
+  std::size_t n = scores.shape().dim(0);
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes_; ++c) {
+      if (scores.at2(i, c) > scores.at2(i, best)) best = c;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+std::size_t ProtoNn::model_size_bytes() const {
+  // Projection + prototypes + one label byte per prototype.
+  return projection_.size_bytes() + prototypes_.size_bytes() +
+         prototype_labels_.size();
+}
+
+std::size_t ProtoNn::flops_per_sample() const {
+  std::size_t projection_flops = 2 * input_dim_ * options_.projection_dim;
+  std::size_t similarity_flops =
+      prototype_labels_.size() * 3 * options_.projection_dim;
+  return projection_flops + similarity_flops;
+}
+
+}  // namespace openei::eialg

@@ -1,0 +1,50 @@
+// ProtoNN-style prototype classifier (Gupta et al. [41]).
+//
+// Learns a low-dimensional projection W and a small set of labelled
+// prototypes B; prediction scores class c as
+//   score_c(x) = sum_j Z_jc * exp(-gamma^2 ||W x - B_j||^2)
+// Prototypes are initialized with per-class k-means in the projected space
+// and refined by SGD on softmax cross-entropy — compressed, kNN-flavoured
+// inference that fits kilobyte budgets.
+#pragma once
+
+#include "common/rng.h"
+#include "eialg/classifier.h"
+
+namespace openei::eialg {
+
+struct ProtoNnOptions {
+  std::size_t projection_dim = 8;
+  std::size_t prototypes_per_class = 3;
+  float gamma = 1.0F;
+  /// SGD refinement passes over the training set (0 = k-means init only).
+  std::size_t refine_epochs = 5;
+  float learning_rate = 0.1F;
+  std::uint64_t seed = 2;
+};
+
+class ProtoNn final : public EiClassifier {
+ public:
+  explicit ProtoNn(ProtoNnOptions options);
+
+  std::string name() const override { return "protonn"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<std::size_t> predict(const Tensor& features) const override;
+  std::size_t model_size_bytes() const override;
+  std::size_t flops_per_sample() const override;
+
+  std::size_t prototype_count() const { return prototype_labels_.size(); }
+
+ private:
+  /// Scores [N, classes] for projected rows.
+  Tensor score(const Tensor& projected) const;
+
+  ProtoNnOptions options_;
+  Tensor projection_;  // [D, d]
+  Tensor prototypes_;  // [m, d]
+  std::vector<std::size_t> prototype_labels_;
+  std::size_t classes_ = 0;
+  std::size_t input_dim_ = 0;
+};
+
+}  // namespace openei::eialg

@@ -1,0 +1,144 @@
+#include "hwsim/cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "nn/dense.h"
+
+namespace openei::hwsim {
+
+namespace {
+
+/// Fraction of weight-tensor entries that are (near) zero — what an
+/// EIE-style sparse engine can skip.  Biases/batchnorm vectors excluded.
+double model_zero_fraction(const nn::Model& model) {
+  std::size_t zeros = 0;
+  std::size_t total = 0;
+  auto& mutable_model = const_cast<nn::Model&>(model);
+  for (nn::Tensor* p : mutable_model.parameters()) {
+    if (p->shape().rank() < 2 || p->elements() < 16) continue;
+    zeros += p->count_near_zero();
+    total += p->elements();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+/// Fraction of the model's parameters living in int8-quantized layers.
+double model_int8_fraction(const nn::Model& model) {
+  std::size_t int8_params = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    auto& layer = const_cast<nn::Layer&>(model.layer(i));
+    std::size_t count = layer.param_count();
+    total += count;
+    if (dynamic_cast<const nn::QuantizedDense*>(&model.layer(i)) != nullptr) {
+      // QuantizedDense exposes no float parameters; count its weights.
+      const auto& qd = dynamic_cast<const nn::QuantizedDense&>(model.layer(i));
+      std::size_t qcount = qd.quantized_weights().shape().elements();
+      int8_params += qcount;
+      total += qcount;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(int8_params) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+std::size_t peak_activation_bytes(const nn::Model& model) {
+  std::size_t peak = model.input_shape().elements();
+  std::size_t previous = model.input_shape().elements();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    std::size_t next = model.shape_after(i + 1).elements();
+    peak = std::max(peak, previous + next);
+    previous = next;
+  }
+  return peak * sizeof(float);
+}
+
+InferenceCost estimate_inference(const nn::Model& model, const PackageSpec& package,
+                                 const DeviceProfile& device) {
+  OPENEI_CHECK(device.effective_gflops > 0.0 && device.memory_bandwidth_gbps > 0.0,
+               "degenerate device profile '", device.name, "'");
+
+  auto flops = static_cast<double>(model.flops_per_sample());
+  double weight_bytes = static_cast<double>(model.storage_bytes());
+  double activation_bytes = static_cast<double>(peak_activation_bytes(model));
+
+  // Accelerator traits (Sec. IV-D): sparse engines skip zero MACs and read
+  // compressed weights; int8 datapaths raise throughput for quantized layers.
+  if (device.sparse_mac_skip > 0.0) {
+    double zero_fraction = model_zero_fraction(model);
+    double skipped = device.sparse_mac_skip * zero_fraction;
+    flops *= 1.0 - skipped;
+    weight_bytes *= 1.0 - skipped;
+  }
+  if (device.int8_throughput_multiplier > 1.0) {
+    double int8_fraction = model_int8_fraction(model);
+    double speedup =
+        1.0 + (device.int8_throughput_multiplier - 1.0) * int8_fraction;
+    flops /= speedup;
+  }
+
+  double bytes = weight_bytes + activation_bytes;
+  double compute_s = flops / (device.effective_gflops * 1e9);
+  double traffic_s = bytes / (device.memory_bandwidth_gbps * 1e9);
+  double roofline_s = std::max(compute_s, traffic_s);
+
+  InferenceCost cost;
+  cost.latency_s = roofline_s * package.kernel_efficiency_factor +
+                   package.per_op_overhead_s *
+                       static_cast<double>(model.layer_count());
+  cost.energy_j = device.inference_energy_j(cost.latency_s);
+  cost.memory_bytes = model.storage_bytes() + peak_activation_bytes(model) +
+                      package.runtime_memory_bytes;
+  return cost;
+}
+
+std::vector<LayerCost> profile_layers(const nn::Model& model,
+                                      const PackageSpec& package,
+                                      const DeviceProfile& device) {
+  OPENEI_CHECK(device.effective_gflops > 0.0, "degenerate device profile");
+  std::vector<LayerCost> out;
+  out.reserve(model.layer_count());
+  tensor::Shape shape = model.input_shape();
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    LayerCost cost;
+    cost.index = i;
+    cost.type = model.layer(i).type();
+    cost.flops = model.layer(i).flops(shape);
+    shape = model.layer(i).output_shape(shape);
+    cost.activation_bytes = shape.elements() * sizeof(float);
+    double compute_s =
+        static_cast<double>(cost.flops) / (device.effective_gflops * 1e9);
+    cost.latency_s = compute_s * package.kernel_efficiency_factor +
+                     package.per_op_overhead_s;
+    out.push_back(std::move(cost));
+  }
+  return out;
+}
+
+bool fits_in_ram(const nn::Model& model, const PackageSpec& package,
+                 const DeviceProfile& device) {
+  return estimate_inference(model, package, device).memory_bytes <= device.ram_bytes;
+}
+
+InferenceCost estimate_training(const nn::Model& model, const PackageSpec& package,
+                                const DeviceProfile& device, std::size_t samples,
+                                std::size_t epochs) {
+  OPENEI_CHECK(package.supports_training, "package '", package.name,
+               "' is inference-only");
+  OPENEI_CHECK(samples > 0 && epochs > 0, "empty training job");
+
+  InferenceCost forward = estimate_inference(model, package, device);
+  InferenceCost cost;
+  // Backward ~= 2x forward; gradient buffers double the weight memory.
+  cost.latency_s = forward.latency_s * 3.0 * static_cast<double>(samples) *
+                   static_cast<double>(epochs);
+  cost.energy_j = device.inference_energy_j(cost.latency_s);
+  cost.memory_bytes = forward.memory_bytes + model.storage_bytes();
+  return cost;
+}
+
+}  // namespace openei::hwsim

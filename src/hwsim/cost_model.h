@@ -1,0 +1,60 @@
+// Roofline ALEM cost model: maps (model, package, device) to the paper's
+// Latency / Energy / Memory-footprint attributes (Accuracy is measured by
+// actually running the model — see selector/profiler.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/model.h"
+
+namespace openei::hwsim {
+
+/// Simulated execution costs of one inference (batch size 1).
+struct InferenceCost {
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+  std::size_t memory_bytes = 0;  // weights + peak activations + runtime
+};
+
+/// Peak per-sample activation footprint: the largest adjacent input+output
+/// pair across layers (a two-buffer executor).
+std::size_t peak_activation_bytes(const nn::Model& model);
+
+/// Roofline inference cost.  Latency = per-op dispatch + max(compute, memory
+/// traffic) scaled by package efficiency; energy = device inference power x
+/// latency; memory = model storage + activations + package runtime.
+InferenceCost estimate_inference(const nn::Model& model, const PackageSpec& package,
+                                 const DeviceProfile& device);
+
+/// True when the model + runtime fit the device's RAM — infeasible combos
+/// are what the model selector's M <= M_pro constraint excludes.
+bool fits_in_ram(const nn::Model& model, const PackageSpec& package,
+                 const DeviceProfile& device);
+
+/// Cost of on-device training: `epochs` passes over `samples` samples with
+/// forward+backward ~= 3x forward FLOPs.  Throws if the package cannot
+/// train.
+InferenceCost estimate_training(const nn::Model& model, const PackageSpec& package,
+                                const DeviceProfile& device, std::size_t samples,
+                                std::size_t epochs);
+
+/// Per-layer latency breakdown (the profiler view: where does the time go?).
+/// Layer latency = compute roofline x package efficiency + dispatch
+/// overhead; splitting decisions (collab::evaluate_split) and the Fig. 4
+/// package comparison both reduce to sums over this table.
+struct LayerCost {
+  std::size_t index = 0;
+  std::string type;
+  std::size_t flops = 0;
+  std::size_t activation_bytes = 0;  // output activation size
+  double latency_s = 0.0;
+};
+
+std::vector<LayerCost> profile_layers(const nn::Model& model,
+                                      const PackageSpec& package,
+                                      const DeviceProfile& device);
+
+}  // namespace openei::hwsim

@@ -1,0 +1,166 @@
+#include "hwsim/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace openei::hwsim {
+
+DeviceProfile DeviceProfile::with_power_cap(double watts) const {
+  OPENEI_CHECK(watts > idle_power_w, "power cap ", watts, " W at or below '",
+               name, "' idle draw ", idle_power_w, " W");
+  if (watts >= active_power_w) return *this;  // cap not binding
+
+  double frequency_fraction = std::cbrt((watts - idle_power_w) /
+                                        (active_power_w - idle_power_w));
+  frequency_fraction = std::clamp(frequency_fraction, 1e-6, 1.0);
+
+  DeviceProfile capped = *this;
+  capped.name = name + "@" + std::to_string(watts) + "W";
+  capped.effective_gflops = effective_gflops * frequency_fraction;
+  // Memory bandwidth degrades sub-linearly with clock; model it linearly in
+  // f as a conservative bound.
+  capped.memory_bandwidth_gbps = memory_bandwidth_gbps * frequency_fraction;
+  capped.active_power_w = watts;
+  return capped;
+}
+
+DeviceProfile arduino_class() {
+  return DeviceProfile{
+      .name = "arduino-class-mcu",
+      .device_class = DeviceClass::kMicrocontroller,
+      .effective_gflops = 0.00002,  // ~20 kFLOP/s softfloat 8-bit AVR
+      .memory_bandwidth_gbps = 0.00001,
+      .ram_bytes = 2ULL << 10,  // 2 kB — the ProtoNN headline budget
+      .idle_power_w = 0.02,
+      .active_power_w = 0.15,
+  };
+}
+
+DeviceProfile raspberry_pi_3() {
+  return DeviceProfile{
+      .name = "raspberry-pi-3",
+      .device_class = DeviceClass::kSingleBoard,
+      .effective_gflops = 1.5,
+      .memory_bandwidth_gbps = 2.0,
+      .ram_bytes = 1ULL << 30,  // 1 GB
+      .idle_power_w = 1.4,
+      .active_power_w = 3.7,
+  };
+}
+
+DeviceProfile raspberry_pi_4() {
+  return DeviceProfile{
+      .name = "raspberry-pi-4",
+      .device_class = DeviceClass::kSingleBoard,
+      .effective_gflops = 6.0,
+      .memory_bandwidth_gbps = 4.0,
+      .ram_bytes = 4ULL << 30,
+      .idle_power_w = 2.7,
+      .active_power_w = 6.4,
+  };
+}
+
+DeviceProfile jetson_tx2() {
+  return DeviceProfile{
+      .name = "jetson-tx2",
+      .device_class = DeviceClass::kEdgeServer,
+      .effective_gflops = 250.0,  // GPU-accelerated NN kernels
+      .memory_bandwidth_gbps = 58.0,
+      .ram_bytes = 8ULL << 30,
+      .idle_power_w = 5.0,
+      .active_power_w = 15.0,
+  };
+}
+
+DeviceProfile mobile_phone() {
+  return DeviceProfile{
+      .name = "mobile-phone",
+      .device_class = DeviceClass::kMobile,
+      .effective_gflops = 20.0,
+      .memory_bandwidth_gbps = 15.0,
+      .ram_bytes = 6ULL << 30,
+      .idle_power_w = 0.8,
+      .active_power_w = 4.5,
+  };
+}
+
+DeviceProfile edge_server() {
+  return DeviceProfile{
+      .name = "edge-server",
+      .device_class = DeviceClass::kEdgeServer,
+      .effective_gflops = 500.0,
+      .memory_bandwidth_gbps = 80.0,
+      .ram_bytes = 64ULL << 30,
+      .idle_power_w = 60.0,
+      .active_power_w = 180.0,
+  };
+}
+
+DeviceProfile cloud_gpu() {
+  return DeviceProfile{
+      .name = "cloud-gpu",
+      .device_class = DeviceClass::kCloud,
+      .effective_gflops = 15000.0,
+      .memory_bandwidth_gbps = 900.0,
+      .ram_bytes = 256ULL << 30,
+      .idle_power_w = 150.0,
+      .active_power_w = 700.0,
+  };
+}
+
+DeviceProfile eie_sparse_accelerator() {
+  return DeviceProfile{
+      .name = "eie-sparse-accelerator",
+      .device_class = DeviceClass::kEdgeServer,
+      .effective_gflops = 100.0,  // dense rate; sparsity skip multiplies it
+      .memory_bandwidth_gbps = 25.0,
+      .ram_bytes = 2ULL << 30,
+      .idle_power_w = 0.3,
+      .active_power_w = 1.2,  // EIE's pitch: orders of magnitude per-watt
+      .sparse_mac_skip = 0.95,
+      .int8_throughput_multiplier = 2.0,
+  };
+}
+
+DeviceProfile edge_fpga() {
+  return DeviceProfile{
+      .name = "edge-fpga",
+      .device_class = DeviceClass::kEdgeServer,
+      .effective_gflops = 80.0,
+      .memory_bandwidth_gbps = 20.0,
+      .ram_bytes = 4ULL << 30,
+      .idle_power_w = 2.0,
+      .active_power_w = 10.0,
+      .sparse_mac_skip = 0.5,  // load-balance-aware pruning (ESE) exploitable
+      .int8_throughput_multiplier = 4.0,
+  };
+}
+
+DeviceProfile edge_gpu() {
+  return DeviceProfile{
+      .name = "edge-gpu",
+      .device_class = DeviceClass::kEdgeServer,
+      .effective_gflops = 900.0,
+      .memory_bandwidth_gbps = 200.0,
+      .ram_bytes = 8ULL << 30,
+      .idle_power_w = 20.0,
+      .active_power_w = 120.0,
+      // GPUs gain little from unstructured sparsity and modest int8 wins.
+      .sparse_mac_skip = 0.0,
+      .int8_throughput_multiplier = 1.5,
+  };
+}
+
+std::vector<DeviceProfile> default_fleet() {
+  return {arduino_class(), raspberry_pi_3(), raspberry_pi_4(), mobile_phone(),
+          jetson_tx2(),    edge_server(),    cloud_gpu()};
+}
+
+std::vector<DeviceProfile> edge_fleet() {
+  return {arduino_class(), raspberry_pi_3(), raspberry_pi_4(),
+          mobile_phone(),  jetson_tx2(),     edge_server()};
+}
+
+}  // namespace openei::hwsim

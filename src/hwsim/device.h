@@ -1,0 +1,80 @@
+// Edge device profiles — the simulated stand-in for the paper's physical
+// fleet ("edge server, mobile phone, Raspberry Pi, laptop"; Sec. II-B) and
+// the hardware axis of the model-selector cube (Fig. 5).
+//
+// Each profile is a deterministic roofline-style cost model: compute rate,
+// memory bandwidth, RAM capacity, and power draw.  The ALEM tuple of a
+// (model, package, device) combination is a pure function of these numbers,
+// which preserves the *orderings* (who is faster, where memory runs out)
+// that drive OpenEI's selection decisions — see DESIGN.md substitutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace openei::hwsim {
+
+/// Device classes the paper names, ordered roughly by capability.
+enum class DeviceClass { kMicrocontroller, kSingleBoard, kMobile, kEdgeServer, kCloud };
+
+struct DeviceProfile {
+  std::string name;
+  DeviceClass device_class = DeviceClass::kSingleBoard;
+
+  /// Effective sustained compute rate for NN kernels (GFLOP/s).
+  double effective_gflops = 1.0;
+  /// Sustained memory bandwidth (GB/s).
+  double memory_bandwidth_gbps = 1.0;
+  /// RAM available to a deployed model + runtime (bytes).
+  std::size_t ram_bytes = 256ULL << 20;
+  /// Power draw when idle / under NN load (watts).
+  double idle_power_w = 1.0;
+  double active_power_w = 3.0;
+
+  // --- Accelerator traits (paper Sec. IV-D) ------------------------------
+  /// Fraction of zero-weight MACs the hardware skips (EIE [56] "exploits
+  /// DNN sparsity"): 0 = dense hardware pays full cost, 1 = perfect skip.
+  double sparse_mac_skip = 0.0;
+  /// Throughput multiplier for int8 models (FPGA/ASIC quantized datapaths;
+  /// ESE [59], Biookaghazadeh et al. [60]).  1.0 = no advantage.
+  double int8_throughput_multiplier = 1.0;
+
+  /// Energy drawn *above idle* while computing for `seconds` — the paper's
+  /// Energy: "the increased power consumption ... when executing the
+  /// inference task".
+  double inference_energy_j(double seconds) const {
+    return (active_power_w - idle_power_w) * seconds;
+  }
+
+  /// DVFS power capping — the Sec. IV-D open problem: "if the processing
+  /// power is limited, we need to know how to calculate the maximum speed
+  /// that the hardware reaches."  Dynamic power scales ~f^3 (P = C V^2 f
+  /// with V tracking f), so capping active power at `watts` scales the
+  /// clock (and the compute rate) by cbrt((cap - idle)/(active - idle)),
+  /// clamped to (0, 1].  Throws when the cap is at or below idle draw.
+  DeviceProfile with_power_cap(double watts) const;
+};
+
+/// The built-in simulated fleet.  Numbers are plausible public figures for
+/// each device class; what matters is their relative ordering.
+DeviceProfile arduino_class();      // kB-RAM microcontroller (ProtoNN target)
+DeviceProfile raspberry_pi_3();
+DeviceProfile raspberry_pi_4();
+DeviceProfile jetson_tx2();
+DeviceProfile mobile_phone();
+DeviceProfile edge_server();
+DeviceProfile cloud_gpu();
+
+/// Sec. IV-D accelerator profiles (simulated; orderings follow the cited
+/// measurements, see DESIGN.md substitutions).
+DeviceProfile eie_sparse_accelerator();  // EIE [56]: skips zero MACs, ~W-class
+DeviceProfile edge_fpga();               // ESE-style [59]: fast int8 datapath
+DeviceProfile edge_gpu();                // discrete edge GPU: raw FLOPs, hungry
+
+/// Every profile above, MCU first — the device axis of Fig. 5.
+std::vector<DeviceProfile> default_fleet();
+
+/// Edge-only subset (no cloud).
+std::vector<DeviceProfile> edge_fleet();
+
+}  // namespace openei::hwsim

@@ -1,0 +1,33 @@
+#include "hwsim/network.h"
+
+namespace openei::hwsim {
+
+NetworkLink lorawan() {
+  return NetworkLink{
+      .name = "lorawan", .bandwidth_bps = 27e3, .rtt_s = 1.0,
+      .energy_per_byte_j = 1e-4};
+}
+
+NetworkLink cellular_lte() {
+  return NetworkLink{
+      .name = "cellular-lte", .bandwidth_bps = 12e6, .rtt_s = 0.05,
+      .energy_per_byte_j = 4e-7};
+}
+
+NetworkLink wifi() {
+  return NetworkLink{
+      .name = "wifi", .bandwidth_bps = 100e6, .rtt_s = 0.005,
+      .energy_per_byte_j = 6e-8};
+}
+
+NetworkLink ethernet_lan() {
+  return NetworkLink{
+      .name = "ethernet-lan", .bandwidth_bps = 1e9, .rtt_s = 0.001,
+      .energy_per_byte_j = 1e-8};
+}
+
+std::vector<NetworkLink> default_links() {
+  return {lorawan(), cellular_lte(), wifi(), ethernet_lan()};
+}
+
+}  // namespace openei::hwsim

@@ -1,0 +1,43 @@
+// Network link simulator: transfer time and radio energy between nodes.
+// Backs the cloud-offload comparison of Fig. 1/Sec. I (the "1 GB/s
+// autonomous vehicle cannot upload in real time" argument) and the
+// collaboration experiments of Fig. 2/3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace openei::hwsim {
+
+struct NetworkLink {
+  std::string name;
+  double bandwidth_bps = 1e6;
+  double rtt_s = 0.05;
+  /// Radio energy per transmitted byte (joules) — dominates edge offload
+  /// energy budgets.
+  double energy_per_byte_j = 1e-7;
+
+  /// One-way transfer latency for a payload (half the RTT + serialization;
+  /// bandwidth is in bits/s, payloads in bytes).
+  double transfer_time_s(std::size_t bytes) const {
+    return rtt_s / 2.0 + static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+  /// Round trip carrying `up` bytes out and `down` bytes back.
+  double round_trip_s(std::size_t up_bytes, std::size_t down_bytes) const {
+    return rtt_s + static_cast<double>(up_bytes + down_bytes) * 8.0 / bandwidth_bps;
+  }
+  double transfer_energy_j(std::size_t bytes) const {
+    return static_cast<double>(bytes) * energy_per_byte_j;
+  }
+};
+
+/// Representative links, ordered by quality.
+NetworkLink lorawan();        // IoT long-range, ~27 kbps
+NetworkLink cellular_lte();   // ~12 Mbps up, 50 ms RTT
+NetworkLink wifi();           // ~100 Mbps, 5 ms RTT
+NetworkLink ethernet_lan();   // ~1 Gbps, 1 ms RTT
+
+std::vector<NetworkLink> default_links();
+
+}  // namespace openei::hwsim

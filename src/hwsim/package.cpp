@@ -1,0 +1,39 @@
+#include "hwsim/package.h"
+
+namespace openei::hwsim {
+
+PackageSpec full_framework() {
+  return PackageSpec{
+      .name = "tensorstream-full",
+      .kernel_efficiency_factor = 1.0,     // mature, tuned kernels
+      .per_op_overhead_s = 250e-6,         // heavyweight graph dispatch
+      .runtime_memory_bytes = 600ULL << 20,  // interpreter + deps
+      .supports_training = true,
+  };
+}
+
+PackageSpec lite_framework() {
+  return PackageSpec{
+      .name = "tensorstream-lite",
+      .kernel_efficiency_factor = 1.15,  // fewer fused kernels
+      .per_op_overhead_s = 15e-6,
+      .runtime_memory_bytes = 6ULL << 20,
+      .supports_training = false,
+  };
+}
+
+PackageSpec openei_package() {
+  return PackageSpec{
+      .name = "openei-package-manager",
+      .kernel_efficiency_factor = 1.05,  // co-optimized with the model zoo
+      .per_op_overhead_s = 10e-6,
+      .runtime_memory_bytes = 4ULL << 20,
+      .supports_training = true,  // local retraining, paper Sec. III-B
+  };
+}
+
+std::vector<PackageSpec> default_packages() {
+  return {full_framework(), lite_framework(), openei_package()};
+}
+
+}  // namespace openei::hwsim

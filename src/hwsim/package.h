@@ -1,0 +1,42 @@
+// Deep-learning package profiles — the middle axis of the Fig. 5 selector
+// cube ("TensorFlow, PyTorch, MXNet, to name a few") and the subject of the
+// paper's Sec. IV-B package comparison (pCAMP [48]: no framework wins on all
+// of latency, memory, and energy).
+//
+// A package multiplies the device roofline latency by an efficiency factor
+// and adds per-op dispatch overhead plus a fixed runtime memory footprint.
+// Full cloud frameworks have heavy runtimes but mature kernels; lite
+// packages trade a leaner runtime for fewer optimizations; the OpenEI
+// package manager is lite *and* co-optimized (paper Sec. III-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace openei::hwsim {
+
+struct PackageSpec {
+  std::string name;
+  /// Multiplier on roofline compute time (1.0 = perfect kernels).
+  double kernel_efficiency_factor = 1.0;
+  /// Fixed dispatch cost added per layer per inference (seconds).
+  double per_op_overhead_s = 0.0;
+  /// Resident runtime memory (interpreter, kernel registry...).
+  std::size_t runtime_memory_bytes = 0;
+  /// Whether on-device training is available (paper: OpenEI's package
+  /// manager trains locally; TFLite-style packages do not).
+  bool supports_training = false;
+};
+
+/// Heavyweight cloud framework (TensorFlow-style): best kernels, fat runtime.
+PackageSpec full_framework();
+/// Mobile/edge inference package (TFLite-style): lean, inference-only.
+PackageSpec lite_framework();
+/// The OpenEI package manager: lean, trains locally, co-optimized kernels
+/// (paper Sec. III-B).
+PackageSpec openei_package();
+
+/// All three — the package axis of Fig. 5.
+std::vector<PackageSpec> default_packages();
+
+}  // namespace openei::hwsim

@@ -1,0 +1,366 @@
+#include "libei/service.h"
+
+#include "common/strings.h"
+#include "hwsim/cost_model.h"
+#include "nn/serialize.h"
+#include "runtime/inference.h"
+#include "selector/capability_db.h"
+#include "selector/selecting_algorithm.h"
+
+namespace openei::libei {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using net::HttpRequest;
+using net::HttpResponse;
+
+EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
+                     hwsim::DeviceProfile device, hwsim::PackageSpec package)
+    : registry_(registry),
+      store_(store),
+      device_(std::move(device)),
+      package_(std::move(package)) {}
+
+EiService::Metrics EiService::metrics() const {
+  return Metrics{data_requests_.load(), algorithm_requests_.load(),
+                 model_requests_.load(), errors_.load()};
+}
+
+std::shared_ptr<runtime::InferenceSession> EiService::session_for(
+    const std::string& model_name) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::uint64_t version = registry_.version();
+  if (version != cached_registry_version_) {
+    session_cache_.clear();
+    cached_registry_version_ = version;
+  }
+  auto it = session_cache_.find(model_name);
+  if (it != session_cache_.end()) return it->second;
+
+  runtime::ModelEntry entry = registry_.get(model_name);
+  auto session = std::make_shared<runtime::InferenceSession>(
+      std::move(entry.model), package_, device_);
+  session_cache_.emplace(model_name, session);
+  return session;
+}
+
+HttpResponse EiService::handle(const HttpRequest& request) {
+  // Count before dispatch; failures additionally bump the error counter.
+  struct ErrorCounter {
+    std::atomic<std::uint64_t>& errors;
+    bool armed = true;
+    ~ErrorCounter() {
+      if (armed) ++errors;
+    }
+  } error_guard{errors_};
+  auto serve = [&error_guard](HttpResponse response) {
+    if (response.status < 400) error_guard.armed = false;
+    return response;
+  };
+
+  auto segments = common::split_nonempty(request.path, '/');
+  if (segments.empty()) {
+    throw NotFound("no resource at '" + request.path + "'");
+  }
+  if (segments[0] == "ei_data") {
+    ++data_requests_;
+    return serve(handle_data(request, segments));
+  }
+  if (segments[0] == "ei_algorithms") {
+    ++algorithm_requests_;
+    return serve(handle_algorithm(request, segments));
+  }
+  if (segments[0] == "ei_models") {
+    ++model_requests_;
+    return serve(handle_models(request, segments));
+  }
+  if (segments[0] == "ei_status" && segments.size() == 1 &&
+      request.method == "GET") {
+    Json out{JsonObject{}};
+    out.set("device", device_.name);
+    out.set("ram_bytes", device_.ram_bytes);
+    out.set("effective_gflops", device_.effective_gflops);
+    out.set("package", package_.name);
+    out.set("supports_training", package_.supports_training);
+    JsonArray model_names;
+    for (const std::string& name : registry_.names()) {
+      model_names.emplace_back(name);
+    }
+    out.set("models", Json(std::move(model_names)));
+    JsonArray sensor_ids;
+    for (const std::string& id : store_.sensors()) sensor_ids.emplace_back(id);
+    out.set("sensors", Json(std::move(sensor_ids)));
+    Metrics snapshot = metrics();
+    Json counters{JsonObject{}};
+    counters.set("data_requests", snapshot.data_requests);
+    counters.set("algorithm_requests", snapshot.algorithm_requests);
+    counters.set("model_requests", snapshot.model_requests);
+    counters.set("errors", snapshot.errors);
+    out.set("requests", std::move(counters));
+    return serve(HttpResponse::json(200, out.dump()));
+  }
+  throw NotFound("unknown resource type '" + segments[0] + "'");
+}
+
+namespace {
+
+Json record_to_json(const datastore::Record& record) {
+  Json out{JsonObject{}};
+  out.set("timestamp", record.timestamp);
+  out.set("payload", record.payload);
+  return out;
+}
+
+double query_double(const std::map<std::string, std::string>& query,
+                    const std::string& key, double fallback) {
+  auto it = query.find(key);
+  if (it == query.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw ParseError("query parameter '" + key + "' is not a number");
+  }
+}
+
+}  // namespace
+
+HttpResponse EiService::handle_data(const HttpRequest& request,
+                                    const std::vector<std::string>& segments) {
+  if (request.method != "GET") {
+    return HttpResponse::json(405, R"({"error":"ei_data is read-only"})");
+  }
+  if (segments.size() != 3) {
+    throw ParseError("expected /ei_data/{realtime|history}/{sensor_id}");
+  }
+  const std::string& kind = segments[1];
+  const std::string& sensor = segments[2];
+
+  if (kind == "realtime") {
+    double timestamp = query_double(request.query, "timestamp", 0.0);
+    auto record = store_.realtime(sensor, timestamp);
+    if (!record.has_value()) {
+      throw NotFound("sensor '" + sensor + "' has no data at or after " +
+                     std::to_string(timestamp));
+    }
+    return HttpResponse::json(200, record_to_json(*record).dump());
+  }
+  if (kind == "history") {
+    double start = query_double(request.query, "start", 0.0);
+    double end = query_double(request.query, "end", 1e300);
+    JsonArray rows;
+    for (const datastore::Record& record : store_.history(sensor, start, end)) {
+      rows.push_back(record_to_json(record));
+    }
+    Json out{JsonObject{}};
+    out.set("sensor", sensor);
+    out.set("records", Json(std::move(rows)));
+    return HttpResponse::json(200, out.dump());
+  }
+  if (kind == "stats") {
+    double start = query_double(request.query, "start", 0.0);
+    double end = query_double(request.query, "end", 1e300);
+    datastore::SensorStore::Stats stats = store_.stats(sensor, start, end);
+    Json out{JsonObject{}};
+    out.set("sensor", sensor);
+    out.set("count", stats.count);
+    out.set("mean", stats.mean);
+    out.set("min", stats.min);
+    out.set("max", stats.max);
+    out.set("rate_hz", stats.rate_hz);
+    return HttpResponse::json(200, out.dump());
+  }
+  throw ParseError("unknown data type '" + kind + "' (realtime|history|stats)");
+}
+
+selector::SelectionRequest EiService::parse_selection(
+    const std::map<std::string, std::string>& query) const {
+  selector::SelectionRequest request;
+  request.device_name = device_.name;
+  // Paper Sec. III-E: "the default is accuracy oriented".
+  request.objective = selector::Objective::kMaxAccuracy;
+  if (auto it = query.find("objective"); it != query.end()) {
+    if (it->second == "latency") {
+      request.objective = selector::Objective::kMinLatency;
+    } else if (it->second == "accuracy") {
+      request.objective = selector::Objective::kMaxAccuracy;
+    } else if (it->second == "energy") {
+      request.objective = selector::Objective::kMinEnergy;
+    } else if (it->second == "memory") {
+      request.objective = selector::Objective::kMinMemory;
+    } else {
+      throw ParseError("unknown objective '" + it->second + "'");
+    }
+  }
+  request.requirements.min_accuracy = query_double(query, "min_accuracy", 0.0);
+  request.requirements.max_latency_s = query_double(query, "max_latency_s", 1e300);
+  request.requirements.max_energy_j = query_double(query, "max_energy_j", 1e300);
+  request.requirements.max_memory_bytes = static_cast<std::size_t>(
+      query_double(query, "max_memory_bytes", 1e18));
+  return request;
+}
+
+Json EiService::resolve_input(const HttpRequest& request) const {
+  if (auto it = request.query.find("input"); it != request.query.end()) {
+    return Json::parse(it->second);
+  }
+  if (!request.body.empty()) {
+    return Json::parse(request.body);
+  }
+  if (auto it = request.query.find("sensor"); it != request.query.end()) {
+    double timestamp = query_double(request.query, "timestamp", 0.0);
+    auto record = store_.realtime(it->second, timestamp);
+    if (!record.has_value()) {
+      throw NotFound("sensor '" + it->second + "' has no data for inference");
+    }
+    return record->payload;
+  }
+  throw ParseError("algorithm call needs 'input', a body, or 'sensor'");
+}
+
+namespace {
+
+/// Converts JSON rows ([[...],[...]] or a single flat [...]) to a batch
+/// tensor matching `sample_shape`.
+nn::Tensor rows_to_batch(const Json& input, const tensor::Shape& sample_shape) {
+  const JsonArray& outer = input.as_array();
+  if (outer.empty()) throw ParseError("empty inference input");
+
+  bool nested = outer[0].is_array();
+  std::size_t rows = nested ? outer.size() : 1;
+  std::size_t sample_elems = sample_shape.elements();
+
+  std::vector<std::size_t> dims{rows};
+  for (std::size_t d : sample_shape.dims()) dims.push_back(d);
+  nn::Tensor batch{tensor::Shape(dims)};
+  auto out = batch.data();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const JsonArray& row = nested ? outer[r].as_array() : outer;
+    if (row.size() != sample_elems) {
+      throw ParseError("input row has " + std::to_string(row.size()) +
+                       " values; model expects " + std::to_string(sample_elems));
+    }
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      out[r * sample_elems + j] = static_cast<float>(row[j].as_number());
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+HttpResponse EiService::handle_algorithm(const HttpRequest& request,
+                                         const std::vector<std::string>& segments) {
+  if (request.method != "GET" && request.method != "POST") {
+    return HttpResponse::json(405, R"({"error":"use GET or POST"})");
+  }
+  if (segments.size() != 3) {
+    throw ParseError("expected /ei_algorithms/{scenario}/{algorithm}");
+  }
+  const std::string& scenario = segments[1];
+  const std::string& algorithm = segments[2];
+
+  auto candidates = registry_.find(scenario, algorithm);
+  if (candidates.empty()) {
+    throw NotFound("no model deployed for " + scenario + "/" + algorithm);
+  }
+
+  // Build the capability slice for this device and run the selecting
+  // algorithm (Sec. III-E processing flow).
+  selector::CapabilityDatabase db;
+  for (const runtime::ModelEntry& entry : candidates) {
+    selector::CapabilityEntry cap;
+    cap.model_name = entry.model.name();
+    cap.package_name = package_.name;
+    cap.device_name = device_.name;
+    hwsim::InferenceCost cost =
+        hwsim::estimate_inference(entry.model, package_, device_);
+    cap.alem.accuracy = entry.accuracy;
+    cap.alem.latency_s = cost.latency_s;
+    cap.alem.energy_j = cost.energy_j;
+    cap.alem.memory_bytes = cost.memory_bytes;
+    cap.deployable = cost.memory_bytes <= device_.ram_bytes;
+    db.add(std::move(cap));
+  }
+
+  selector::SelectionRequest selection = parse_selection(request.query);
+  auto chosen = selector::select(db, selection);
+  if (!chosen.has_value()) {
+    return HttpResponse::json(
+        400,
+        R"({"error":"no deployed model satisfies the ALEM requirements"})");
+  }
+
+  std::shared_ptr<runtime::InferenceSession> session =
+      session_for(chosen->model_name);
+  nn::Tensor batch = rows_to_batch(resolve_input(request),
+                                   session->model().input_shape());
+  runtime::InferenceResult result = session->run(batch);
+
+  Json out{JsonObject{}};
+  out.set("scenario", scenario);
+  out.set("algorithm", algorithm);
+  out.set("model", chosen->model_name);
+  out.set("package", package_.name);
+  out.set("device", device_.name);
+  out.set("alem", chosen->alem.to_json());
+  JsonArray predictions;
+  for (std::size_t p : result.predictions) predictions.emplace_back(p);
+  out.set("predictions", Json(std::move(predictions)));
+  out.set("batch_latency_s", result.batch_latency_s);
+  out.set("batch_energy_j", result.batch_energy_j);
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse EiService::handle_models(const HttpRequest& request,
+                                      const std::vector<std::string>& segments) {
+  if (request.method == "GET" && segments.size() == 1) {
+    JsonArray models;
+    for (const std::string& name : registry_.names()) {
+      runtime::ModelEntry entry = registry_.get(name);
+      Json row{JsonObject{}};
+      row.set("name", name);
+      row.set("scenario", entry.scenario);
+      row.set("algorithm", entry.algorithm);
+      row.set("accuracy", entry.accuracy);
+      row.set("params", entry.model.param_count());
+      row.set("storage_bytes", entry.model.storage_bytes());
+      models.push_back(std::move(row));
+    }
+    Json out{JsonObject{}};
+    out.set("models", Json(std::move(models)));
+    return HttpResponse::json(200, out.dump());
+  }
+
+  if (request.method == "GET" && segments.size() == 2) {
+    runtime::ModelEntry entry = registry_.get(segments[1]);  // throws NotFound
+    Json out{JsonObject{}};
+    out.set("scenario", entry.scenario);
+    out.set("algorithm", entry.algorithm);
+    out.set("accuracy", entry.accuracy);
+    out.set("model", nn::model_to_json(entry.model));
+    return HttpResponse::json(200, out.dump());
+  }
+
+  if (request.method == "POST" && segments.size() == 1) {
+    auto scenario = request.query.find("scenario");
+    auto algorithm = request.query.find("algorithm");
+    if (scenario == request.query.end() || algorithm == request.query.end()) {
+      throw ParseError("model deployment needs scenario and algorithm");
+    }
+    nn::Model model = nn::model_from_json(Json::parse(request.body));
+    runtime::ModelEntry entry{scenario->second, algorithm->second,
+                              std::move(model),
+                              query_double(request.query, "accuracy", 0.0)};
+    std::string name = entry.model.name();
+    registry_.put(std::move(entry));
+    Json out{JsonObject{}};
+    out.set("deployed", name);
+    return HttpResponse::json(201, out.dump());
+  }
+
+  return HttpResponse::json(405, R"({"error":"unsupported ei_models call"})");
+}
+
+}  // namespace openei::libei

@@ -1,0 +1,102 @@
+// libei — the RESTful API of paper Sec. III-D / Fig. 6.
+//
+// Resource scheme (every resource is a URL):
+//   GET  /ei_data/realtime/{sensor_id}?timestamp=T
+//   GET  /ei_data/history/{sensor_id}?start=S&end=E
+//   GET  /ei_algorithms/{scenario}/{algorithm}?input=<json rows>
+//          [&objective=latency|accuracy|energy|memory]
+//          [&min_accuracy=A][&max_latency_s=L][&max_energy_j=E]
+//          [&max_memory_bytes=M]
+//          — or &sensor=<id>[&timestamp=T] to pull the input from the store
+//   GET  /ei_models                      — deployed model index
+//   GET  /ei_models/{name}               — serialized model (edge-edge sharing)
+//   POST /ei_models?scenario=S&algorithm=A&accuracy=x  (body: model JSON)
+//          — model download from the cloud (Fig. 3 dataflow 2)
+//   GET  /ei_status                      — node health: device profile,
+//          package, deployed models, registered sensors
+//
+// An algorithm call runs the full OpenEI flow of Sec. III-E: the model
+// selector picks the best deployed variant for this device under the
+// caller's ALEM requirements (accuracy-oriented by default, as the paper
+// specifies), then the package manager executes the inference.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "datastore/timeseries.h"
+#include "runtime/inference.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "net/http.h"
+#include "runtime/model_registry.h"
+#include "selector/selecting_algorithm.h"
+
+namespace openei::libei {
+
+class EiService {
+ public:
+  /// Borrows the registry and store (the owning EdgeNode outlives the
+  /// service); copies the device/package profiles.
+  EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
+            hwsim::DeviceProfile device, hwsim::PackageSpec package);
+
+  /// Routes one request.  Throws NotFound / ParseError for the HTTP server
+  /// to translate, or returns a JSON response.
+  net::HttpResponse handle(const net::HttpRequest& request);
+
+  const hwsim::DeviceProfile& device() const { return device_; }
+
+  /// Served-request counters (reported by /ei_status for fleet monitoring).
+  struct Metrics {
+    std::uint64_t data_requests = 0;
+    std::uint64_t algorithm_requests = 0;
+    std::uint64_t model_requests = 0;
+    std::uint64_t errors = 0;
+  };
+  Metrics metrics() const;
+
+ private:
+  net::HttpResponse handle_data(const net::HttpRequest& request,
+                                const std::vector<std::string>& segments);
+  net::HttpResponse handle_algorithm(const net::HttpRequest& request,
+                                     const std::vector<std::string>& segments);
+  net::HttpResponse handle_models(const net::HttpRequest& request,
+                                  const std::vector<std::string>& segments);
+
+  /// Parses ALEM requirements/objective from query parameters; defaults to
+  /// the paper's accuracy-oriented selection.
+  selector::SelectionRequest parse_selection(
+      const std::map<std::string, std::string>& query) const;
+
+  /// Resolves the inference input: inline `input` JSON rows or a stored
+  /// sensor payload.
+  common::Json resolve_input(const net::HttpRequest& request) const;
+
+  /// Warm inference-session cache: building a session clones the model, so
+  /// repeated calls to the same algorithm reuse one session.  Invalidated
+  /// wholesale whenever the registry's version changes; in-flight users hold
+  /// shared ownership, so invalidation never dangles.  Inference-mode
+  /// forward passes are read-only, making shared concurrent use safe.
+  std::shared_ptr<runtime::InferenceSession> session_for(
+      const std::string& model_name);
+
+  runtime::ModelRegistry& registry_;
+  datastore::SensorStore& store_;
+  hwsim::DeviceProfile device_;
+  hwsim::PackageSpec package_;
+
+  std::mutex cache_mutex_;
+  std::uint64_t cached_registry_version_ = ~0ULL;
+  std::map<std::string, std::shared_ptr<runtime::InferenceSession>>
+      session_cache_;
+
+  mutable std::atomic<std::uint64_t> data_requests_{0};
+  mutable std::atomic<std::uint64_t> algorithm_requests_{0};
+  mutable std::atomic<std::uint64_t> model_requests_{0};
+  mutable std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace openei::libei

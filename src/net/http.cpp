@@ -1,0 +1,249 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace openei::net {
+
+using common::split;
+using common::starts_with;
+using common::to_lower;
+using common::trim;
+using common::uri_decode;
+
+void parse_target(const std::string& target, std::string& path,
+                  std::map<std::string, std::string>& query) {
+  std::string raw_path = target;
+  std::string raw_query;
+  if (auto pos = target.find('?'); pos != std::string::npos) {
+    raw_path = target.substr(0, pos);
+    raw_query = target.substr(pos + 1);
+  }
+  path = uri_decode(raw_path);
+  query.clear();
+  if (raw_query.empty()) return;
+  for (const std::string& pair : split(raw_query, '&')) {
+    if (pair.empty()) continue;
+    auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      query[uri_decode(pair)] = "";
+    } else {
+      query[uri_decode(pair.substr(0, eq))] = uri_decode(pair.substr(eq + 1));
+    }
+  }
+}
+
+HttpRequest parse_request(const std::string& head, const std::string& body) {
+  auto lines = split(head, '\n');
+  OPENEI_CHECK(!lines.empty(), "empty HTTP head");
+  // Request line: METHOD SP TARGET SP VERSION
+  std::string request_line(trim(lines[0]));
+  auto parts = split(request_line, ' ');
+  if (parts.size() != 3) throw ParseError("malformed HTTP request line");
+  if (!starts_with(parts[2], "HTTP/1.")) {
+    throw ParseError("unsupported HTTP version '" + parts[2] + "'");
+  }
+
+  HttpRequest request;
+  request.method = parts[0];
+  parse_target(parts[1], request.path, request.query);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line(trim(lines[i]));
+    if (line.empty()) continue;
+    auto colon = line.find(':');
+    if (colon == std::string::npos) throw ParseError("malformed HTTP header");
+    request.headers[to_lower(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+  }
+  request.body = body;
+  return request;
+}
+
+namespace {
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << ' ' << reason_for(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << response.body;
+  return out.str();
+}
+
+/// Reads one full request (head + Content-Length body) from the connection.
+/// Returns false when the peer closed before sending anything.
+bool read_request(TcpConnection& connection, std::string& head, std::string& body) {
+  std::string buffer;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    std::size_t n = connection.read_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      if (buffer.empty()) return false;
+      throw ParseError("connection closed mid-headers");
+    }
+    buffer.append(chunk, n);
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > (1U << 20)) throw ParseError("HTTP head too large");
+  }
+
+  head = buffer.substr(0, header_end);
+  std::string rest = buffer.substr(header_end + 4);
+
+  // Content-Length (case-insensitive scan of the head).
+  std::size_t content_length = 0;
+  for (const std::string& line : split(head, '\n')) {
+    std::string lower = to_lower(trim(line));
+    if (starts_with(lower, "content-length:")) {
+      content_length = static_cast<std::size_t>(
+          std::stoull(std::string(trim(lower.substr(15)))));
+    }
+  }
+  if (content_length > (64U << 20)) throw ParseError("HTTP body too large");
+
+  while (rest.size() < content_length) {
+    std::size_t n = connection.read_some(chunk, sizeof(chunk));
+    if (n == 0) throw ParseError("connection closed mid-body");
+    rest.append(chunk, n);
+  }
+  body = rest.substr(0, content_length);
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {
+  OPENEI_CHECK(handler_ != nullptr, "null HTTP handler");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  bool was_running = running_.exchange(false);
+  if (!was_running) return;
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain in-flight workers (they are detached; each signals on exit).
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] { return active_workers_ == 0; });
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load()) {
+    TcpConnection connection = [&]() -> TcpConnection {
+      try {
+        return listener_.accept_connection();
+      } catch (const IoError&) {
+        return TcpConnection(FdHandle{});  // listener shut down
+      }
+    }();
+    if (!connection.valid()) break;
+    {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      ++active_workers_;
+    }
+    std::thread([this](TcpConnection conn) {
+      handle_connection(std::move(conn));
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      if (--active_workers_ == 0) drained_.notify_all();
+    }, std::move(connection)).detach();
+  }
+}
+
+void HttpServer::handle_connection(TcpConnection connection) {
+  try {
+    connection.set_read_timeout(10.0);
+    std::string head;
+    std::string body;
+    if (!read_request(connection, head, body)) return;
+
+    HttpResponse response;
+    try {
+      HttpRequest request = parse_request(head, body);
+      response = handler_(request);
+    } catch (const ParseError& e) {
+      response = HttpResponse::json(
+          400, std::string(R"({"error":")") + e.what() + "\"}");
+    } catch (const NotFound& e) {
+      response = HttpResponse::json(
+          404, std::string(R"({"error":")") + e.what() + "\"}");
+    } catch (const std::exception& e) {
+      response = HttpResponse::json(
+          500, std::string(R"({"error":")") + e.what() + "\"}");
+    }
+    connection.write_all(serialize_response(response));
+  } catch (const std::exception& e) {
+    common::log_warn("http worker error: ", e.what());
+  }
+}
+
+HttpResponse HttpClient::get(const std::string& target) {
+  return request("GET", target, "", "");
+}
+
+HttpResponse HttpClient::post(const std::string& target, const std::string& body,
+                              const std::string& content_type) {
+  return request("POST", target, body, content_type);
+}
+
+HttpResponse HttpClient::request(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 const std::string& content_type) {
+  TcpConnection connection = connect_local(port_);
+  std::ostringstream out;
+  out << method << ' ' << target << " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  if (!body.empty()) {
+    out << "Content-Type: " << content_type << "\r\nContent-Length: "
+        << body.size() << "\r\n";
+  }
+  out << "Connection: close\r\n\r\n" << body;
+  connection.write_all(out.str());
+
+  // Read until the peer closes (Connection: close semantics).
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    std::size_t n = connection.read_some(chunk, sizeof(chunk));
+    if (n == 0) break;
+    raw.append(chunk, n);
+  }
+  auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) throw ParseError("malformed HTTP response");
+  std::string head = raw.substr(0, header_end);
+
+  HttpResponse response;
+  auto lines = split(head, '\n');
+  auto status_parts = split(std::string(trim(lines[0])), ' ');
+  if (status_parts.size() < 2) throw ParseError("malformed HTTP status line");
+  response.status = std::stoi(status_parts[1]);
+  for (const std::string& line : lines) {
+    std::string lower = to_lower(trim(line));
+    if (starts_with(lower, "content-type:")) {
+      response.content_type = std::string(trim(lower.substr(13)));
+    }
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace openei::net

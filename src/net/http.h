@@ -1,0 +1,97 @@
+// Minimal HTTP/1.1 server and client over the TCP substrate.
+//
+// Scope: what libei's RESTful API needs — GET/POST, headers, query strings,
+// Content-Length bodies, connection-per-request.  Strict parsing with
+// ParseError on malformed input; the server answers 400 instead of crashing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace openei::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST"...
+  std::string path;    // decoded path without query ("/ei_data/realtime/cam1")
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(int status, const std::string& body) {
+    return HttpResponse{status, "application/json", body};
+  }
+};
+
+/// Parses "GET /path?a=1 HTTP/1.1" request text (headers + body already
+/// assembled).  Exposed for tests.
+HttpRequest parse_request(const std::string& head, const std::string& body);
+
+/// Splits a raw target into decoded path + query map.  Exposed for routing.
+void parse_target(const std::string& target, std::string& path,
+                  std::map<std::string, std::string>& query);
+
+/// Blocking HTTP server: accept loop on its own thread, one short-lived
+/// detached worker per connection (requests are small); stop() drains all
+/// in-flight workers before returning.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving `handler`.
+  /// Exceptions from the handler become 500 responses; ParseError becomes 400;
+  /// NotFound becomes 404.
+  HttpServer(std::uint16_t port, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting and joins all threads (idempotent).
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle_connection(TcpConnection connection);
+
+  TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::size_t active_workers_ = 0;  // guarded by drain_mutex_
+};
+
+/// Blocking single-request client.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+
+  /// `target` is a raw path+query, e.g. "/ei_data/realtime/cam1?timestamp=5".
+  HttpResponse get(const std::string& target);
+  HttpResponse post(const std::string& target, const std::string& body,
+                    const std::string& content_type = "application/json");
+
+ private:
+  HttpResponse request(const std::string& method, const std::string& target,
+                       const std::string& body, const std::string& content_type);
+
+  std::uint16_t port_;
+};
+
+}  // namespace openei::net

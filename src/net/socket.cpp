@@ -1,0 +1,131 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace openei::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdHandle::~FdHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+FdHandle::FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int FdHandle::release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+std::size_t TcpConnection::read_some(char* buffer, std::size_t max_bytes) {
+  OPENEI_CHECK(fd_.valid(), "read on closed connection");
+  ssize_t n = ::recv(fd_.get(), buffer, max_bytes, 0);
+  if (n < 0) throw_errno("recv failed");
+  return static_cast<std::size_t>(n);
+}
+
+void TcpConnection::write_all(const char* data, std::size_t size) {
+  OPENEI_CHECK(fd_.valid(), "write on closed connection");
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_.get(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) throw_errno("send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void TcpConnection::set_read_timeout(double seconds) {
+  OPENEI_CHECK(fd_.valid() && seconds > 0.0, "bad read timeout");
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO) failed");
+  }
+}
+
+void TcpConnection::close() { FdHandle dropped = std::move(fd_); }
+
+TcpListener::TcpListener(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket() failed");
+  fd_ = FdHandle(fd);
+
+  int yes = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind() failed");
+  }
+  if (::listen(fd, 64) != 0) throw_errno("listen() failed");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpConnection TcpListener::accept_connection() {
+  OPENEI_CHECK(fd_.valid(), "accept on closed listener");
+  int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) throw_errno("accept() failed (listener shut down?)");
+  return TcpConnection(FdHandle(client));
+}
+
+void TcpListener::shutdown() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+TcpConnection connect_local(std::uint16_t port, double timeout_s) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket() failed");
+  FdHandle handle(fd);
+
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - std::floor(timeout_s)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect() to 127.0.0.1 failed");
+  }
+  return TcpConnection(std::move(handle));
+}
+
+}  // namespace openei::net

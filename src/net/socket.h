@@ -1,0 +1,78 @@
+// RAII TCP socket wrappers (loopback-oriented): the transport under libei's
+// RESTful API.  No third-party networking — plain POSIX sockets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace openei::net {
+
+/// Owning file-descriptor handle; closes on destruction, move-only.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle();
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept;
+  FdHandle& operator=(FdHandle&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpConnection {
+ public:
+  explicit TcpConnection(FdHandle fd) : fd_(std::move(fd)) {}
+
+  /// Reads up to `max_bytes`; returns bytes read (0 = peer closed).
+  /// Throws IoError on failure.
+  std::size_t read_some(char* buffer, std::size_t max_bytes);
+
+  /// Writes the whole buffer; throws IoError on failure.
+  void write_all(const char* data, std::size_t size);
+  void write_all(const std::string& data) { write_all(data.data(), data.size()); }
+
+  /// Sets a receive timeout so a stuck peer cannot hang a server worker.
+  void set_read_timeout(double seconds);
+
+  bool valid() const { return fd_.valid(); }
+  void close();
+
+ private:
+  FdHandle fd_;
+};
+
+/// Listening socket bound to 127.0.0.1.  Port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+
+  /// The actually bound port (useful with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; throws IoError when the listener was
+  /// shut down.
+  TcpConnection accept_connection();
+
+  /// Unblocks pending accept() calls (used for clean server shutdown).
+  void shutdown();
+
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`; throws IoError on refusal.
+TcpConnection connect_local(std::uint16_t port, double timeout_s = 5.0);
+
+}  // namespace openei::net

@@ -1,0 +1,97 @@
+// Stateless activation layers and shape utilities (flatten, dropout).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace openei::nn {
+
+/// max(0, x).
+class Relu : public Layer {
+ public:
+  std::string type() const override { return "relu"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::size_t flops(const Shape& input) const override { return input.elements(); }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Relu>(); }
+  common::Json config() const override { return common::Json(common::JsonObject{}); }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// 1 / (1 + e^-x).
+class Sigmoid : public Layer {
+ public:
+  std::string type() const override { return "sigmoid"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::size_t flops(const Shape& input) const override {
+    return 4 * input.elements();
+  }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Sigmoid>(); }
+  common::Json config() const override { return common::Json(common::JsonObject{}); }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// tanh(x).
+class Tanh : public Layer {
+ public:
+  std::string type() const override { return "tanh"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::size_t flops(const Shape& input) const override {
+    return 4 * input.elements();
+  }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Tanh>(); }
+  common::Json config() const override { return common::Json(common::JsonObject{}); }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Collapses [N, C, H, W] (or any rank >= 2) to [N, features].
+class Flatten : public Layer {
+ public:
+  std::string type() const override { return "flatten"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override {
+    return Shape{input.elements()};
+  }
+  std::size_t flops(const Shape&) const override { return 0; }
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Flatten>(); }
+  common::Json config() const override { return common::Json(common::JsonObject{}); }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// Inverted dropout: active only in training mode; identity at inference.
+class Dropout : public Layer {
+ public:
+  /// `rate` in [0, 1): probability of dropping a unit.
+  Dropout(float rate, std::uint64_t seed);
+
+  std::string type() const override { return "dropout"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::size_t flops(const Shape& input) const override { return input.elements(); }
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  std::uint64_t seed_;
+  common::Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace openei::nn

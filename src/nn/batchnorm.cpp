@@ -1,0 +1,139 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace openei::nn {
+
+BatchNorm::BatchNorm(std::size_t features, float momentum, float epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::ones(Shape{features})),
+      beta_(Shape{features}),
+      grad_gamma_(Shape{features}),
+      grad_beta_(Shape{features}),
+      running_mean_(Shape{features}),
+      running_var_(Tensor::ones(Shape{features})) {
+  OPENEI_CHECK(features > 0, "batchnorm with zero features");
+  OPENEI_CHECK(momentum >= 0.0F && momentum < 1.0F, "bad batchnorm momentum");
+}
+
+std::size_t BatchNorm::feature_of(std::size_t flat, const Shape& shape) const {
+  if (shape.rank() == 2) return flat % features_;
+  // NCHW: feature index is the channel.
+  std::size_t hw = shape.dim(2) * shape.dim(3);
+  return (flat / hw) % features_;
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  const Shape& shape = input.shape();
+  OPENEI_CHECK(shape.rank() == 2 || shape.rank() == 4,
+               "batchnorm input must be rank 2 or 4");
+  std::size_t feature_dim = shape.rank() == 2 ? shape.dim(1) : shape.dim(1);
+  OPENEI_CHECK(feature_dim == features_, "batchnorm feature count ", feature_dim,
+               " != ", features_);
+
+  std::size_t per_feature = input.elements() / features_;
+  auto x = input.data();
+
+  Tensor mean(Shape{features_});
+  Tensor var(Shape{features_});
+  if (training) {
+    for (std::size_t i = 0; i < x.size(); ++i) mean[feature_of(i, shape)] += x[i];
+    mean *= 1.0F / static_cast<float>(per_feature);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      float d = x[i] - mean[feature_of(i, shape)];
+      var[feature_of(i, shape)] += d * d;
+    }
+    var *= 1.0F / static_cast<float>(per_feature);
+    // Update running estimates.
+    for (std::size_t f = 0; f < features_; ++f) {
+      running_mean_[f] = momentum_ * running_mean_[f] + (1.0F - momentum_) * mean[f];
+      running_var_[f] = momentum_ * running_var_[f] + (1.0F - momentum_) * var[f];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Tensor inv_std(Shape{features_});
+  for (std::size_t f = 0; f < features_; ++f) {
+    inv_std[f] = 1.0F / std::sqrt(var[f] + epsilon_);
+  }
+
+  Tensor out(shape);
+  Tensor normalized(shape);
+  auto o = out.data();
+  auto nh = normalized.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::size_t f = feature_of(i, shape);
+    nh[i] = (x[i] - mean[f]) * inv_std[f];
+    o[i] = gamma_[f] * nh[i] + beta_[f];
+  }
+
+  if (training) {
+    cached_normalized_ = std::move(normalized);
+    cached_batch_inv_std_ = std::move(inv_std);
+    cached_shape_ = shape;
+    cached_per_feature_ = per_feature;
+  }
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  OPENEI_CHECK(cached_per_feature_ > 0, "batchnorm backward before training forward");
+  OPENEI_CHECK(grad_output.shape() == cached_shape_,
+               "batchnorm grad_output shape mismatch");
+  const Shape& shape = cached_shape_;
+  auto go = grad_output.data();
+  auto xh = cached_normalized_.data();
+  auto m = static_cast<float>(cached_per_feature_);
+
+  // Standard BN backward:
+  //   dgamma_f = sum(dy * x_hat), dbeta_f = sum(dy)
+  //   dx = (gamma * inv_std / m) * (m*dy - dbeta - x_hat*dgamma)
+  Tensor sum_dy(Shape{features_});
+  Tensor sum_dy_xhat(Shape{features_});
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    std::size_t f = feature_of(i, shape);
+    sum_dy[f] += go[i];
+    sum_dy_xhat[f] += go[i] * xh[i];
+  }
+  grad_gamma_ += sum_dy_xhat;
+  grad_beta_ += sum_dy;
+
+  Tensor grad_input(shape);
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    std::size_t f = feature_of(i, shape);
+    gi[i] = gamma_[f] * cached_batch_inv_std_[f] / m *
+            (m * go[i] - sum_dy[f] - xh[i] * sum_dy_xhat[f]);
+  }
+  return grad_input;
+}
+
+Shape BatchNorm::output_shape(const Shape& input) const {
+  OPENEI_CHECK((input.rank() == 1 && input.dim(0) == features_) ||
+                   (input.rank() == 3 && input.dim(0) == features_),
+               "batchnorm sample shape mismatch for ", features_, " features");
+  return input;
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  auto copy = std::make_unique<BatchNorm>(features_, momentum_, epsilon_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  copy->running_mean_ = running_mean_;
+  copy->running_var_ = running_var_;
+  return copy;
+}
+
+common::Json BatchNorm::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("features", features_);
+  cfg.set("momentum", static_cast<double>(momentum_));
+  cfg.set("epsilon", static_cast<double>(epsilon_));
+  return cfg;
+}
+
+}  // namespace openei::nn

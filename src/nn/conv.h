@@ -1,0 +1,126 @@
+// Convolutional layers: standard conv2d (im2col-backed, trainable) and the
+// depthwise variant underlying MobileNet-style EI models (paper Sec. IV-A2).
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace openei::nn {
+
+/// Trainable 2-D convolution over NCHW inputs.
+class Conv2d : public Layer {
+ public:
+  Conv2d(tensor::Conv2dSpec spec, common::Rng& rng);
+  Conv2d(tensor::Conv2dSpec spec, Tensor weights, Tensor bias);
+
+  std::string type() const override { return "conv2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override;
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  const tensor::Conv2dSpec& spec() const { return spec_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& weights() { return weights_; }
+  const Tensor& bias() const { return bias_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  tensor::Conv2dSpec spec_;
+  Tensor weights_;  // [oc, ic, k, k]
+  Tensor bias_;     // [oc]
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor cached_patches_;     // im2col of the last training input
+  Shape cached_input_shape_;  // NCHW of the last training input
+};
+
+/// Trainable depthwise 2-D convolution (one filter per channel).
+class DepthwiseConv2d : public Layer {
+ public:
+  DepthwiseConv2d(tensor::Conv2dSpec spec, common::Rng& rng);
+  DepthwiseConv2d(tensor::Conv2dSpec spec, Tensor weights, Tensor bias);
+
+  std::string type() const override { return "depthwise_conv2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weights_, &bias_}; }
+  std::vector<Tensor*> gradients() override { return {&grad_weights_, &grad_bias_}; }
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override;
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  const tensor::Conv2dSpec& spec() const { return spec_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& weights() { return weights_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  tensor::Conv2dSpec spec_;
+  Tensor weights_;  // [C, 1, k, k]
+  Tensor bias_;     // [C]
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor cached_input_;
+};
+
+/// Max pooling (window == stride); caches winner indices for backward.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  std::string type() const override { return "maxpool2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override { return input.elements(); }
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+  std::vector<std::size_t> winner_flat_;  // flat input index per output element
+};
+
+/// Average pooling (window == stride).
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window);
+
+  std::string type() const override { return "avgpool2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override { return input.elements(); }
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+};
+
+/// Global average pooling: NCHW -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  std::string type() const override { return "global_avgpool"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override { return input.elements(); }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
+  common::Json config() const override { return common::Json(common::JsonObject{}); }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace openei::nn

@@ -1,0 +1,189 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace openei::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng)
+    : weights_(Tensor::random_uniform(
+          Shape{in_features, out_features}, rng,
+          -std::sqrt(6.0F / static_cast<float>(in_features + out_features)),
+          std::sqrt(6.0F / static_cast<float>(in_features + out_features)))),
+      bias_(Shape{out_features}),
+      grad_weights_(weights_.shape()),
+      grad_bias_(bias_.shape()) {}
+
+Dense::Dense(Tensor weights, Tensor bias)
+    : weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      grad_weights_(weights_.shape()),
+      grad_bias_(bias_.shape()) {
+  OPENEI_CHECK(weights_.shape().rank() == 2, "dense weights must be rank 2");
+  OPENEI_CHECK(bias_.elements() == weights_.shape().dim(1),
+               "dense bias size mismatch");
+}
+
+Tensor Dense::forward(const Tensor& input, bool training) {
+  OPENEI_CHECK(input.shape().rank() == 2, "dense input must be [N, in]");
+  OPENEI_CHECK(input.shape().dim(1) == in_features(), "dense input width ",
+               input.shape().dim(1), " != ", in_features());
+  if (training) cached_input_ = input;
+  return tensor::add_row_bias(tensor::matmul(input, weights_), bias_);
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  OPENEI_CHECK(cached_input_.shape().rank() == 2,
+               "backward without prior training forward");
+  // dW = X^T dY; db = column sums of dY; dX = dY W^T.
+  grad_weights_ += tensor::matmul(tensor::transpose(cached_input_), grad_output);
+  std::size_t rows = grad_output.shape().dim(0);
+  std::size_t cols = grad_output.shape().dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      grad_bias_[c] += grad_output.at2(r, c);
+    }
+  }
+  return tensor::matmul(grad_output, tensor::transpose(weights_));
+}
+
+Shape Dense::output_shape(const Shape& input) const {
+  OPENEI_CHECK(input.rank() == 1 && input.dim(0) == in_features(),
+               "dense expects sample shape [", in_features(), "], got ",
+               input.to_string());
+  return Shape{out_features()};
+}
+
+std::size_t Dense::flops(const Shape& input) const {
+  (void)output_shape(input);  // validates
+  return 2 * in_features() * out_features();
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  return std::make_unique<Dense>(weights_, bias_);
+}
+
+common::Json Dense::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("in", in_features());
+  cfg.set("out", out_features());
+  return cfg;
+}
+
+QuantizedDense::QuantizedDense(tensor::QuantizedTensor weights, Tensor bias)
+    : weights_(std::move(weights)), bias_(std::move(bias)) {
+  OPENEI_CHECK(weights_.shape().rank() == 2, "quantized dense weights must be rank 2");
+  OPENEI_CHECK(bias_.elements() == weights_.shape().dim(1),
+               "quantized dense bias size mismatch");
+}
+
+std::unique_ptr<QuantizedDense> QuantizedDense::from_dense(const Dense& dense) {
+  return std::make_unique<QuantizedDense>(
+      tensor::QuantizedTensor::quantize(dense.weights()), dense.bias());
+}
+
+Tensor QuantizedDense::forward(const Tensor& input, bool training) {
+  OPENEI_CHECK(!training, "QuantizedDense is inference-only");
+  OPENEI_CHECK(input.shape().rank() == 2 &&
+                   input.shape().dim(1) == weights_.shape().dim(0),
+               "quantized dense input shape mismatch");
+  tensor::QuantizedTensor q_input = tensor::QuantizedTensor::quantize(input);
+  return tensor::add_row_bias(tensor::quantized_matmul(q_input, weights_), bias_);
+}
+
+Tensor QuantizedDense::backward(const Tensor&) {
+  throw openei::InvalidArgument("QuantizedDense does not support training");
+}
+
+Shape QuantizedDense::output_shape(const Shape& input) const {
+  OPENEI_CHECK(input.rank() == 1 && input.dim(0) == weights_.shape().dim(0),
+               "quantized dense sample shape mismatch");
+  return Shape{weights_.shape().dim(1)};
+}
+
+std::size_t QuantizedDense::flops(const Shape& input) const {
+  (void)output_shape(input);
+  return 2 * weights_.shape().dim(0) * weights_.shape().dim(1);
+}
+
+std::unique_ptr<Layer> QuantizedDense::clone() const {
+  return std::make_unique<QuantizedDense>(weights_, bias_);
+}
+
+common::Json QuantizedDense::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("in", weights_.shape().dim(0));
+  cfg.set("out", weights_.shape().dim(1));
+  cfg.set("scale", static_cast<double>(weights_.params().scale));
+  cfg.set("zero_point", weights_.params().zero_point);
+  return cfg;
+}
+
+FactoredDense::FactoredDense(Tensor u, Tensor v, Tensor bias)
+    : u_(std::move(u)),
+      v_(std::move(v)),
+      bias_(std::move(bias)),
+      grad_u_(u_.shape()),
+      grad_v_(v_.shape()),
+      grad_bias_(bias_.shape()) {
+  OPENEI_CHECK(u_.shape().rank() == 2 && v_.shape().rank() == 2,
+               "factored dense factors must be rank 2");
+  OPENEI_CHECK(u_.shape().dim(1) == v_.shape().dim(0),
+               "factored dense inner rank mismatch");
+  OPENEI_CHECK(bias_.elements() == v_.shape().dim(1),
+               "factored dense bias size mismatch");
+}
+
+Tensor FactoredDense::forward(const Tensor& input, bool training) {
+  OPENEI_CHECK(input.shape().rank() == 2 &&
+                   input.shape().dim(1) == u_.shape().dim(0),
+               "factored dense input shape mismatch");
+  Tensor intermediate = tensor::matmul(input, u_);
+  if (training) {
+    cached_input_ = input;
+    cached_intermediate_ = intermediate;
+  }
+  return tensor::add_row_bias(tensor::matmul(intermediate, v_), bias_);
+}
+
+Tensor FactoredDense::backward(const Tensor& grad_output) {
+  OPENEI_CHECK(cached_input_.shape().rank() == 2,
+               "factored dense backward before training forward");
+  // dV = (xU)^T dY; dU = x^T (dY V^T); db = col sums; dx = dY V^T U^T.
+  grad_v_ += tensor::matmul(tensor::transpose(cached_intermediate_), grad_output);
+  Tensor grad_intermediate = tensor::matmul(grad_output, tensor::transpose(v_));
+  grad_u_ += tensor::matmul(tensor::transpose(cached_input_), grad_intermediate);
+  std::size_t rows = grad_output.shape().dim(0);
+  std::size_t cols = grad_output.shape().dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) grad_bias_[c] += grad_output.at2(r, c);
+  }
+  return tensor::matmul(grad_intermediate, tensor::transpose(u_));
+}
+
+Shape FactoredDense::output_shape(const Shape& input) const {
+  OPENEI_CHECK(input.rank() == 1 && input.dim(0) == u_.shape().dim(0),
+               "factored dense sample shape mismatch");
+  return Shape{v_.shape().dim(1)};
+}
+
+std::size_t FactoredDense::flops(const Shape& input) const {
+  (void)output_shape(input);
+  std::size_t r = rank();
+  return 2 * u_.shape().dim(0) * r + 2 * r * v_.shape().dim(1);
+}
+
+std::unique_ptr<Layer> FactoredDense::clone() const {
+  return std::make_unique<FactoredDense>(u_, v_, bias_);
+}
+
+common::Json FactoredDense::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("in", u_.shape().dim(0));
+  cfg.set("rank", rank());
+  cfg.set("out", v_.shape().dim(1));
+  return cfg;
+}
+
+}  // namespace openei::nn

@@ -1,0 +1,129 @@
+#include "nn/factored_conv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/linalg.h"
+
+namespace openei::nn {
+
+namespace {
+
+tensor::Conv2dSpec basis_spec(const tensor::Conv2dSpec& full, std::size_t rank) {
+  tensor::Conv2dSpec spec = full;
+  spec.out_channels = rank;
+  return spec;
+}
+
+tensor::Conv2dSpec mixer_spec(const tensor::Conv2dSpec& full, std::size_t rank) {
+  tensor::Conv2dSpec spec;
+  spec.in_channels = rank;
+  spec.out_channels = full.out_channels;
+  spec.kernel = 1;
+  spec.stride = 1;
+  spec.padding = 0;
+  return spec;
+}
+
+// Helpers that read the tensor's shape *before* moving it into the Conv2d,
+// avoiding unspecified-evaluation-order hazards in a single call expression.
+Conv2d make_basis_stage(const tensor::Conv2dSpec& full, Tensor basis) {
+  OPENEI_CHECK(basis.shape().rank() == 4, "factored conv basis must be rank 4");
+  std::size_t rank = basis.shape().dim(0);
+  return Conv2d(basis_spec(full, rank), std::move(basis),
+                Tensor(Shape{rank}));
+}
+
+Conv2d make_mixer_stage(const tensor::Conv2dSpec& full, Tensor mixer,
+                        Tensor bias) {
+  OPENEI_CHECK(mixer.shape().rank() == 4, "factored conv mixer must be rank 4");
+  std::size_t rank = mixer.shape().dim(1);
+  return Conv2d(mixer_spec(full, rank), std::move(mixer), std::move(bias));
+}
+
+}  // namespace
+
+FactoredConv2d::FactoredConv2d(tensor::Conv2dSpec spec, Tensor basis,
+                               Tensor mixer, Tensor bias)
+    : spec_(spec),
+      basis_(make_basis_stage(spec, std::move(basis))),
+      mixer_(make_mixer_stage(spec, std::move(mixer), std::move(bias))) {
+  OPENEI_CHECK(basis_.spec().out_channels == mixer_.spec().in_channels,
+               "factored conv rank mismatch between basis and mixer");
+}
+
+Tensor FactoredConv2d::forward(const Tensor& input, bool training) {
+  return mixer_.forward(basis_.forward(input, training), training);
+}
+
+Tensor FactoredConv2d::backward(const Tensor& grad_output) {
+  return basis_.backward(mixer_.backward(grad_output));
+}
+
+std::vector<Tensor*> FactoredConv2d::parameters() {
+  std::vector<Tensor*> out = basis_.parameters();
+  for (Tensor* p : mixer_.parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> FactoredConv2d::gradients() {
+  std::vector<Tensor*> out = basis_.gradients();
+  for (Tensor* g : mixer_.gradients()) out.push_back(g);
+  return out;
+}
+
+Shape FactoredConv2d::output_shape(const Shape& input) const {
+  return mixer_.output_shape(basis_.output_shape(input));
+}
+
+std::size_t FactoredConv2d::flops(const Shape& input) const {
+  return basis_.flops(input) + mixer_.flops(basis_.output_shape(input));
+}
+
+std::unique_ptr<Layer> FactoredConv2d::clone() const {
+  return std::make_unique<FactoredConv2d>(spec_, basis_.weights(),
+                                          mixer_.weights(), mixer_.bias());
+}
+
+common::Json FactoredConv2d::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("in_channels", spec_.in_channels);
+  cfg.set("out_channels", spec_.out_channels);
+  cfg.set("kernel", spec_.kernel);
+  cfg.set("stride", spec_.stride);
+  cfg.set("padding", spec_.padding);
+  cfg.set("rank", rank());
+  return cfg;
+}
+
+std::unique_ptr<FactoredConv2d> factorize_conv(const Conv2d& conv,
+                                               std::size_t rank) {
+  const tensor::Conv2dSpec& spec = conv.spec();
+  std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  std::size_t full_rank = std::min(spec.out_channels, patch);
+  OPENEI_CHECK(rank >= 1 && rank <= full_rank, "conv factorization rank ", rank,
+               " outside [1, ", full_rank, "]");
+
+  // SVD of the [oc, ic*k*k] weight matrix.
+  Tensor w2 = conv.weights().reshaped(Shape{spec.out_channels, patch});
+  tensor::SvdResult svd = tensor::svd(w2);
+
+  // basis row r = sqrt(S_r) * V[:, r]^T reshaped to [ic, k, k];
+  // mixer column r = U[:, r] * sqrt(S_r).
+  Tensor basis(Shape{rank, spec.in_channels, spec.kernel, spec.kernel});
+  Tensor mixer(Shape{spec.out_channels, rank, 1, 1});
+  auto basis_data = basis.data();
+  for (std::size_t r = 0; r < rank; ++r) {
+    float root = std::sqrt(std::max(svd.singular_values[r], 0.0F));
+    for (std::size_t p = 0; p < patch; ++p) {
+      basis_data[r * patch + p] = root * svd.v.at2(p, r);
+    }
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      mixer.at4(oc, r, 0, 0) = root * svd.u.at2(oc, r);
+    }
+  }
+  return std::make_unique<FactoredConv2d>(spec, std::move(basis),
+                                          std::move(mixer), conv.bias());
+}
+
+}  // namespace openei::nn

@@ -1,0 +1,50 @@
+// Low-rank factored convolution (Denton et al. [25] factor conv layers, not
+// just dense ones — paper Table I "low-rank factorization").
+//
+// A conv W: [oc, ic, k, k] viewed as the matrix [oc, ic*k*k] admits an SVD
+// truncation to rank r, which executes as two cheaper convolutions:
+//   stage 1: [r, ic, k, k]  (the spatial basis)
+//   stage 2: [oc, r, 1, 1]  (the channel mixer)
+// FLOPs drop from 2*out*k²*ic to 2*out*(k²*ic*r/oc + r) per output element
+// when r << min(oc, ic*k²).  Trainable, so factored CNNs fine-tune on-device.
+#pragma once
+
+#include "nn/conv.h"
+
+namespace openei::nn {
+
+class FactoredConv2d : public Layer {
+ public:
+  /// `basis`: [r, ic, k, k]; `mixer`: [oc, r, 1, 1]; bias: [oc].
+  /// `spec` describes the equivalent full convolution (stride/padding apply
+  /// to the basis stage; the mixer is always 1x1 stride 1).
+  FactoredConv2d(tensor::Conv2dSpec spec, Tensor basis, Tensor mixer,
+                 Tensor bias);
+
+  std::string type() const override { return "factored_conv2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override;
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  std::size_t rank() const { return basis_.spec().out_channels; }
+  const Conv2d& basis() const { return basis_; }
+  const Conv2d& mixer() const { return mixer_; }
+
+ private:
+  tensor::Conv2dSpec spec_;  // the equivalent full conv
+  Conv2d basis_;             // [r, ic, k, k] at spec stride/padding
+  Conv2d mixer_;             // [oc, r, 1, 1]
+};
+
+/// SVD-factorizes a Conv2d into a FactoredConv2d of the given rank
+/// (1 <= rank <= min(oc, ic*k*k)).  The factored layer reproduces the
+/// original exactly at full rank.
+std::unique_ptr<FactoredConv2d> factorize_conv(const Conv2d& conv,
+                                               std::size_t rank);
+
+}  // namespace openei::nn

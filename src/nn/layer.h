@@ -1,0 +1,75 @@
+// Layer interface of the OpenEI deep-learning package.
+//
+// Layers support inference (`forward`) and on-device training (`backward` +
+// parameter/gradient exposure), because the OpenEI package manager — unlike
+// TensorFlow Lite — "also supports training the model locally" (paper
+// Sec. III-B).  Shape/FLOP introspection feeds the ALEM cost models in
+// src/hwsim and the model selector.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "tensor/tensor.h"
+
+namespace openei::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Abstract NN layer.  Batch dimension is implicit: `forward` consumes
+/// [N, ...sample_shape] tensors, while `output_shape`/`flops` reason about a
+/// single sample's shape (no batch dim).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable type tag used by the serializer registry ("dense", "conv2d"...).
+  virtual std::string type() const = 0;
+
+  /// Runs the layer.  When `training` is true the layer caches whatever it
+  /// needs for `backward` and applies train-only behaviour (dropout masks,
+  /// batch statistics).
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates `grad_output` (shape of the forward output), accumulating
+  /// parameter gradients and returning the gradient w.r.t. the input.
+  /// Requires a preceding `forward(..., training=true)`.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameter tensors (empty for stateless layers).  Gradients are
+  /// index-aligned with parameters.
+  virtual std::vector<Tensor*> parameters() { return {}; }
+  virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Zeroes accumulated gradients.
+  void zero_gradients() {
+    for (Tensor* g : gradients()) *g *= 0.0F;
+  }
+
+  /// Total learnable scalar count.
+  std::size_t param_count() {
+    std::size_t count = 0;
+    for (Tensor* p : parameters()) count += p->elements();
+    return count;
+  }
+
+  /// Sample output shape for a sample input shape; throws on mismatch.
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Multiply-accumulate-dominated FLOP estimate for one sample.
+  virtual std::size_t flops(const Shape& input) const = 0;
+
+  /// Deep copy (used by the compressors, which transform copies).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Serializable configuration (hyper-parameters, not weights).
+  virtual common::Json config() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace openei::nn

@@ -1,0 +1,72 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace openei::nn {
+
+LossResult SoftmaxCrossEntropy::evaluate(
+    const Tensor& logits, const std::vector<std::size_t>& labels) const {
+  OPENEI_CHECK(logits.shape().rank() == 2, "logits must be [N, classes]");
+  std::size_t n = logits.shape().dim(0);
+  std::size_t classes = logits.shape().dim(1);
+  OPENEI_CHECK(labels.size() == n, "label count ", labels.size(), " != batch ", n);
+
+  Tensor probs = tensor::softmax_rows(logits);
+  double loss = 0.0;
+  Tensor grad = probs;
+  float inv_n = 1.0F / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    OPENEI_CHECK(labels[r] < classes, "label ", labels[r], " out of range");
+    float p = std::max(probs.at2(r, labels[r]), 1e-12F);
+    loss -= std::log(p);
+    grad.at2(r, labels[r]) -= 1.0F;
+  }
+  grad *= inv_n;
+  return {static_cast<float>(loss / n), std::move(grad)};
+}
+
+SoftTargetLoss::SoftTargetLoss(float temperature) : temperature_(temperature) {
+  OPENEI_CHECK(temperature > 0.0F, "non-positive distillation temperature");
+}
+
+LossResult SoftTargetLoss::evaluate(const Tensor& logits,
+                                    const Tensor& targets) const {
+  OPENEI_CHECK(logits.shape().rank() == 2 && logits.shape() == targets.shape(),
+               "soft-target loss shape mismatch");
+  std::size_t n = logits.shape().dim(0);
+  std::size_t classes = logits.shape().dim(1);
+
+  Tensor scaled = logits * (1.0F / temperature_);
+  Tensor probs = tensor::softmax_rows(scaled);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      float t = targets.at2(r, c);
+      if (t > 0.0F) {
+        loss -= t * std::log(std::max(probs.at2(r, c), 1e-12F));
+      }
+    }
+  }
+  // d/dlogits of CE(soft targets, softmax(logits/T)) = (p - t) / (T * N).
+  Tensor grad = probs - targets;
+  grad *= 1.0F / (temperature_ * static_cast<float>(n));
+  return {static_cast<float>(loss / n), std::move(grad)};
+}
+
+LossResult MeanSquaredError::evaluate(const Tensor& predictions,
+                                      const Tensor& targets) const {
+  OPENEI_CHECK(predictions.shape() == targets.shape(), "MSE shape mismatch");
+  Tensor diff = predictions - targets;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < diff.elements(); ++i) {
+    loss += 0.5 * static_cast<double>(diff[i]) * diff[i];
+  }
+  std::size_t n = diff.elements();
+  Tensor grad = diff * (1.0F / static_cast<float>(n));
+  return {static_cast<float>(loss / n), std::move(grad)};
+}
+
+}  // namespace openei::nn

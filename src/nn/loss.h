@@ -1,0 +1,49 @@
+// Loss functions for on-device training.
+//
+// SoftmaxCrossEntropy covers classification (hard labels); SoftTargetLoss is
+// the distillation loss (teacher soft targets, paper Sec. IV-A1 "knowledge
+// transfer"); MeanSquaredError covers regression.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace openei::nn {
+
+using tensor::Tensor;
+
+/// Result of a loss evaluation: scalar loss plus the gradient w.r.t. the
+/// model output (already averaged over the batch).
+struct LossResult {
+  float loss = 0.0F;
+  Tensor grad;
+};
+
+/// Softmax + cross-entropy against integer class labels.
+class SoftmaxCrossEntropy {
+ public:
+  /// `logits`: [N, classes]; `labels`: N entries < classes.
+  LossResult evaluate(const Tensor& logits,
+                      const std::vector<std::size_t>& labels) const;
+};
+
+/// Cross-entropy against a soft target distribution (rows sum to 1), with a
+/// distillation temperature applied to the student logits.
+class SoftTargetLoss {
+ public:
+  explicit SoftTargetLoss(float temperature = 1.0F);
+  /// `logits`: [N, classes]; `targets`: [N, classes] probabilities.
+  LossResult evaluate(const Tensor& logits, const Tensor& targets) const;
+
+ private:
+  float temperature_;
+};
+
+/// 0.5 * mean squared error.
+class MeanSquaredError {
+ public:
+  LossResult evaluate(const Tensor& predictions, const Tensor& targets) const;
+};
+
+}  // namespace openei::nn

@@ -1,0 +1,184 @@
+#include "nn/model.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "nn/dense.h"
+
+namespace openei::nn {
+
+Model::Model(std::string name, Shape input_shape)
+    : name_(std::move(name)), input_shape_(std::move(input_shape)) {
+  OPENEI_CHECK(!name_.empty(), "model needs a name");
+}
+
+Model Model::clone() const {
+  Model copy(name_, input_shape_);
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  return copy;
+}
+
+Model& Model::add(LayerPtr layer) {
+  OPENEI_CHECK(layer != nullptr, "cannot add null layer");
+  // output_shape() throws if the layer rejects the current shape.
+  Shape current = output_shape();
+  (void)layer->output_shape(current);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Model::replace_layer(std::size_t index, LayerPtr layer) {
+  OPENEI_CHECK(index < layers_.size(), "layer index ", index, " out of range");
+  OPENEI_CHECK(layer != nullptr, "cannot install null layer");
+  Shape before = shape_after(index);
+  Shape old_out = layers_[index]->output_shape(before);
+  Shape new_out = layer->output_shape(before);
+  OPENEI_CHECK(new_out == old_out, "replacement layer changes shape ",
+               old_out.to_string(), " -> ", new_out.to_string());
+  layers_[index] = std::move(layer);
+}
+
+Layer& Model::layer(std::size_t index) {
+  OPENEI_CHECK(index < layers_.size(), "layer index ", index, " out of range");
+  return *layers_[index];
+}
+
+const Layer& Model::layer(std::size_t index) const {
+  OPENEI_CHECK(index < layers_.size(), "layer index ", index, " out of range");
+  return *layers_[index];
+}
+
+Tensor Model::forward(const Tensor& batch, bool training) {
+  Tensor out = batch;
+  for (auto& layer : layers_) out = layer->forward(out, training);
+  return out;
+}
+
+Tensor Model::forward_prefix(const Tensor& batch, std::size_t k) {
+  OPENEI_CHECK(k <= layers_.size(), "prefix length ", k, " exceeds ",
+               layers_.size(), " layers");
+  Tensor out = batch;
+  for (std::size_t i = 0; i < k; ++i) out = layers_[i]->forward(out, false);
+  return out;
+}
+
+Tensor Model::forward_suffix(const Tensor& intermediate, std::size_t k) {
+  OPENEI_CHECK(k <= layers_.size(), "suffix start ", k, " exceeds ",
+               layers_.size(), " layers");
+  Tensor out = intermediate;
+  for (std::size_t i = k; i < layers_.size(); ++i) {
+    out = layers_[i]->forward(out, false);
+  }
+  return out;
+}
+
+Tensor Model::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i]->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<std::size_t> Model::predict(const Tensor& batch) {
+  Tensor logits = forward(batch, false);
+  OPENEI_CHECK(logits.shape().rank() == 2, "predict expects rank-2 model output");
+  std::size_t rows = logits.shape().dim(0);
+  std::size_t cols = logits.shape().dim(1);
+  std::vector<std::size_t> out(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cols; ++c) {
+      if (logits.at2(r, c) > logits.at2(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+std::vector<Tensor*> Model::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Model::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Model::zero_gradients() {
+  for (auto& layer : layers_) layer->zero_gradients();
+}
+
+Shape Model::output_shape() const { return shape_after(layers_.size()); }
+
+Shape Model::shape_after(std::size_t k) const {
+  OPENEI_CHECK(k <= layers_.size(), "shape_after(", k, ") exceeds ",
+               layers_.size(), " layers");
+  Shape shape = input_shape_;
+  for (std::size_t i = 0; i < k; ++i) shape = layers_[i]->output_shape(shape);
+  return shape;
+}
+
+std::size_t Model::param_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    // param_count() is non-const because parameters() hands out mutable
+    // pointers; counting does not mutate, so the cast is safe.
+    total += const_cast<Layer&>(*layer).param_count();
+  }
+  return total;
+}
+
+std::size_t Model::flops_per_sample() const {
+  std::size_t total = 0;
+  Shape shape = input_shape_;
+  for (const auto& layer : layers_) {
+    total += layer->flops(shape);
+    shape = layer->output_shape(shape);
+  }
+  return total;
+}
+
+std::string Model::summary() const {
+  std::ostringstream out;
+  out << "Model '" << name_ << "'  input " << input_shape_.to_string() << "\n";
+  char row[160];
+  std::snprintf(row, sizeof(row), "%-4s %-20s %-16s %10s %12s\n", "#", "layer",
+                "output", "params", "FLOPs");
+  out << row;
+  Shape shape = input_shape_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    std::size_t flops = layers_[i]->flops(shape);
+    shape = layers_[i]->output_shape(shape);
+    std::snprintf(row, sizeof(row), "%-4zu %-20s %-16s %10zu %12zu\n", i,
+                  layers_[i]->type().c_str(), shape.to_string().c_str(),
+                  layers_[i]->param_count(), flops);
+    out << row;
+  }
+  std::snprintf(row, sizeof(row),
+                "total: %zu params, %zu FLOPs/sample, %zu bytes\n",
+                param_count(), flops_per_sample(), storage_bytes());
+  out << row;
+  return out.str();
+}
+
+std::size_t Model::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    if (const auto* quantized = dynamic_cast<const QuantizedDense*>(layer.get())) {
+      total += quantized->storage_bytes();
+    } else {
+      total += const_cast<Layer&>(*layer).param_count() * sizeof(float);
+    }
+  }
+  return total;
+}
+
+}  // namespace openei::nn

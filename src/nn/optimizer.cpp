@@ -1,0 +1,90 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace openei::nn {
+
+SgdOptimizer::SgdOptimizer(Options options) : options_(options) {
+  OPENEI_CHECK(options.learning_rate > 0.0F, "non-positive learning rate");
+  OPENEI_CHECK(options.momentum >= 0.0F && options.momentum < 1.0F,
+               "momentum outside [0, 1)");
+  OPENEI_CHECK(options.weight_decay >= 0.0F, "negative weight decay");
+}
+
+void SgdOptimizer::step(const std::vector<Tensor*>& parameters,
+                        const std::vector<Tensor*>& gradients) {
+  OPENEI_CHECK(parameters.size() == gradients.size(),
+               "parameter/gradient count mismatch");
+  if (velocity_.empty()) {
+    velocity_.reserve(parameters.size());
+    for (Tensor* p : parameters) velocity_.emplace_back(p->shape());
+  }
+  OPENEI_CHECK(velocity_.size() == parameters.size(),
+               "optimizer bound to a different parameter list");
+
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    Tensor& p = *parameters[i];
+    Tensor& g = *gradients[i];
+    Tensor& v = velocity_[i];
+    OPENEI_CHECK(p.shape() == g.shape() && p.shape() == v.shape(),
+                 "parameter ", i, " shape changed under the optimizer");
+    auto pd = p.data();
+    auto gd = g.data();
+    auto vd = v.data();
+    for (std::size_t j = 0; j < pd.size(); ++j) {
+      float grad = gd[j] + options_.weight_decay * pd[j];
+      vd[j] = options_.momentum * vd[j] + grad;
+      pd[j] -= options_.learning_rate * vd[j];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(Options options) : options_(options) {
+  OPENEI_CHECK(options.learning_rate > 0.0F, "non-positive learning rate");
+  OPENEI_CHECK(options.beta1 >= 0.0F && options.beta1 < 1.0F, "beta1 outside [0,1)");
+  OPENEI_CHECK(options.beta2 >= 0.0F && options.beta2 < 1.0F, "beta2 outside [0,1)");
+  OPENEI_CHECK(options.epsilon > 0.0F, "non-positive epsilon");
+}
+
+void AdamOptimizer::step(const std::vector<Tensor*>& parameters,
+                         const std::vector<Tensor*>& gradients) {
+  OPENEI_CHECK(parameters.size() == gradients.size(),
+               "parameter/gradient count mismatch");
+  if (first_moment_.empty()) {
+    first_moment_.reserve(parameters.size());
+    second_moment_.reserve(parameters.size());
+    for (Tensor* p : parameters) {
+      first_moment_.emplace_back(p->shape());
+      second_moment_.emplace_back(p->shape());
+    }
+  }
+  OPENEI_CHECK(first_moment_.size() == parameters.size(),
+               "optimizer bound to a different parameter list");
+
+  ++step_count_;
+  float correction1 =
+      1.0F - std::pow(options_.beta1, static_cast<float>(step_count_));
+  float correction2 =
+      1.0F - std::pow(options_.beta2, static_cast<float>(step_count_));
+
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    auto pd = parameters[i]->data();
+    auto gd = gradients[i]->data();
+    auto md = first_moment_[i].data();
+    auto vd = second_moment_[i].data();
+    OPENEI_CHECK(pd.size() == md.size(), "parameter ", i,
+                 " shape changed under the optimizer");
+    for (std::size_t j = 0; j < pd.size(); ++j) {
+      md[j] = options_.beta1 * md[j] + (1.0F - options_.beta1) * gd[j];
+      vd[j] = options_.beta2 * vd[j] + (1.0F - options_.beta2) * gd[j] * gd[j];
+      float m_hat = md[j] / correction1;
+      float v_hat = vd[j] / correction2;
+      pd[j] -= options_.learning_rate * m_hat /
+               (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace openei::nn

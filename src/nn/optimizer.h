@@ -1,0 +1,63 @@
+// Optimizers for on-device training: SGD with momentum and weight decay,
+// and Adam for the faster-converging local fine-tunes edge budgets want.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace openei::nn {
+
+using tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+/// Velocity buffers are keyed by parameter order, so the same optimizer
+/// instance must be used with a stable parameter list (one model).
+class SgdOptimizer {
+ public:
+  struct Options {
+    float learning_rate = 0.01F;
+    float momentum = 0.0F;
+    float weight_decay = 0.0F;
+  };
+
+  explicit SgdOptimizer(Options options);
+
+  /// Applies one update: p -= lr * (v <- mu*v + g + wd*p); gradients are left
+  /// untouched (caller zeroes them per batch).
+  void step(const std::vector<Tensor*>& parameters,
+            const std::vector<Tensor*>& gradients);
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+
+ private:
+  Options options_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias-corrected first/second moments.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float learning_rate = 0.001F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float epsilon = 1e-8F;
+  };
+
+  explicit AdamOptimizer(Options options);
+
+  /// One update step; like SgdOptimizer, binds to a stable parameter list.
+  void step(const std::vector<Tensor*>& parameters,
+            const std::vector<Tensor*>& gradients);
+
+ private:
+  Options options_;
+  std::int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+}  // namespace openei::nn

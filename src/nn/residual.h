@@ -1,0 +1,36 @@
+// Residual block (ResNet-style): out = body(x) + shortcut(x).
+//
+// The shortcut is identity when shapes match, or a caller-provided projection
+// layer (1x1 conv / dense) otherwise.  Used by the zoo's mini-ResNet.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace openei::nn {
+
+class ResidualBlock : public Layer {
+ public:
+  /// `body` must be non-empty.  `projection` may be null (identity shortcut).
+  ResidualBlock(std::vector<LayerPtr> body, LayerPtr projection);
+
+  std::string type() const override { return "residual"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override;
+  std::vector<Tensor*> gradients() override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override;
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  const std::vector<LayerPtr>& body() const { return body_; }
+  const Layer* projection() const { return projection_.get(); }
+
+ private:
+  std::vector<LayerPtr> body_;
+  LayerPtr projection_;  // may be null
+};
+
+}  // namespace openei::nn

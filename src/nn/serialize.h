@@ -1,0 +1,33 @@
+// Model (de)serialization.
+//
+// Models travel between the cloud and edges (paper Fig. 3: download trained
+// models, upload retrained ones), so the wire format must be self-contained:
+// a JSON document with layer configs and weights.  The byte size of dump()
+// output is NOT the model's storage footprint — Model::storage_bytes()
+// reports the compact binary size the ALEM memory estimate uses.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+#include "nn/model.h"
+
+namespace openei::nn {
+
+/// Serializes a model (architecture + weights) to a JSON document.
+common::Json model_to_json(const Model& model);
+
+/// Rebuilds a model from model_to_json output; throws ParseError /
+/// InvalidArgument on malformed documents.
+Model model_from_json(const common::Json& doc);
+
+/// Convenience string round-trip.
+std::string save_model(const Model& model);
+Model load_model(const std::string& text);
+
+/// File persistence (models survive node restarts); throws IoError on
+/// filesystem failure.
+void save_model_file(const Model& model, const std::string& path);
+Model load_model_file(const std::string& path);
+
+}  // namespace openei::nn

@@ -1,0 +1,137 @@
+#include "nn/train.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/metrics.h"
+
+namespace openei::nn {
+
+namespace {
+
+/// Masks frozen parameter gradients so the optimizer leaves them untouched.
+void apply_freeze(Model& model, const std::vector<std::size_t>& frozen) {
+  if (frozen.empty()) return;
+  auto grads = model.gradients();
+  for (std::size_t index : frozen) {
+    OPENEI_CHECK(index < grads.size(), "frozen parameter index ", index,
+                 " out of range ", grads.size());
+    *grads[index] *= 0.0F;
+  }
+}
+
+/// Scales all gradients so the global L2 norm is at most `clip_norm`.
+void apply_clip(Model& model, float clip_norm) {
+  if (clip_norm <= 0.0F) return;
+  double total = 0.0;
+  for (Tensor* g : model.gradients()) {
+    double n = g->norm();
+    total += n * n;
+  }
+  auto global_norm = static_cast<float>(std::sqrt(total));
+  if (global_norm > clip_norm) {
+    float scale = clip_norm / global_norm;
+    for (Tensor* g : model.gradients()) *g *= scale;
+  }
+}
+
+}  // namespace
+
+std::vector<EpochStats> fit(Model& model, const data::Dataset& train,
+                            const TrainOptions& options) {
+  train.check();
+  OPENEI_CHECK(options.epochs > 0, "zero epochs");
+  common::Rng rng(options.shuffle_seed);
+  SgdOptimizer optimizer(options.sgd);
+  SoftmaxCrossEntropy loss_fn;
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    data::Dataset shuffled = train.select(rng.permutation(train.size()));
+    data::BatchIterator batches(shuffled, options.batch_size);
+
+    double loss_sum = 0.0;
+    std::size_t hits = 0;
+    for (std::size_t b = 0; b < batches.batch_count(); ++b) {
+      data::Dataset batch = batches.batch(b);
+      model.zero_gradients();
+      Tensor logits = model.forward(batch.features, /*training=*/true);
+      LossResult loss = loss_fn.evaluate(logits, batch.labels);
+      model.backward(loss.grad);
+      apply_freeze(model, options.frozen_parameters);
+      apply_clip(model, options.clip_norm);
+      optimizer.step(model.parameters(), model.gradients());
+
+      loss_sum += static_cast<double>(loss.loss) * static_cast<double>(batch.size());
+      for (std::size_t r = 0; r < batch.size(); ++r) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < logits.shape().dim(1); ++c) {
+          if (logits.at2(r, c) > logits.at2(r, best)) best = c;
+        }
+        if (best == batch.labels[r]) ++hits;
+      }
+    }
+    history.push_back(
+        {epoch, static_cast<float>(loss_sum / static_cast<double>(train.size())),
+         static_cast<double>(hits) / static_cast<double>(train.size())});
+  }
+  return history;
+}
+
+std::vector<EpochStats> fit_soft(Model& model, const Tensor& features,
+                                 const Tensor& targets, float temperature,
+                                 const TrainOptions& options) {
+  OPENEI_CHECK(features.shape().dim(0) == targets.shape().dim(0),
+               "feature/target row mismatch");
+  common::Rng rng(options.shuffle_seed);
+  SgdOptimizer optimizer(options.sgd);
+  SoftTargetLoss loss_fn(temperature);
+  std::size_t n = features.shape().dim(0);
+
+  std::vector<EpochStats> history;
+  history.reserve(options.epochs);
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    auto perm = rng.permutation(n);
+    double loss_sum = 0.0;
+    for (std::size_t begin = 0; begin < n; begin += options.batch_size) {
+      std::size_t end = std::min(begin + options.batch_size, n);
+      // Gather the shuffled batch.
+      std::size_t sample_elems = features.elements() / n;
+      std::size_t target_cols = targets.shape().dim(1);
+      std::vector<std::size_t> dims = features.shape().dims();
+      dims[0] = end - begin;
+      Tensor batch_x{Shape(dims)};
+      Tensor batch_t{Shape{end - begin, target_cols}};
+      for (std::size_t i = begin; i < end; ++i) {
+        std::size_t row = perm[i];
+        for (std::size_t j = 0; j < sample_elems; ++j) {
+          batch_x[(i - begin) * sample_elems + j] = features[row * sample_elems + j];
+        }
+        for (std::size_t j = 0; j < target_cols; ++j) {
+          batch_t.at2(i - begin, j) = targets.at2(row, j);
+        }
+      }
+
+      model.zero_gradients();
+      Tensor logits = model.forward(batch_x, /*training=*/true);
+      LossResult loss = loss_fn.evaluate(logits, batch_t);
+      model.backward(loss.grad);
+      apply_freeze(model, options.frozen_parameters);
+      apply_clip(model, options.clip_norm);
+      optimizer.step(model.parameters(), model.gradients());
+      loss_sum += static_cast<double>(loss.loss) * static_cast<double>(end - begin);
+    }
+    history.push_back(
+        {epoch, static_cast<float>(loss_sum / static_cast<double>(n)), 0.0});
+  }
+  return history;
+}
+
+double evaluate_accuracy(Model& model, const data::Dataset& test) {
+  test.check();
+  return data::accuracy(model.predict(test.features), test.labels);
+}
+
+}  // namespace openei::nn

@@ -1,0 +1,45 @@
+// Mini-batch training loop used for cloud-side training, on-device transfer
+// learning (paper Fig. 3 dataflow 3), and distillation student training.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace openei::nn {
+
+struct TrainOptions {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  SgdOptimizer::Options sgd;
+  std::uint64_t shuffle_seed = 1;
+  /// Parameter indices to freeze (transfer learning retrains only the head).
+  std::vector<std::size_t> frozen_parameters;
+  /// Global gradient-norm clip (0 = off).  Stabilizes recurrent/deep models
+  /// trained on-device with aggressive learning rates.
+  float clip_norm = 0.0F;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  float mean_loss = 0.0F;
+  double train_accuracy = 0.0;
+};
+
+/// Trains `model` with softmax cross-entropy on integer labels.
+std::vector<EpochStats> fit(Model& model, const data::Dataset& train,
+                            const TrainOptions& options);
+
+/// Trains `model` against soft target rows (distillation); `targets` is
+/// [N, classes] aligned with `features` rows.
+std::vector<EpochStats> fit_soft(Model& model, const Tensor& features,
+                                 const Tensor& targets, float temperature,
+                                 const TrainOptions& options);
+
+/// Test-set classification accuracy.
+double evaluate_accuracy(Model& model, const data::Dataset& test);
+
+}  // namespace openei::nn

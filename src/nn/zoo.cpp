@@ -1,0 +1,227 @@
+#include "nn/zoo.h"
+
+#include <algorithm>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/residual.h"
+
+namespace openei::nn::zoo {
+
+using tensor::Conv2dSpec;
+
+namespace {
+
+Conv2dSpec conv_spec(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+                     std::size_t stride, std::size_t padding) {
+  Conv2dSpec spec;
+  spec.in_channels = in_c;
+  spec.out_channels = out_c;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.padding = padding;
+  return spec;
+}
+
+std::size_t flat_features(const Model& model) {
+  return model.output_shape().elements();
+}
+
+}  // namespace
+
+Model make_mlp(const std::string& name, std::size_t inputs, std::size_t classes,
+               const std::vector<std::size_t>& hidden, common::Rng& rng) {
+  Model model(name, tensor::Shape{inputs});
+  std::size_t width = inputs;
+  for (std::size_t h : hidden) {
+    model.add(std::make_unique<Dense>(width, h, rng));
+    model.add(std::make_unique<Relu>());
+    width = h;
+  }
+  model.add(std::make_unique<Dense>(width, classes, rng));
+  return model;
+}
+
+Model make_mini_alexnet(const ImageSpec& spec, common::Rng& rng) {
+  Model model("mini_alexnet",
+              tensor::Shape{spec.channels, spec.size, spec.size});
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, 12, 5, 1, 2), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  model.add(std::make_unique<Conv2d>(conv_spec(12, 24, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  model.add(std::make_unique<Flatten>());
+  // The AlexNet signature: a heavy dense head.
+  model.add(std::make_unique<Dense>(flat_features(model), 128, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Dropout>(0.3F, 1234));
+  model.add(std::make_unique<Dense>(128, spec.classes, rng));
+  return model;
+}
+
+Model make_mini_vgg(const ImageSpec& spec, common::Rng& rng) {
+  Model model("mini_vgg", tensor::Shape{spec.channels, spec.size, spec.size});
+  // Block 1: conv-conv-pool at width 16.
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, 16, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Conv2d>(conv_spec(16, 16, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  // Block 2: conv-conv-pool at width 32.
+  model.add(std::make_unique<Conv2d>(conv_spec(16, 32, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Conv2d>(conv_spec(32, 32, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(flat_features(model), 96, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Dense>(96, spec.classes, rng));
+  return model;
+}
+
+Model make_mini_resnet(const ImageSpec& spec, common::Rng& rng) {
+  Model model("mini_resnet", tensor::Shape{spec.channels, spec.size, spec.size});
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, 16, 3, 1, 1), rng));
+  model.add(std::make_unique<BatchNorm>(16));
+  model.add(std::make_unique<Relu>());
+
+  // Identity residual block at width 16.
+  {
+    std::vector<LayerPtr> body;
+    body.push_back(std::make_unique<Conv2d>(conv_spec(16, 16, 3, 1, 1), rng));
+    body.push_back(std::make_unique<BatchNorm>(16));
+    body.push_back(std::make_unique<Relu>());
+    body.push_back(std::make_unique<Conv2d>(conv_spec(16, 16, 3, 1, 1), rng));
+    body.push_back(std::make_unique<BatchNorm>(16));
+    model.add(std::make_unique<ResidualBlock>(std::move(body), nullptr));
+    model.add(std::make_unique<Relu>());
+  }
+
+  // Downsampling residual block 16 -> 32 with 1x1 projection.
+  {
+    std::vector<LayerPtr> body;
+    body.push_back(std::make_unique<Conv2d>(conv_spec(16, 32, 3, 2, 1), rng));
+    body.push_back(std::make_unique<BatchNorm>(32));
+    body.push_back(std::make_unique<Relu>());
+    body.push_back(std::make_unique<Conv2d>(conv_spec(32, 32, 3, 1, 1), rng));
+    body.push_back(std::make_unique<BatchNorm>(32));
+    auto projection = std::make_unique<Conv2d>(conv_spec(16, 32, 1, 2, 0), rng);
+    model.add(
+        std::make_unique<ResidualBlock>(std::move(body), std::move(projection)));
+    model.add(std::make_unique<Relu>());
+  }
+
+  model.add(std::make_unique<GlobalAvgPool>());
+  model.add(std::make_unique<Dense>(32, spec.classes, rng));
+  return model;
+}
+
+Model make_mini_mobilenet(const ImageSpec& spec, common::Rng& rng, float alpha) {
+  OPENEI_CHECK(alpha > 0.0F && alpha <= 1.0F, "mobilenet alpha outside (0, 1]");
+  auto width = [alpha](std::size_t w) {
+    return std::max<std::size_t>(
+        4, static_cast<std::size_t>(static_cast<float>(w) * alpha));
+  };
+  std::string name =
+      alpha == 1.0F ? "mini_mobilenet"
+                    : "mini_mobilenet_" + std::to_string(static_cast<int>(alpha * 100));
+  Model model(name, tensor::Shape{spec.channels, spec.size, spec.size});
+  std::size_t w0 = width(16);
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, w0, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+
+  // Three depthwise-separable blocks, second one downsampling.
+  std::size_t widths[3] = {width(16), width(32), width(32)};
+  std::size_t strides[3] = {1, 2, 1};
+  std::size_t current = w0;
+  for (int i = 0; i < 3; ++i) {
+    Conv2dSpec dw = conv_spec(current, current, 3, strides[i], 1);
+    model.add(std::make_unique<DepthwiseConv2d>(dw, rng));
+    model.add(std::make_unique<Relu>());
+    model.add(std::make_unique<Conv2d>(conv_spec(current, widths[i], 1, 1, 0), rng));
+    model.add(std::make_unique<Relu>());
+    current = widths[i];
+  }
+
+  model.add(std::make_unique<GlobalAvgPool>());
+  model.add(std::make_unique<Dense>(current, spec.classes, rng));
+  return model;
+}
+
+Model make_mini_squeezenet(const ImageSpec& spec, common::Rng& rng) {
+  Model model("mini_squeezenet",
+              tensor::Shape{spec.channels, spec.size, spec.size});
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, 16, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+
+  // Two fire-style modules: 1x1 squeeze then 3x3 expand.
+  std::size_t in_c = 16;
+  for (std::size_t expand : {24UL, 32UL}) {
+    std::size_t squeeze = expand / 4;
+    model.add(std::make_unique<Conv2d>(conv_spec(in_c, squeeze, 1, 1, 0), rng));
+    model.add(std::make_unique<Relu>());
+    model.add(std::make_unique<Conv2d>(conv_spec(squeeze, expand, 3, 1, 1), rng));
+    model.add(std::make_unique<Relu>());
+    in_c = expand;
+  }
+
+  // No dense head: conv classifier + global pooling (the SqueezeNet trick
+  // that removes AlexNet's parameter-heavy dense layers).
+  model.add(std::make_unique<Conv2d>(conv_spec(in_c, spec.classes, 1, 1, 0), rng));
+  model.add(std::make_unique<GlobalAvgPool>());
+  return model;
+}
+
+Model make_mini_xception(const ImageSpec& spec, common::Rng& rng) {
+  Model model("mini_xception", tensor::Shape{spec.channels, spec.size, spec.size});
+  model.add(std::make_unique<Conv2d>(conv_spec(spec.channels, 16, 3, 1, 1), rng));
+  model.add(std::make_unique<Relu>());
+
+  // Two residual blocks whose bodies are depthwise-separable stacks — the
+  // Xception signature: separable convs + residual connections.
+  for (int block = 0; block < 2; ++block) {
+    std::vector<LayerPtr> body;
+    Conv2dSpec dw = conv_spec(16, 16, 3, 1, 1);
+    body.push_back(std::make_unique<DepthwiseConv2d>(dw, rng));
+    body.push_back(std::make_unique<Conv2d>(conv_spec(16, 16, 1, 1, 0), rng));
+    body.push_back(std::make_unique<Relu>());
+    body.push_back(std::make_unique<DepthwiseConv2d>(dw, rng));
+    body.push_back(std::make_unique<Conv2d>(conv_spec(16, 16, 1, 1, 0), rng));
+    model.add(std::make_unique<ResidualBlock>(std::move(body), nullptr));
+    model.add(std::make_unique<Relu>());
+  }
+
+  model.add(std::make_unique<GlobalAvgPool>());
+  model.add(std::make_unique<Dense>(16, spec.classes, rng));
+  return model;
+}
+
+std::vector<CatalogEntry> image_catalog() {
+  return {
+      {"mini_alexnet",
+       [](const ImageSpec& s, common::Rng& r) { return make_mini_alexnet(s, r); }},
+      {"mini_vgg",
+       [](const ImageSpec& s, common::Rng& r) { return make_mini_vgg(s, r); }},
+      {"mini_resnet",
+       [](const ImageSpec& s, common::Rng& r) { return make_mini_resnet(s, r); }},
+      {"mini_mobilenet",
+       [](const ImageSpec& s, common::Rng& r) {
+         return make_mini_mobilenet(s, r, 1.0F);
+       }},
+      {"mini_mobilenet_50",
+       [](const ImageSpec& s, common::Rng& r) {
+         return make_mini_mobilenet(s, r, 0.5F);
+       }},
+      {"mini_squeezenet",
+       [](const ImageSpec& s, common::Rng& r) { return make_mini_squeezenet(s, r); }},
+      {"mini_xception",
+       [](const ImageSpec& s, common::Rng& r) { return make_mini_xception(s, r); }},
+  };
+}
+
+}  // namespace openei::nn::zoo

@@ -1,0 +1,66 @@
+// Model zoo: scaled-down but architecturally faithful variants of the image
+// models the paper's model selector considers ("AlexNet, Vgg, ResNet,
+// MobileNet, to name a few" — Sec. III-C, Fig. 5), plus MLPs for tabular and
+// sequence workloads.
+//
+// The scaled models preserve each architecture's *shape* (where parameters
+// and FLOPs live), which is what drives compression and selection behaviour;
+// absolute capacity is sized for the synthetic datasets (DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/model.h"
+
+namespace openei::nn::zoo {
+
+/// Image model input geometry.
+struct ImageSpec {
+  std::size_t channels = 3;
+  std::size_t size = 16;  // square side
+  std::size_t classes = 4;
+};
+
+/// Plain MLP for flattened/tabular inputs: hidden layers of `hidden` width.
+Model make_mlp(const std::string& name, std::size_t inputs, std::size_t classes,
+               const std::vector<std::size_t>& hidden, common::Rng& rng);
+
+/// AlexNet-style: big early kernels, conv-pool stacks, wide dense head
+/// (parameters concentrated in the dense layers — the property that makes
+/// AlexNet compress 24x with weight sharing, Table I context).
+Model make_mini_alexnet(const ImageSpec& spec, common::Rng& rng);
+
+/// VGG-style: uniform 3x3 conv-conv-pool blocks, then dense head.
+Model make_mini_vgg(const ImageSpec& spec, common::Rng& rng);
+
+/// ResNet-style: conv stem, two residual blocks (one with projection),
+/// global average pooling, small dense head.
+Model make_mini_resnet(const ImageSpec& spec, common::Rng& rng);
+
+/// MobileNet-style: depthwise-separable conv blocks with width multiplier
+/// `alpha` (the hyper-parameter Howard et al. expose; paper Sec. IV-A2).
+Model make_mini_mobilenet(const ImageSpec& spec, common::Rng& rng,
+                          float alpha = 1.0F);
+
+/// SqueezeNet-style: fire-ish modules (1x1 squeeze then 3x3 expand), no big
+/// dense head — "AlexNet accuracy with 50x fewer parameters".
+Model make_mini_squeezenet(const ImageSpec& spec, common::Rng& rng);
+
+/// Xception-style (Chollet [37], paper Sec. IV-A2): depthwise-separable
+/// convolutions inside residual blocks — "Inception modules replaced with
+/// depthwise separable convolutions".
+Model make_mini_xception(const ImageSpec& spec, common::Rng& rng);
+
+/// A catalog entry: a named builder so benches can sweep the model axis.
+struct CatalogEntry {
+  std::string name;
+  std::function<Model(const ImageSpec&, common::Rng&)> build;
+};
+
+/// All image models above (mobilenet at alpha 1.0 and 0.5, plus xception).
+std::vector<CatalogEntry> image_catalog();
+
+}  // namespace openei::nn::zoo

@@ -1,0 +1,76 @@
+#include "runtime/inference.h"
+
+#include "common/error.h"
+#include "nn/dense.h"
+
+namespace openei::runtime {
+
+InferenceSession::InferenceSession(nn::Model model, hwsim::PackageSpec package,
+                                   hwsim::DeviceProfile device)
+    : model_(std::move(model)),
+      package_(std::move(package)),
+      device_(std::move(device)) {
+  per_sample_ = hwsim::estimate_inference(model_, package_, device_);
+  if (per_sample_.memory_bytes > device_.ram_bytes) {
+    throw ResourceExhausted(detail::concat(
+        "model '", model_.name(), "' needs ", per_sample_.memory_bytes,
+        " bytes but device '", device_.name, "' has ", device_.ram_bytes));
+  }
+}
+
+InferenceResult InferenceSession::run(const nn::Tensor& batch) {
+  InferenceResult result;
+  result.predictions = model_.predict(batch);
+  result.per_sample = per_sample_;
+  auto n = static_cast<double>(batch.shape().dim(0));
+  result.batch_latency_s = per_sample_.latency_s * n;
+  result.batch_energy_j = per_sample_.energy_j * n;
+  return result;
+}
+
+nn::Tensor InferenceSession::forward(const nn::Tensor& batch) {
+  return model_.forward(batch, /*training=*/false);
+}
+
+LocalTrainingResult retrain_head_locally(const nn::Model& model,
+                                         const data::Dataset& local_data,
+                                         const hwsim::PackageSpec& package,
+                                         const hwsim::DeviceProfile& device,
+                                         const nn::TrainOptions& options) {
+  OPENEI_CHECK(package.supports_training, "package '", package.name,
+               "' cannot train on-device");
+  local_data.check();
+
+  LocalTrainingResult result{model.clone(), 0.0, 0.0, 0.0};
+
+  // Freeze everything except the final trainable (dense-like) layer's
+  // parameters — transfer learning retrains the head only.
+  std::size_t total_params = result.model.parameters().size();
+  std::size_t head_params = 0;
+  for (std::size_t i = result.model.layer_count(); i-- > 0;) {
+    auto& layer = result.model.layer(i);
+    std::size_t count = layer.parameters().size();
+    if (count > 0) {
+      head_params = count;
+      break;
+    }
+  }
+  OPENEI_CHECK(head_params > 0, "model has no trainable parameters");
+
+  nn::TrainOptions frozen_options = options;
+  frozen_options.frozen_parameters.clear();
+  for (std::size_t i = 0; i + head_params < total_params; ++i) {
+    frozen_options.frozen_parameters.push_back(i);
+  }
+
+  auto history = nn::fit(result.model, local_data, frozen_options);
+  result.final_train_accuracy = history.back().train_accuracy;
+
+  hwsim::InferenceCost cost = hwsim::estimate_training(
+      result.model, package, device, local_data.size(), options.epochs);
+  result.simulated_latency_s = cost.latency_s;
+  result.simulated_energy_j = cost.energy_j;
+  return result;
+}
+
+}  // namespace openei::runtime

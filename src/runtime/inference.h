@@ -1,0 +1,65 @@
+// Inference and local-training sessions — the execution half of the OpenEI
+// package manager (paper Sec. III-B).  A session binds a model to a device
+// profile and package; running it produces real predictions from the NN
+// engine plus simulated ALEM costs from the hardware model.
+#pragma once
+
+#include "data/dataset.h"
+#include "hwsim/cost_model.h"
+#include "nn/train.h"
+
+namespace openei::runtime {
+
+/// Result of a batched inference call.
+struct InferenceResult {
+  std::vector<std::size_t> predictions;
+  /// Simulated per-sample latency/energy on the bound device (batch cost =
+  /// per-sample cost x batch size; the simulated edge executes sequentially).
+  hwsim::InferenceCost per_sample;
+  double batch_latency_s = 0.0;
+  double batch_energy_j = 0.0;
+};
+
+class InferenceSession {
+ public:
+  /// Throws ResourceExhausted when the model does not fit the device's RAM
+  /// under the package — the deployment failure mode the model selector's
+  /// memory constraint exists to avoid.
+  InferenceSession(nn::Model model, hwsim::PackageSpec package,
+                   hwsim::DeviceProfile device);
+
+  /// Runs real inference; costs are simulated for the bound device.
+  InferenceResult run(const nn::Tensor& batch);
+
+  /// Raw logits (used by collaboration/distillation flows).
+  nn::Tensor forward(const nn::Tensor& batch);
+
+  const nn::Model& model() const { return model_; }
+  const hwsim::PackageSpec& package() const { return package_; }
+  const hwsim::DeviceProfile& device() const { return device_; }
+  const hwsim::InferenceCost& per_sample_cost() const { return per_sample_; }
+
+ private:
+  nn::Model model_;
+  hwsim::PackageSpec package_;
+  hwsim::DeviceProfile device_;
+  hwsim::InferenceCost per_sample_;
+};
+
+/// On-device transfer learning: retrains the model's final dense head (all
+/// other parameters frozen) on locally collected data — the paper's Fig. 3
+/// dataflow 3 ("training on the edge locally ... a personalized model").
+struct LocalTrainingResult {
+  nn::Model model;
+  double simulated_latency_s = 0.0;
+  double simulated_energy_j = 0.0;
+  double final_train_accuracy = 0.0;
+};
+
+LocalTrainingResult retrain_head_locally(const nn::Model& model,
+                                         const data::Dataset& local_data,
+                                         const hwsim::PackageSpec& package,
+                                         const hwsim::DeviceProfile& device,
+                                         const nn::TrainOptions& options);
+
+}  // namespace openei::runtime

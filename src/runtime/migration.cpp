@@ -1,0 +1,84 @@
+#include "runtime/migration.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace openei::runtime {
+
+namespace {
+
+double compute_time(const MigratableTask& task, const hwsim::DeviceProfile& device) {
+  return task.flops / (device.effective_gflops * 1e9);
+}
+
+/// Makespan of a stay/migrate assignment.  Transfers are serialized on the
+/// shared link (half-duplex radio); the helper starts a task once its
+/// payload has arrived; the local edge computes in parallel.
+double evaluate(const std::vector<MigratableTask>& tasks,
+                const std::vector<bool>& migrated,
+                const hwsim::DeviceProfile& loaded_edge,
+                const hwsim::DeviceProfile& helper_edge,
+                const hwsim::NetworkLink& link) {
+  double local_finish = 0.0;
+  double transfer_clock = 0.0;
+  double helper_finish = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!migrated[i]) {
+      local_finish += compute_time(tasks[i], loaded_edge);
+    } else {
+      transfer_clock += link.transfer_time_s(tasks[i].payload_bytes);
+      // The helper processes tasks in arrival order; it may be busy when
+      // the payload lands.
+      helper_finish = std::max(helper_finish, transfer_clock) +
+                      compute_time(tasks[i], helper_edge);
+    }
+  }
+  return std::max(local_finish, helper_finish);
+}
+
+}  // namespace
+
+MigrationPlan plan_migration(const std::vector<MigratableTask>& tasks,
+                             const hwsim::DeviceProfile& loaded_edge,
+                             const hwsim::DeviceProfile& helper_edge,
+                             const hwsim::NetworkLink& link) {
+  for (const MigratableTask& task : tasks) {
+    OPENEI_CHECK(task.flops > 0.0, "task '", task.name, "' has no compute");
+  }
+
+  std::vector<bool> migrated(tasks.size(), false);
+  MigrationPlan plan;
+  plan.local_only_s = evaluate(tasks, migrated, loaded_edge, helper_edge, link);
+  plan.makespan_s = plan.local_only_s;
+
+  // Candidate order: biggest compute relief per transferred byte first.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    double ratio_a = tasks[a].flops /
+                     (static_cast<double>(tasks[a].payload_bytes) + 1.0);
+    double ratio_b = tasks[b].flops /
+                     (static_cast<double>(tasks[b].payload_bytes) + 1.0);
+    return ratio_a > ratio_b;
+  });
+
+  // Greedy: accept each migration only if it strictly improves the makespan.
+  for (std::size_t candidate : order) {
+    migrated[candidate] = true;
+    double with = evaluate(tasks, migrated, loaded_edge, helper_edge, link);
+    if (with + 1e-12 < plan.makespan_s) {
+      plan.makespan_s = with;
+    } else {
+      migrated[candidate] = false;
+    }
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    (migrated[i] ? plan.migrate : plan.stay).push_back(i);
+  }
+  return plan;
+}
+
+}  // namespace openei::runtime

@@ -1,0 +1,51 @@
+// Computation migration (paper Sec. IV-C): "the EI running environments
+// should be capable of ... allocating computation resources and migrating
+// computation loads", and the open problem asks for migration under
+// dynamic conditions.
+//
+// Model: a loaded edge holds a queue of ML tasks; a helper edge is reachable
+// over a link.  Migrating a task costs its payload transfer; the planner
+// greedily offloads tasks (largest compute-to-payload benefit first) while
+// doing so shortens the makespan.  Deterministic, so migration decisions are
+// reproducible and testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+
+namespace openei::runtime {
+
+/// A unit of offloadable work.
+struct MigratableTask {
+  std::string name;
+  double flops = 0.0;           // compute demand
+  std::size_t payload_bytes = 0;  // input that must move if migrated
+};
+
+struct MigrationPlan {
+  /// Task indices that stay on the loaded edge (in input order).
+  std::vector<std::size_t> stay;
+  /// Task indices migrated to the helper.
+  std::vector<std::size_t> migrate;
+  /// Completion time of the slower side (transfer serialized on the link,
+  /// then helper computes; both sides run in parallel).
+  double makespan_s = 0.0;
+  /// Makespan with no migration at all.
+  double local_only_s = 0.0;
+  double speedup() const {
+    return makespan_s > 0.0 ? local_only_s / makespan_s : 0.0;
+  }
+};
+
+/// Greedy migration planner: repeatedly moves the task with the best
+/// benefit/cost ratio while the makespan improves.  Never migrates when the
+/// link is too slow to pay off (LoRaWAN-class links yield empty `migrate`).
+MigrationPlan plan_migration(const std::vector<MigratableTask>& tasks,
+                             const hwsim::DeviceProfile& loaded_edge,
+                             const hwsim::DeviceProfile& helper_edge,
+                             const hwsim::NetworkLink& link);
+
+}  // namespace openei::runtime

@@ -1,0 +1,72 @@
+#include "runtime/model_registry.h"
+
+#include "common/error.h"
+
+namespace openei::runtime {
+
+namespace {
+
+ModelEntry clone_entry(const ModelEntry& entry) {
+  return ModelEntry{entry.scenario, entry.algorithm, entry.model.clone(),
+                    entry.accuracy};
+}
+
+}  // namespace
+
+void ModelRegistry::put(ModelEntry entry) {
+  OPENEI_CHECK(!entry.model.name().empty(), "model needs a name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(entry.model.name(), std::move(entry));
+  ++version_;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+ModelEntry ModelRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) throw NotFound("no model named '" + name + "'");
+  return clone_entry(it->second);
+}
+
+std::vector<ModelEntry> ModelRegistry::find(const std::string& scenario,
+                                            const std::string& algorithm) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelEntry> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.scenario == scenario && entry.algorithm == algorithm) {
+      out.push_back(clone_entry(entry));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool erased = entries_.erase(name) > 0;
+  if (erased) ++version_;
+  return erased;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+}  // namespace openei::runtime

@@ -1,0 +1,64 @@
+// Model registry: the package manager's store of deployed models.
+//
+// Models are registered under (scenario, algorithm) — the same two fields
+// libei's URL scheme addresses (paper Fig. 6: /ei_algorithms/{scenario}/
+// {algorithm}) — plus free-form variants (e.g. compressed versions) that the
+// model selector ranks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace openei::runtime {
+
+struct ModelEntry {
+  std::string scenario;   // e.g. "safety", "home", "vehicles", "health"
+  std::string algorithm;  // e.g. "detection", "power_monitor"
+  nn::Model model;
+  /// Test accuracy recorded when the model was registered (the A in ALEM).
+  double accuracy = 0.0;
+};
+
+/// Thread-safe name-keyed model store.  Keys are model names; scenario and
+/// algorithm index lookups used by libei route handlers.
+class ModelRegistry {
+ public:
+  /// Registers (or replaces) a model under its own name.
+  void put(ModelEntry entry);
+
+  /// True if a model with this name exists.
+  bool contains(const std::string& name) const;
+
+  /// Clone of the named model's entry; throws NotFound when absent.
+  ModelEntry get(const std::string& name) const;
+
+  /// All models registered for a (scenario, algorithm) pair — the candidate
+  /// set the model selector chooses from.  Empty when none.
+  std::vector<ModelEntry> find(const std::string& scenario,
+                               const std::string& algorithm) const;
+
+  /// Names of all registered models (sorted).
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+  /// Removes a model; returns false when absent.
+  bool erase(const std::string& name);
+
+  /// Monotonic change counter: bumped by every put/erase.  Lets caches
+  /// (libei's inference-session cache) detect staleness cheaply.
+  std::uint64_t version() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ModelEntry> entries_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace openei::runtime

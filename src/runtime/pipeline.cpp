@@ -1,0 +1,65 @@
+#include "runtime/pipeline.h"
+
+#include <algorithm>
+
+namespace openei::runtime {
+
+StreamingPipeline::StreamingPipeline(InferenceSession session,
+                                     datastore::SensorStore& store,
+                                     std::string sensor_id)
+    : session_(std::move(session)),
+      store_(store),
+      sensor_id_(std::move(sensor_id)) {
+  OPENEI_CHECK(!sensor_id_.empty(), "pipeline needs a sensor id");
+}
+
+StreamingPipeline::PassResult StreamingPipeline::process_available(double now) {
+  PassResult result;
+  std::vector<datastore::Record> fresh =
+      store_.history(sensor_id_, std::nextafter(watermark_, 1e300), now);
+  if (fresh.empty()) return result;
+
+  // Assemble the batch from flat numeric payloads.
+  std::size_t sample_elems = session_.model().input_shape().elements();
+  std::vector<std::size_t> dims{fresh.size()};
+  for (std::size_t d : session_.model().input_shape().dims()) dims.push_back(d);
+  nn::Tensor batch{tensor::Shape(dims)};
+  auto out = batch.data();
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const auto& payload = fresh[i].payload.as_array();
+    OPENEI_CHECK(payload.size() == sample_elems, "sensor '", sensor_id_,
+                 "' record at t=", fresh[i].timestamp, " has ", payload.size(),
+                 " values; model expects ", sample_elems);
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      out[i * sample_elems + j] = static_cast<float>(payload[j].as_number());
+    }
+  }
+
+  InferenceResult inference = session_.run(batch);
+  result.processed = fresh.size();
+  result.predictions = std::move(inference.predictions);
+  result.batch_latency_s = inference.batch_latency_s;
+
+  // Frame i completes at now + (i+1) * per_sample; its end-to-end latency
+  // counts from capture.
+  double per_sample = inference.per_sample.latency_s;
+  double total = 0.0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    double completion = now + static_cast<double>(i + 1) * per_sample;
+    double frame_latency = completion - fresh[i].timestamp;
+    total += frame_latency;
+    result.max_frame_latency_s =
+        std::max(result.max_frame_latency_s, frame_latency);
+  }
+  result.mean_frame_latency_s = total / static_cast<double>(fresh.size());
+
+  watermark_ = fresh.back().timestamp;
+  return result;
+}
+
+double StreamingPipeline::sustainable_fps() const {
+  double per_sample = session_.per_sample_cost().latency_s;
+  return per_sample > 0.0 ? 1.0 / per_sample : 0.0;
+}
+
+}  // namespace openei::runtime

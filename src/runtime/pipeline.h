@@ -1,0 +1,55 @@
+// Streaming inference pipeline — the package manager's serving loop over a
+// live sensor: frames accumulate in the edge data store; the pipeline
+// drains everything that arrived since its last pass, runs one batched
+// inference, and accounts simulated completion times on the bound device.
+//
+// This is the continuous half of the paper's VAPS/CAV scenarios ("the edge
+// will be capable of dealing with video frames ... without uploading data
+// to the cloud") and exposes the sustainable-rate question: a camera whose
+// frame rate exceeds the device's inference rate builds backlog.
+#pragma once
+
+#include "datastore/timeseries.h"
+#include "runtime/inference.h"
+
+namespace openei::runtime {
+
+class StreamingPipeline {
+ public:
+  /// Binds a session to one sensor whose record payloads are flat numeric
+  /// feature arrays matching the model's input width.
+  StreamingPipeline(InferenceSession session, datastore::SensorStore& store,
+                    std::string sensor_id);
+
+  struct PassResult {
+    /// Records consumed by this pass.
+    std::size_t processed = 0;
+    std::vector<std::size_t> predictions;  // aligned with consumed records
+    /// Simulated device time spent on this pass.
+    double batch_latency_s = 0.0;
+    /// Per-frame end-to-end latency stats: completion - capture timestamp,
+    /// assuming the pass starts at `now` and frames complete in order.
+    double mean_frame_latency_s = 0.0;
+    double max_frame_latency_s = 0.0;
+  };
+
+  /// Processes every record with capture timestamp in (last_processed, now].
+  /// Returns an empty result when nothing new arrived.  Throws
+  /// InvalidArgument when a payload does not match the model input.
+  PassResult process_available(double now);
+
+  /// Timestamp up to which the stream has been consumed.
+  double watermark() const { return watermark_; }
+
+  /// Frames/s the bound (device, package, model) sustains — above this
+  /// arrival rate backlog grows without bound.
+  double sustainable_fps() const;
+
+ private:
+  InferenceSession session_;
+  datastore::SensorStore& store_;
+  std::string sensor_id_;
+  double watermark_ = -1e300;
+};
+
+}  // namespace openei::runtime

@@ -1,0 +1,131 @@
+#include "runtime/realtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace openei::runtime {
+
+namespace {
+
+struct Pending {
+  std::size_t index;  // original arrival order
+  MlTask task;
+  double remaining_s;
+  double started_at = -1.0;
+};
+
+/// Picks the next task to run at `now` from arrived pending tasks.
+/// Returns pending.size() when nothing has arrived.
+std::size_t pick(const std::vector<Pending>& pending, double now,
+                 SchedulingPolicy policy) {
+  std::size_t best = pending.size();
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].task.arrival_s > now + 1e-12) continue;
+    if (best == pending.size()) {
+      best = i;
+      continue;
+    }
+    if (policy == SchedulingPolicy::kPriorityPreemptive) {
+      auto pa = static_cast<int>(pending[i].task.priority);
+      auto pb = static_cast<int>(pending[best].task.priority);
+      if (pa > pb) {
+        best = i;
+        continue;
+      }
+      if (pa < pb) continue;
+    }
+    // FIFO among equals: earlier arrival (then earlier submission) wins.
+    if (pending[i].task.arrival_s < pending[best].task.arrival_s ||
+        (pending[i].task.arrival_s == pending[best].task.arrival_s &&
+         pending[i].index < pending[best].index)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<CompletedTask> simulate_schedule(std::vector<MlTask> tasks,
+                                             SchedulingPolicy policy) {
+  for (const MlTask& task : tasks) {
+    OPENEI_CHECK(task.duration_s > 0.0, "task '", task.name,
+                 "' has non-positive duration");
+    OPENEI_CHECK(task.arrival_s >= 0.0, "task '", task.name,
+                 "' arrives before time zero");
+  }
+
+  std::vector<Pending> pending;
+  pending.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pending.push_back(Pending{i, tasks[i], tasks[i].duration_s});
+  }
+
+  std::vector<CompletedTask> completed;
+  completed.reserve(tasks.size());
+  double now = 0.0;
+
+  while (!pending.empty()) {
+    std::size_t current = pick(pending, now, policy);
+    if (current == pending.size()) {
+      // Idle: jump to the next arrival.
+      double next_arrival = 1e300;
+      for (const Pending& p : pending) {
+        next_arrival = std::min(next_arrival, p.task.arrival_s);
+      }
+      now = next_arrival;
+      continue;
+    }
+
+    Pending& running = pending[current];
+    if (running.started_at < 0.0) running.started_at = now;
+
+    // Run until completion or (preemptive only) the next arrival that could
+    // preempt.  FIFO runs to completion.
+    double run_until = now + running.remaining_s;
+    if (policy == SchedulingPolicy::kPriorityPreemptive) {
+      for (const Pending& p : pending) {
+        if (p.task.arrival_s > now + 1e-12 && p.task.arrival_s < run_until &&
+            static_cast<int>(p.task.priority) >
+                static_cast<int>(running.task.priority)) {
+          run_until = p.task.arrival_s;
+        }
+      }
+    }
+
+    running.remaining_s -= run_until - now;
+    now = run_until;
+    if (running.remaining_s <= 1e-12) {
+      completed.push_back(
+          CompletedTask{running.task, running.started_at, now});
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(current));
+    }
+  }
+
+  std::sort(completed.begin(), completed.end(),
+            [](const CompletedTask& a, const CompletedTask& b) {
+              return a.finish_s < b.finish_s;
+            });
+  return completed;
+}
+
+double response_percentile(const std::vector<CompletedTask>& completed,
+                           double percentile, TaskPriority priority) {
+  OPENEI_CHECK(percentile > 0.0 && percentile <= 100.0, "percentile ", percentile,
+               " outside (0, 100]");
+  std::vector<double> responses;
+  for (const CompletedTask& task : completed) {
+    if (task.task.priority == priority) responses.push_back(task.response_s());
+  }
+  OPENEI_CHECK(!responses.empty(), "no completed tasks at this priority");
+  std::sort(responses.begin(), responses.end());
+  double rank = (percentile / 100.0) * static_cast<double>(responses.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(rank));
+  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  double frac = rank - std::floor(rank);
+  return responses[lo] * (1.0 - frac) + responses[hi] * frac;
+}
+
+}  // namespace openei::runtime

@@ -1,0 +1,48 @@
+// Real-time ML module (paper Sec. III-B): "when the module is called, the
+// machine learning task will be set to the highest priority to ensure that
+// it has as many computing resources as possible."
+//
+// Modelled as a deterministic single-worker discrete-event simulation: ML
+// tasks with arrival times and (simulated) durations are executed either
+// FIFO (no real-time module) or priority-preemptive (urgent tasks preempt
+// best-effort work immediately).  The E5 bench compares urgent-task tail
+// latency under both policies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace openei::runtime {
+
+enum class TaskPriority { kBestEffort = 0, kUrgent = 1 };
+
+struct MlTask {
+  std::string name;
+  double arrival_s = 0.0;
+  double duration_s = 0.0;  // device-time the task needs
+  TaskPriority priority = TaskPriority::kBestEffort;
+};
+
+struct CompletedTask {
+  MlTask task;
+  double start_s = 0.0;   // first moment the task ran
+  double finish_s = 0.0;  // completion time
+  /// Response time = finish - arrival (what a caller waits).
+  double response_s() const { return finish_s - task.arrival_s; }
+};
+
+enum class SchedulingPolicy {
+  kFifo,                // arrival order, run-to-completion
+  kPriorityPreemptive,  // urgent preempts best-effort instantly
+};
+
+/// Simulates the task set on one worker; returns completions sorted by
+/// finish time.  Deterministic: ties broken by arrival order.
+std::vector<CompletedTask> simulate_schedule(std::vector<MlTask> tasks,
+                                             SchedulingPolicy policy);
+
+/// p-th percentile (0 < p <= 100) of response times, linear interpolation.
+double response_percentile(const std::vector<CompletedTask>& completed,
+                           double percentile, TaskPriority priority);
+
+}  // namespace openei::runtime

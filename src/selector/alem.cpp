@@ -1,0 +1,32 @@
+#include "selector/alem.h"
+
+namespace openei::selector {
+
+bool satisfies(const Alem& alem, const Requirements& req, Objective objective) {
+  if (objective != Objective::kMaxAccuracy && alem.accuracy < req.min_accuracy) {
+    return false;
+  }
+  if (objective != Objective::kMinLatency && alem.latency_s > req.max_latency_s) {
+    return false;
+  }
+  if (objective != Objective::kMinEnergy && alem.energy_j > req.max_energy_j) {
+    return false;
+  }
+  if (objective != Objective::kMinMemory &&
+      alem.memory_bytes > req.max_memory_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool better(const Alem& a, const Alem& b, Objective objective) {
+  switch (objective) {
+    case Objective::kMinLatency: return a.latency_s < b.latency_s;
+    case Objective::kMaxAccuracy: return a.accuracy > b.accuracy;
+    case Objective::kMinEnergy: return a.energy_j < b.energy_j;
+    case Objective::kMinMemory: return a.memory_bytes < b.memory_bytes;
+  }
+  return false;
+}
+
+}  // namespace openei::selector

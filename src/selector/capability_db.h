@@ -1,0 +1,59 @@
+// Capability database: the materialized (model x package x device) cube of
+// Fig. 5, each cell holding its measured ALEM tuple.  The selecting
+// algorithm (Eq. 1) queries this database.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "hwsim/cost_model.h"
+#include "selector/alem.h"
+
+namespace openei::selector {
+
+struct CapabilityEntry {
+  std::string model_name;
+  std::string package_name;
+  std::string device_name;
+  Alem alem;
+  /// False when the combination cannot deploy at all (does not fit RAM, or
+  /// the package lacks a capability the model needs).
+  bool deployable = true;
+};
+
+/// Profiles one combination: accuracy by really running the model on `test`,
+/// latency/energy/memory from the hardware cost model.  Non-deployable
+/// combinations come back with deployable=false and cost-only ALEM.
+CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& package,
+                        const hwsim::DeviceProfile& device,
+                        const data::Dataset& test);
+
+class CapabilityDatabase {
+ public:
+  void add(CapabilityEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// Profiles the full cube (every model x package x device).
+  static CapabilityDatabase build(const std::vector<nn::Model>& models,
+                                  const std::vector<hwsim::PackageSpec>& packages,
+                                  const std::vector<hwsim::DeviceProfile>& devices,
+                                  const data::Dataset& test);
+
+  const std::vector<CapabilityEntry>& entries() const { return entries_; }
+
+  /// Entries on one device (the slice Eq. 1 selects within).
+  std::vector<CapabilityEntry> on_device(const std::string& device_name) const;
+
+  common::Json to_json() const;
+
+  /// Rebuilds a database from to_json() output — profiling the cube is the
+  /// expensive step (it runs every model on the test set), so deployments
+  /// persist it and reload at boot.
+  static CapabilityDatabase from_json(const common::Json& doc);
+
+ private:
+  std::vector<CapabilityEntry> entries_;
+};
+
+}  // namespace openei::selector

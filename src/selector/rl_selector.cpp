@@ -1,0 +1,107 @@
+#include "selector/rl_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace openei::selector {
+
+QLearningSelector::QLearningSelector(const CapabilityDatabase& db,
+                                     QLearningOptions options)
+    : db_(db), options_(options), rng_(options.seed) {
+  OPENEI_CHECK(options.episodes > 0, "zero training episodes");
+  OPENEI_CHECK(options.learning_rate > 0.0 && options.learning_rate <= 1.0,
+               "learning rate outside (0, 1]");
+  OPENEI_CHECK(options.epsilon >= 0.0 && options.epsilon <= 1.0,
+               "epsilon outside [0, 1]");
+}
+
+std::string QLearningSelector::context_key(const SelectionRequest& request) const {
+  std::ostringstream key;
+  key << static_cast<int>(request.objective) << '|' << request.device_name << '|'
+      << request.requirements.min_accuracy << '|'
+      << request.requirements.max_latency_s << '|'
+      << request.requirements.max_energy_j << '|'
+      << request.requirements.max_memory_bytes;
+  return key.str();
+}
+
+std::vector<const CapabilityEntry*> QLearningSelector::actions(
+    const SelectionRequest& request) const {
+  std::vector<const CapabilityEntry*> out;
+  for (const CapabilityEntry& entry : db_.entries()) {
+    if (!request.device_name.empty() && entry.device_name != request.device_name) {
+      continue;
+    }
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+double QLearningSelector::reward(const CapabilityEntry& entry,
+                                 const SelectionRequest& request) const {
+  if (!entry.deployable ||
+      !satisfies(entry.alem, request.requirements, request.objective)) {
+    return -1.0;
+  }
+  // Normalize the objective over the action set so rewards sit in [0, 1].
+  auto acts = actions(request);
+  double best = -1e300;
+  double worst = 1e300;
+  auto value = [&request](const CapabilityEntry& e) {
+    switch (request.objective) {
+      case Objective::kMinLatency: return -e.alem.latency_s;
+      case Objective::kMaxAccuracy: return e.alem.accuracy;
+      case Objective::kMinEnergy: return -e.alem.energy_j;
+      case Objective::kMinMemory:
+        return -static_cast<double>(e.alem.memory_bytes);
+    }
+    return 0.0;
+  };
+  for (const CapabilityEntry* candidate : acts) {
+    best = std::max(best, value(*candidate));
+    worst = std::min(worst, value(*candidate));
+  }
+  if (best - worst < 1e-300) return 1.0;
+  return (value(entry) - worst) / (best - worst);
+}
+
+void QLearningSelector::train(const SelectionRequest& request) {
+  auto acts = actions(request);
+  OPENEI_CHECK(!acts.empty(), "no candidate combinations for this device");
+  std::string key = context_key(request);
+  auto& q = q_[key];
+  q.assign(acts.size(), 0.0);
+
+  for (std::size_t episode = 0; episode < options_.episodes; ++episode) {
+    double epsilon = options_.epsilon *
+                     (1.0 - static_cast<double>(episode) /
+                                static_cast<double>(options_.episodes));
+    std::size_t action;
+    if (rng_.flip(epsilon)) {
+      action = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(acts.size()) - 1));
+    } else {
+      action = static_cast<std::size_t>(
+          std::max_element(q.begin(), q.end()) - q.begin());
+    }
+    double r = reward(*acts[action], request);
+    // Single-step episode: Q <- Q + alpha (r - Q).
+    q[action] += options_.learning_rate * (r - q[action]);
+  }
+}
+
+std::optional<CapabilityEntry> QLearningSelector::select(
+    const SelectionRequest& request) const {
+  auto it = q_.find(context_key(request));
+  OPENEI_CHECK(it != q_.end(), "select() before train() for this request");
+  auto acts = actions(request);
+  OPENEI_CHECK(acts.size() == it->second.size(),
+               "capability database changed size under the selector");
+  std::size_t best = static_cast<std::size_t>(
+      std::max_element(it->second.begin(), it->second.end()) - it->second.begin());
+  if (reward(*acts[best], request) < 0.0) return std::nullopt;
+  return *acts[best];
+}
+
+}  // namespace openei::selector

@@ -1,0 +1,56 @@
+// Reinforcement-learning model selector — the paper's forward-looking note
+// ("Deep reinforcement learning will be leveraged to find the optimal
+// combination", Sec. III-C), realized as tabular Q-learning.
+//
+// Formulation: an episodic contextual bandit.  The state is the request
+// (objective + discretized constraint levels), actions are capability-
+// database entries on the target device, and the reward is the normalized
+// objective value with a large penalty for infeasible picks.  With enough
+// episodes the greedy policy matches the exact Eq. 1 solver — which the
+// tests assert.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "selector/selecting_algorithm.h"
+
+namespace openei::selector {
+
+struct QLearningOptions {
+  std::size_t episodes = 2000;
+  double learning_rate = 0.2;
+  double epsilon = 0.2;  // exploration probability (decayed linearly to 0)
+  std::uint64_t seed = 7;
+};
+
+class QLearningSelector {
+ public:
+  QLearningSelector(const CapabilityDatabase& db, QLearningOptions options);
+
+  /// Trains the Q table for one request "context" by repeatedly trying
+  /// actions and observing rewards.
+  void train(const SelectionRequest& request);
+
+  /// Greedy pick for a request; nullopt when every action is infeasible.
+  /// Call train() for the same request shape first.
+  std::optional<CapabilityEntry> select(const SelectionRequest& request) const;
+
+  /// Reward of an action under a request: objective value normalized to
+  /// [0, 1] over the action set, or -1 when infeasible.  Exposed for tests.
+  double reward(const CapabilityEntry& entry, const SelectionRequest& request) const;
+
+ private:
+  /// Context key: objective + coarse constraint buckets.
+  std::string context_key(const SelectionRequest& request) const;
+  std::vector<const CapabilityEntry*> actions(const SelectionRequest& request) const;
+
+  const CapabilityDatabase& db_;
+  QLearningOptions options_;
+  common::Rng rng_;
+  // Q[context][action-index-in-db-order]
+  std::map<std::string, std::vector<double>> q_;
+};
+
+}  // namespace openei::selector

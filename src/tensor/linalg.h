@@ -1,0 +1,38 @@
+// Dense linear-algebra routines needed by the compression suite:
+// singular value decomposition (low-rank factorization, paper Table I) and
+// 1-D k-means (weight sharing / vector quantization, Gong et al. [21]).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace openei::tensor {
+
+/// Thin SVD A = U diag(S) V^T of a rank-2 tensor A (m x n).
+/// U: [m, r], S: r singular values (descending), V: [n, r], r = min(m, n).
+struct SvdResult {
+  Tensor u;
+  std::vector<float> singular_values;
+  Tensor v;
+};
+
+/// One-sided Jacobi SVD.  Deterministic; converges to `tolerance` of
+/// off-diagonal mass or stops after `max_sweeps`.
+SvdResult svd(const Tensor& a, int max_sweeps = 60, float tolerance = 1e-7F);
+
+/// Reconstructs U[:, :rank] diag(S[:rank]) V[:, :rank]^T.
+Tensor svd_reconstruct(const SvdResult& result, std::size_t rank);
+
+/// Lloyd's k-means on scalars.  Returns centroids (size k, sorted ascending)
+/// and per-value assignment indices.  Deterministic given `rng`.
+struct Kmeans1dResult {
+  std::vector<float> centroids;
+  std::vector<std::size_t> assignment;
+};
+
+Kmeans1dResult kmeans_1d(const std::vector<float>& values, std::size_t k,
+                         common::Rng& rng, int max_iterations = 50);
+
+}  // namespace openei::tensor

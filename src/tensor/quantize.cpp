@@ -1,0 +1,96 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace openei::tensor {
+
+namespace {
+constexpr std::int32_t kQMin = -128;
+constexpr std::int32_t kQMax = 127;
+}  // namespace
+
+QuantParams QuantParams::choose(float min_v, float max_v) {
+  OPENEI_CHECK(min_v <= max_v, "reversed quantization range");
+  // The range must include zero so that zero quantizes exactly (standard
+  // affine-quantization requirement; keeps padding/ReLU zeros exact).
+  min_v = std::min(min_v, 0.0F);
+  max_v = std::max(max_v, 0.0F);
+  float span = max_v - min_v;
+  QuantParams p;
+  if (span == 0.0F) {
+    p.scale = 1.0F;
+    p.zero_point = 0;
+    return p;
+  }
+  p.scale = span / static_cast<float>(kQMax - kQMin);
+  float zp = static_cast<float>(kQMin) - min_v / p.scale;
+  p.zero_point = static_cast<std::int32_t>(std::lround(zp));
+  p.zero_point = std::clamp(p.zero_point, kQMin, kQMax);
+  return p;
+}
+
+QuantizedTensor::QuantizedTensor(Shape shape, std::vector<std::int8_t> data,
+                                 QuantParams params)
+    : shape_(std::move(shape)), data_(std::move(data)), params_(params) {
+  OPENEI_CHECK(data_.size() == shape_.elements(), "quantized data size mismatch");
+}
+
+QuantizedTensor QuantizedTensor::quantize(const Tensor& input) {
+  return quantize(input, QuantParams::choose(input.min(), input.max()));
+}
+
+QuantizedTensor QuantizedTensor::quantize(const Tensor& input, QuantParams params) {
+  std::vector<std::int8_t> data(input.elements());
+  auto src = input.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    float q = std::round(src[i] / params.scale) + static_cast<float>(params.zero_point);
+    data[i] = static_cast<std::int8_t>(
+        std::clamp(static_cast<std::int32_t>(q), kQMin, kQMax));
+  }
+  return QuantizedTensor(input.shape(), std::move(data), params);
+}
+
+Tensor QuantizedTensor::dequantize() const {
+  Tensor out(shape_);
+  auto dst = out.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    dst[i] = params_.scale *
+             static_cast<float>(static_cast<std::int32_t>(data_[i]) - params_.zero_point);
+  }
+  return out;
+}
+
+Tensor quantized_matmul(const QuantizedTensor& a, const QuantizedTensor& b) {
+  OPENEI_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+               "quantized_matmul requires rank-2 tensors");
+  std::size_t m = a.shape().dim(0);
+  std::size_t k = a.shape().dim(1);
+  OPENEI_CHECK(b.shape().dim(0) == k, "quantized_matmul inner dims differ");
+  std::size_t n = b.shape().dim(1);
+
+  const auto& a_data = a.data();
+  const auto& b_data = b.data();
+  std::int32_t a_zp = a.params().zero_point;
+  std::int32_t b_zp = b.params().zero_point;
+  float out_scale = a.params().scale * b.params().scale;
+
+  Tensor out(Shape{m, n});
+  auto o = out.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        std::int32_t av = static_cast<std::int32_t>(a_data[i * k + p]) - a_zp;
+        std::int32_t bv = static_cast<std::int32_t>(b_data[p * n + j]) - b_zp;
+        acc += static_cast<std::int64_t>(av) * bv;
+      }
+      o[i * n + j] = out_scale * static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+float quantization_step_error(const QuantParams& p) { return p.scale * 0.5F; }
+
+}  // namespace openei::tensor

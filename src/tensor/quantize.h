@@ -1,0 +1,58 @@
+// Affine int8 quantization.
+//
+// The paper (Sec. IV-B) credits TensorFlow Lite's latency wins partly to
+// "quantized kernels"; QNNPACK is an int8 inference library.  This module
+// provides the same primitive: symmetric/affine per-tensor quantization of
+// float32 tensors to int8 plus a quantized matmul used by the post-training-
+// quantization compressor (src/compress) and measured in the E1/E10 benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace openei::tensor {
+
+/// Quantization parameters: real = scale * (q - zero_point).
+struct QuantParams {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+
+  /// Chooses parameters covering [min_v, max_v] over the int8 range.
+  static QuantParams choose(float min_v, float max_v);
+};
+
+/// A tensor stored as int8 with affine parameters.
+class QuantizedTensor {
+ public:
+  QuantizedTensor(Shape shape, std::vector<std::int8_t> data, QuantParams params);
+
+  /// Quantizes a float tensor with parameters fit to its min/max range.
+  static QuantizedTensor quantize(const Tensor& input);
+  /// Quantizes with explicit parameters (e.g. calibration from a dataset).
+  static QuantizedTensor quantize(const Tensor& input, QuantParams params);
+
+  /// Reconstructs the float tensor (lossy).
+  Tensor dequantize() const;
+
+  const Shape& shape() const { return shape_; }
+  const QuantParams& params() const { return params_; }
+  const std::vector<std::int8_t>& data() const { return data_; }
+  /// Storage size — 4x smaller than the float tensor it came from.
+  std::size_t size_bytes() const { return data_.size(); }
+
+ private:
+  Shape shape_;
+  std::vector<std::int8_t> data_;
+  QuantParams params_;
+};
+
+/// Quantized matmul: accumulates in int32, returns dequantized float result.
+/// Inputs must be rank 2 with compatible inner dimensions.
+Tensor quantized_matmul(const QuantizedTensor& a, const QuantizedTensor& b);
+
+/// Worst-case absolute reconstruction error for parameters `p` (half a step).
+float quantization_step_error(const QuantParams& p);
+
+}  // namespace openei::tensor

@@ -1,0 +1,74 @@
+// Tensor shape algebra.
+//
+// Shapes are small value types (<= 4 dims in practice: NCHW).  Row-major
+// strides; element counts use std::size_t and are overflow-checked.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace openei::tensor {
+
+/// Row-major tensor shape.  Rank 0 means scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  std::size_t rank() const { return dims_.size(); }
+
+  std::size_t dim(std::size_t axis) const {
+    OPENEI_CHECK(axis < dims_.size(), "axis ", axis, " out of range for rank ",
+                 dims_.size());
+    return dims_[axis];
+  }
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Total element count (1 for scalars).
+  std::size_t elements() const {
+    std::size_t count = 1;
+    for (std::size_t d : dims_) count *= d;
+    return count;
+  }
+
+  /// Row-major strides, in elements.
+  std::vector<std::size_t> strides() const {
+    std::vector<std::size_t> out(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) {
+      out[i - 1] = out[i] * dims_[i];
+    }
+    return out;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void validate() const {
+    std::size_t count = 1;
+    for (std::size_t d : dims_) {
+      OPENEI_CHECK(d > 0, "zero-sized dimension in shape");
+      OPENEI_CHECK(count <= SIZE_MAX / d, "shape element count overflow");
+      count *= d;
+    }
+  }
+
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace openei::tensor

@@ -1,0 +1,124 @@
+// Dense float32 tensor — the numeric substrate under the OpenEI deep-learning
+// package (src/nn), the compression suite (src/compress), and the EI
+// algorithms (src/eialg).
+//
+// Value semantics with shared-nothing storage: copying copies the buffer.
+// Layout is row-major; images use NCHW.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace openei::tensor {
+
+/// Dense row-major float32 tensor.
+class Tensor {
+ public:
+  /// Scalar zero tensor.
+  Tensor() : shape_({1}), data_(1, 0.0F) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.elements(), 0.0F) {}
+
+  /// Tensor with explicit contents (size must match the shape).
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    OPENEI_CHECK(data_.size() == shape_.elements(), "data size ", data_.size(),
+                 " does not match shape ", shape_.to_string());
+  }
+
+  /// Filled tensor.
+  static Tensor full(Shape shape, float value);
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+  /// Uniform random in [lo, hi).
+  static Tensor random_uniform(Shape shape, common::Rng& rng, float lo = -1.0F,
+                               float hi = 1.0F);
+  /// Gaussian random.
+  static Tensor random_normal(Shape shape, common::Rng& rng, float mean = 0.0F,
+                              float stddev = 1.0F);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t elements() const { return data_.size(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(float); }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> data() { return data_; }
+
+  float operator[](std::size_t flat_index) const {
+    OPENEI_CHECK(flat_index < data_.size(), "flat index ", flat_index,
+                 " out of range ", data_.size());
+    return data_[flat_index];
+  }
+  float& operator[](std::size_t flat_index) {
+    OPENEI_CHECK(flat_index < data_.size(), "flat index ", flat_index,
+                 " out of range ", data_.size());
+    return data_[flat_index];
+  }
+
+  /// 2-D accessors (matrix view); require rank 2.
+  float at2(std::size_t row, std::size_t col) const;
+  float& at2(std::size_t row, std::size_t col);
+
+  /// 4-D accessors (NCHW); require rank 4.
+  float at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+  float& at4(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+
+  /// Returns a tensor with the same data and a new shape of equal element
+  /// count.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// In-place elementwise transform.
+  Tensor& apply(const std::function<float(float)>& fn);
+
+  /// Elementwise arithmetic (shapes must match exactly).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+  Tensor& operator+=(float scalar);
+
+  friend Tensor operator+(Tensor lhs, const Tensor& rhs) { return lhs += rhs; }
+  friend Tensor operator-(Tensor lhs, const Tensor& rhs) { return lhs -= rhs; }
+  friend Tensor operator*(Tensor lhs, const Tensor& rhs) { return lhs *= rhs; }
+  friend Tensor operator*(Tensor lhs, float rhs) { return lhs *= rhs; }
+  friend Tensor operator*(float lhs, Tensor rhs) { return rhs *= lhs; }
+
+  /// Reductions.
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// L2 norm.
+  float norm() const;
+  /// Index of the maximum element (first on ties).
+  std::size_t argmax() const;
+
+  /// Count of elements whose magnitude is <= `threshold` (sparsity probe used
+  /// by the pruning reports).
+  std::size_t count_near_zero(float threshold = 1e-12F) const;
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+  /// True when all elements differ by at most `tolerance`.
+  bool all_close(const Tensor& other, float tolerance = 1e-5F) const;
+
+  std::string to_string(std::size_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace openei::tensor

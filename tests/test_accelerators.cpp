@@ -1,0 +1,94 @@
+// Tests for the Sec. IV-D accelerator-aware cost model: sparse-skip and
+// int8 traits change costs only for the models they apply to, preserving
+// the orderings the paper cites.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "data/synthetic.h"
+#include "hwsim/cost_model.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/zoo.h"
+
+namespace openei::hwsim {
+namespace {
+
+using common::Rng;
+
+nn::Model dense_model() {
+  // Large enough that compute/weight traffic dominate per-op dispatch —
+  // the regime where accelerator traits matter (see bench_sec4d_hardware).
+  Rng rng(1);
+  return nn::zoo::make_mlp("dnn", 32, 4, {2048, 1024}, rng);
+}
+
+TEST(AcceleratorTest, SparseSkipHelpsOnlyPrunedModels) {
+  nn::Model dense = dense_model();
+  compress::PruneOptions options;
+  options.sparsity = 0.9F;
+  options.finetune_epochs = 0;
+  auto pruned = compress::magnitude_prune(dense, options, nullptr);
+
+  auto eie = eie_sparse_accelerator();
+  double dense_latency =
+      estimate_inference(dense, openei_package(), eie).latency_s;
+  double pruned_latency =
+      estimate_inference(pruned.model, openei_package(), eie).latency_s;
+  // The sparse engine runs the pruned model much faster...
+  EXPECT_LT(pruned_latency * 2, dense_latency);
+
+  // ...while a dense device sees no compute benefit from unstructured zeros
+  // (the simulated Pi has no sparse-skip datapath).
+  auto pi = raspberry_pi_4();
+  double pi_dense = estimate_inference(dense, openei_package(), pi).latency_s;
+  double pi_pruned =
+      estimate_inference(pruned.model, openei_package(), pi).latency_s;
+  EXPECT_NEAR(pi_pruned, pi_dense, pi_dense * 0.05);
+}
+
+TEST(AcceleratorTest, Int8DatapathHelpsOnlyQuantizedModels) {
+  nn::Model dense = dense_model();
+  auto quantized = compress::quantize_int8(dense);
+
+  auto fpga = edge_fpga();
+  double float_latency =
+      estimate_inference(dense, openei_package(), fpga).latency_s;
+  double int8_latency =
+      estimate_inference(quantized.model, openei_package(), fpga).latency_s;
+  EXPECT_LT(int8_latency, float_latency);
+}
+
+TEST(AcceleratorTest, EieWinsEnergyEfficiencyOnPrunedGpuWinsLatencyOnDense) {
+  // The Sec. IV-D orderings the bench reports, asserted.
+  nn::Model dense = dense_model();
+  compress::PruneOptions options;
+  options.sparsity = 0.9F;
+  options.finetune_epochs = 0;
+  auto pruned = compress::magnitude_prune(dense, options, nullptr);
+
+  auto gpu = edge_gpu();
+  auto eie = eie_sparse_accelerator();
+
+  // GPU: best raw latency on the dense float model.
+  EXPECT_LT(estimate_inference(dense, openei_package(), gpu).latency_s,
+            estimate_inference(dense, openei_package(), eie).latency_s);
+
+  // EIE: far more inferences per joule on the pruned model.
+  double eie_energy =
+      estimate_inference(pruned.model, openei_package(), eie).energy_j;
+  double gpu_energy =
+      estimate_inference(pruned.model, openei_package(), gpu).energy_j;
+  EXPECT_LT(eie_energy * 10, gpu_energy);
+}
+
+TEST(AcceleratorTest, TraitsDefaultOffForGeneralPurposeFleet) {
+  for (const DeviceProfile& device : default_fleet()) {
+    EXPECT_DOUBLE_EQ(device.sparse_mac_skip, 0.0) << device.name;
+    EXPECT_DOUBLE_EQ(device.int8_throughput_multiplier, 1.0) << device.name;
+  }
+}
+
+}  // namespace
+}  // namespace openei::hwsim

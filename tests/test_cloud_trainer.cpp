@@ -1,0 +1,133 @@
+// Tests for CloudTrainer, DVFS power capping, and gradient clipping.
+#include <gtest/gtest.h>
+
+#include "collab/cloud_trainer.h"
+#include "common/rng.h"
+#include "core/edge_node.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/zoo.h"
+
+namespace openei {
+namespace {
+
+using common::Rng;
+
+TEST(CloudTrainerTest, TrainsAndAccountsCloudCost) {
+  Rng rng(1);
+  auto dataset = data::make_blobs(300, 8, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  collab::CloudTrainer cloud(std::move(train), std::move(test),
+                             hwsim::cloud_gpu(), hwsim::full_framework());
+
+  nn::TrainOptions options;
+  options.epochs = 15;
+  options.sgd.learning_rate = 0.05F;
+  options.sgd.momentum = 0.9F;
+  auto result = cloud.train(nn::zoo::make_mlp("m", 8, 3, {16}, rng), options);
+  EXPECT_GT(result.test_accuracy, 0.85);
+  EXPECT_GT(result.training_latency_s, 0.0);
+  EXPECT_GT(result.training_energy_j, 0.0);
+}
+
+TEST(CloudTrainerTest, RejectsInferenceOnlyPackage) {
+  Rng rng(2);
+  auto dataset = data::make_blobs(100, 4, 2, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  EXPECT_THROW(collab::CloudTrainer(std::move(train), std::move(test),
+                                    hwsim::cloud_gpu(), hwsim::lite_framework()),
+               openei::InvalidArgument);
+}
+
+TEST(CloudTrainerTest, PushToEdgeDeploysOverHttp) {
+  Rng rng(3);
+  auto dataset = data::make_blobs(200, 6, 2, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  collab::CloudTrainer cloud(std::move(train), std::move(test),
+                             hwsim::cloud_gpu(), hwsim::full_framework());
+  nn::TrainOptions options;
+  options.epochs = 10;
+  auto trained = cloud.train(nn::zoo::make_mlp("pushed", 6, 2, {8}, rng),
+                             options);
+
+  core::EdgeNode edge(core::EdgeNodeConfig{hwsim::raspberry_pi_4(),
+                                           hwsim::openei_package(), 16});
+  auto port = edge.start_server(0);
+  collab::CloudTrainer::push_to_edge(port, trained.model, "safety", "detection",
+                                     trained.test_accuracy);
+  EXPECT_TRUE(edge.registry().contains("pushed"));
+  EXPECT_NEAR(edge.registry().get("pushed").accuracy, trained.test_accuracy,
+              1e-5);
+  edge.stop_server();
+
+  // Dead edge -> IoError.
+  EXPECT_THROW(collab::CloudTrainer::push_to_edge(port, trained.model, "s", "a",
+                                                  0.5),
+               openei::IoError);
+}
+
+TEST(PowerCapTest, CapSlowsComputeAndSavesPower) {
+  auto jetson = hwsim::jetson_tx2();  // 5 W idle, 15 W active
+  auto capped = jetson.with_power_cap(7.5);
+  EXPECT_LT(capped.effective_gflops, jetson.effective_gflops);
+  EXPECT_DOUBLE_EQ(capped.active_power_w, 7.5);
+  // Cube-root law: (7.5-5)/(15-5) = 0.25 -> f = 0.63.
+  EXPECT_NEAR(capped.effective_gflops / jetson.effective_gflops, 0.63, 0.01);
+}
+
+TEST(PowerCapTest, NonBindingCapIsIdentity) {
+  auto pi = hwsim::raspberry_pi_3();
+  auto same = pi.with_power_cap(100.0);
+  EXPECT_DOUBLE_EQ(same.effective_gflops, pi.effective_gflops);
+  EXPECT_EQ(same.name, pi.name);
+}
+
+TEST(PowerCapTest, CapAtOrBelowIdleThrows) {
+  auto pi = hwsim::raspberry_pi_3();
+  EXPECT_THROW(pi.with_power_cap(pi.idle_power_w), openei::InvalidArgument);
+  EXPECT_THROW(pi.with_power_cap(0.0), openei::InvalidArgument);
+}
+
+TEST(PowerCapTest, LatencyGrowsMonotonicallyAsCapTightens) {
+  Rng rng(4);
+  nn::Model model = nn::zoo::make_mlp("m", 32, 4, {128, 64}, rng);
+  auto jetson = hwsim::jetson_tx2();
+  double previous = 0.0;
+  for (double cap : {15.0, 12.0, 9.0, 7.0, 6.0}) {
+    auto capped = jetson.with_power_cap(cap);
+    double latency =
+        hwsim::estimate_inference(model, hwsim::openei_package(), capped)
+            .latency_s;
+    EXPECT_GE(latency + 1e-15, previous) << cap;
+    previous = latency;
+  }
+}
+
+TEST(ClipNormTest, BoundsGlobalGradientNorm) {
+  // Train one step with an absurd learning signal; clipping keeps the
+  // parameters finite where the unclipped run diverges faster.
+  Rng rng(5);
+  auto dataset = data::make_blobs(60, 4, 2, rng, 20.0F, 0.1F);  // huge inputs
+
+  auto param_norm_after = [&](float clip) {
+    Rng model_rng(6);
+    nn::Model model = nn::zoo::make_mlp("m", 4, 2, {8}, model_rng);
+    nn::TrainOptions options;
+    options.epochs = 3;
+    options.sgd.learning_rate = 0.5F;
+    options.clip_norm = clip;
+    nn::fit(model, dataset, options);
+    double total = 0.0;
+    for (nn::Tensor* p : model.parameters()) total += p->norm();
+    return total;
+  };
+
+  double clipped = param_norm_after(1.0F);
+  double unclipped = param_norm_after(0.0F);
+  EXPECT_LT(clipped, unclipped);
+  EXPECT_TRUE(std::isfinite(clipped));
+}
+
+}  // namespace
+}  // namespace openei

@@ -1,0 +1,271 @@
+// Tests for cloud-edge and edge-edge collaboration: the three Fig. 3
+// dataflows, federated averaging/rounds, power-proportional partitioning,
+// and DDNN-style split inference.
+#include <gtest/gtest.h>
+
+#include "collab/cloud_edge.h"
+#include "collab/edge_edge.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/zoo.h"
+
+namespace openei::collab {
+namespace {
+
+using common::Rng;
+
+class CollabFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(51);
+    auto dataset = data::make_blobs(500, 10, 3, rng, 2.0F, 1.2F);
+    auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+    train_ = new data::Dataset(std::move(train));
+    test_ = new data::Dataset(std::move(test));
+
+    model_ = new nn::Model(nn::zoo::make_mlp("global", 10, 3, {24}, rng));
+    nn::TrainOptions topt;
+    topt.epochs = 20;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::fit(*model_, *train_, topt);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete test_;
+    delete train_;
+    model_ = nullptr;
+    test_ = nullptr;
+    train_ = nullptr;
+  }
+
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+  static nn::Model* model_;
+};
+
+data::Dataset* CollabFixture::train_ = nullptr;
+data::Dataset* CollabFixture::test_ = nullptr;
+nn::Model* CollabFixture::model_ = nullptr;
+
+TEST_F(CollabFixture, EdgeInferenceBeatsCloudOnLatencyAndBandwidth) {
+  // The paper's Fig. 1/Fig. 3 claim: on a constrained uplink, on-edge
+  // inference wins end-to-end latency and slashes per-inference bandwidth.
+  auto cloud = dataflow_cloud_inference(*model_, *test_, hwsim::cloud_gpu(),
+                                        hwsim::full_framework(),
+                                        hwsim::cellular_lte());
+  auto edge = dataflow_edge_inference(*model_, *test_, hwsim::raspberry_pi_4(),
+                                      hwsim::openei_package(),
+                                      hwsim::cellular_lte());
+  EXPECT_LT(edge.latency_per_inference_s, cloud.latency_per_inference_s);
+  EXPECT_LT(edge.bytes_per_inference, cloud.bytes_per_inference);
+  // Same model, same accuracy.
+  EXPECT_NEAR(edge.accuracy, cloud.accuracy, 1e-9);
+}
+
+TEST_F(CollabFixture, CloudWinsOnFastLanWithSlowEdge)
+{
+  // Crossover: with a LAN link and a Pi-3-class edge, offloading a heavy
+  // model can beat local execution (the cloud's compute advantage dominates
+  // transfer costs) — the tradeoff is link-dependent, not absolute.
+  Rng rng(52);
+  nn::Model heavy = nn::zoo::make_mlp("heavy", 10, 3, {2048, 2048}, rng);
+  auto cloud = dataflow_cloud_inference(heavy, *test_, hwsim::cloud_gpu(),
+                                        hwsim::full_framework(),
+                                        hwsim::ethernet_lan());
+  auto edge = dataflow_edge_inference(heavy, *test_, hwsim::raspberry_pi_3(),
+                                      hwsim::openei_package(),
+                                      hwsim::ethernet_lan());
+  EXPECT_LT(cloud.latency_per_inference_s, edge.latency_per_inference_s);
+}
+
+TEST_F(CollabFixture, PersonalizationBeatsGeneralModelOnDriftedData) {
+  Rng drift_rng(53);
+  auto local = data::apply_drift(*train_, drift_rng, 0.8F);
+  Rng split_rng(54);
+  auto [local_train, local_test] = data::train_test_split(local, 0.7, split_rng);
+
+  auto general = dataflow_edge_inference(*model_, local_test,
+                                         hwsim::raspberry_pi_4(),
+                                         hwsim::openei_package(), hwsim::wifi());
+
+  nn::TrainOptions retrain;
+  retrain.epochs = 15;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+  auto personalized = dataflow_edge_personalized(
+      *model_, local_train, local_test, hwsim::raspberry_pi_4(),
+      hwsim::openei_package(), hwsim::wifi(), retrain);
+
+  EXPECT_GT(personalized.accuracy, general.accuracy + 0.1);
+  // Personalization pays a one-time setup cost (the retraining).
+  EXPECT_GT(personalized.setup_latency_s, general.setup_latency_s);
+}
+
+TEST_F(CollabFixture, FederatedAverageOfIdenticalModelsIsIdentity) {
+  std::vector<nn::Model> copies;
+  copies.push_back(model_->clone());
+  copies.push_back(model_->clone());
+  nn::Model average = federated_average(copies);
+  nn::Tensor probe = test_->features;
+  nn::Model original = model_->clone();
+  EXPECT_TRUE(average.forward(probe, false)
+                  .all_close(original.forward(probe, false), 1e-5F));
+}
+
+TEST_F(CollabFixture, FederatedAverageRejectsMismatchedArchitectures) {
+  Rng rng(55);
+  std::vector<nn::Model> mismatched;
+  mismatched.push_back(model_->clone());
+  mismatched.push_back(nn::zoo::make_mlp("other", 10, 3, {8}, rng));
+  EXPECT_THROW(federated_average(mismatched), openei::InvalidArgument);
+  EXPECT_THROW(federated_average(std::vector<nn::Model>{}),
+               openei::InvalidArgument);
+}
+
+TEST_F(CollabFixture, FederatedRoundImprovesGlobalModelOnUnseenShards) {
+  // Start from an untrained global model; two edges hold disjoint shards.
+  Rng rng(56);
+  nn::Model fresh = nn::zoo::make_mlp("global", 10, 3, {24}, rng);
+  double before = nn::evaluate_accuracy(fresh, *test_);
+
+  auto shard_split = data::train_test_split(*train_, 0.5, rng);
+  std::vector<data::Dataset> shards{std::move(shard_split.first),
+                                    std::move(shard_split.second)};
+  std::vector<hwsim::DeviceProfile> edges{hwsim::raspberry_pi_4(),
+                                          hwsim::jetson_tx2()};
+  nn::TrainOptions retrain;
+  retrain.epochs = 10;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+
+  FederatedRoundResult round =
+      federated_round(fresh, shards, edges, hwsim::openei_package(),
+                      hwsim::wifi(), retrain);
+  double after = nn::evaluate_accuracy(round.global_model, *test_);
+  EXPECT_GT(after, before + 0.2);
+  EXPECT_EQ(round.bytes_transferred, 2 * fresh.storage_bytes() * 2);
+  EXPECT_GT(round.round_latency_s, 0.0);
+}
+
+TEST_F(CollabFixture, DataflowInvariantsHoldAcrossAllLinks) {
+  // Structural properties that must hold for every link quality:
+  // edge inference always moves fewer bytes per inference than cloud
+  // offload, and its per-inference latency never depends on the link.
+  double previous_edge_latency = -1.0;
+  for (const auto& link : hwsim::default_links()) {
+    auto cloud = dataflow_cloud_inference(*model_, *test_, hwsim::cloud_gpu(),
+                                          hwsim::full_framework(), link);
+    auto edge = dataflow_edge_inference(*model_, *test_, hwsim::raspberry_pi_4(),
+                                        hwsim::openei_package(), link);
+    EXPECT_LT(edge.bytes_per_inference, cloud.bytes_per_inference) << link.name;
+    EXPECT_GT(cloud.latency_per_inference_s, link.rtt_s) << link.name;
+    if (previous_edge_latency >= 0.0) {
+      EXPECT_DOUBLE_EQ(edge.latency_per_inference_s, previous_edge_latency)
+          << "edge compute latency must not depend on the link";
+    }
+    previous_edge_latency = edge.latency_per_inference_s;
+    // Setup (model download) shrinks as the link improves — weak check:
+    EXPECT_GT(edge.setup_latency_s, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-edge.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, ProportionalSharesSumToTotal) {
+  auto shares = partition_by_power(100, {1.0, 3.0});
+  ASSERT_EQ(shares.size(), 2U);
+  EXPECT_EQ(shares[0] + shares[1], 100U);
+  EXPECT_EQ(shares[0], 25U);
+  EXPECT_EQ(shares[1], 75U);
+}
+
+TEST(PartitionTest, RemainderGoesToMostPowerful) {
+  auto shares = partition_by_power(10, {1.0, 1.0, 1.0});
+  EXPECT_EQ(shares[0] + shares[1] + shares[2], 10U);
+  // 3/3/3 floor + 1 remainder to the first-most-powerful (stable order).
+  EXPECT_EQ(*std::max_element(shares.begin(), shares.end()), 4U);
+}
+
+TEST(PartitionTest, Validation) {
+  EXPECT_THROW(partition_by_power(10, {}), openei::InvalidArgument);
+  EXPECT_THROW(partition_by_power(10, {1.0, 0.0}), openei::InvalidArgument);
+}
+
+TEST(CollaborativeBatchTest, CollaborationBeatsBestSingleEdge) {
+  Rng rng(57);
+  nn::Model model = nn::zoo::make_mlp("job", 32, 4, {128, 64}, rng);
+  std::vector<hwsim::DeviceProfile> edges{
+      hwsim::raspberry_pi_3(), hwsim::raspberry_pi_4(), hwsim::jetson_tx2()};
+  auto result =
+      collaborative_batch(model, hwsim::openei_package(), edges, 1000);
+  EXPECT_GT(result.speedup(), 1.0);
+  std::size_t total = 0;
+  for (std::size_t share : result.allocation) total += share;
+  EXPECT_EQ(total, 1000U);
+  // The Jetson (most powerful) takes the largest share.
+  EXPECT_EQ(*std::max_element(result.allocation.begin(), result.allocation.end()),
+            result.allocation[2]);
+}
+
+TEST(SplitInferenceTest, SplitForwardMatchesLocalForward) {
+  Rng rng(58);
+  nn::zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  nn::Model model = nn::zoo::make_mini_mobilenet(spec, rng);
+  nn::Model front = model.clone();
+  nn::Model back = model.clone();
+  nn::Tensor batch = nn::Tensor::random_uniform(tensor::Shape{2, 2, 8, 8}, rng);
+  nn::Model local = model.clone();
+  nn::Tensor expected = local.forward(batch, false);
+  for (std::size_t k = 0; k <= model.layer_count(); k += 3) {
+    EXPECT_TRUE(split_forward(front, back, k, batch).all_close(expected, 1e-4F))
+        << "split at " << k;
+  }
+}
+
+TEST(SplitInferenceTest, BestSplitIsOptimalOverAllLayers) {
+  Rng rng(59);
+  nn::zoo::ImageSpec spec;
+  nn::Model model = nn::zoo::make_mini_vgg(spec, rng);
+  auto front = hwsim::raspberry_pi_3();
+  auto back = hwsim::edge_server();
+  auto link = hwsim::wifi();
+  SplitPoint best = best_split(model, hwsim::openei_package(), front, back, link);
+  for (std::size_t k = 0; k <= model.layer_count(); ++k) {
+    SplitPoint candidate =
+        evaluate_split(model, k, hwsim::openei_package(), front, back, link);
+    EXPECT_GE(candidate.latency_s + 1e-12, best.latency_s) << "k=" << k;
+  }
+}
+
+TEST(SplitInferenceTest, WeakFrontStrongBackPrefersEarlySplit) {
+  // With a very weak front device and a fast link, the optimum ships work
+  // to the strong back early (small k).
+  Rng rng(60);
+  nn::zoo::ImageSpec spec;
+  nn::Model model = nn::zoo::make_mini_vgg(spec, rng);
+  SplitPoint split = best_split(model, hwsim::openei_package(),
+                                hwsim::raspberry_pi_3(), hwsim::cloud_gpu(),
+                                hwsim::ethernet_lan());
+  EXPECT_LT(split.layer, model.layer_count() / 2);
+}
+
+TEST(SplitInferenceTest, SplitBeyondDepthThrows) {
+  Rng rng(61);
+  nn::Model model = nn::zoo::make_mlp("m", 4, 2, {4}, rng);
+  EXPECT_THROW(evaluate_split(model, model.layer_count() + 1,
+                              hwsim::openei_package(), hwsim::raspberry_pi_3(),
+                              hwsim::edge_server(), hwsim::wifi()),
+               openei::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace openei::collab

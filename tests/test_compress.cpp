@@ -1,0 +1,301 @@
+// Tests for the deep-compression suite (paper Table I): pruning, weight
+// sharing, binarization, low-rank factorization, int8 quantization,
+// distillation — each method's structural guarantees plus accuracy behaviour
+// on a trained model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/compressed_model.h"
+#include "compress/distill.h"
+#include "compress/lowrank.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "compress/weight_sharing.h"
+#include "data/synthetic.h"
+#include "nn/dense.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+
+namespace openei::compress {
+namespace {
+
+using common::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Shared fixture: a trained MLP on blobs, reused by every method's test.
+class CompressFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(42);
+    auto dataset = data::make_blobs(500, 12, 4, *rng_);
+    auto [train, test] = data::train_test_split(dataset, 0.8, *rng_);
+    train_ = new data::Dataset(std::move(train));
+    test_ = new data::Dataset(std::move(test));
+    model_ = new nn::Model(nn::zoo::make_mlp("teacher", 12, 4, {32, 16}, *rng_));
+    nn::TrainOptions options;
+    options.epochs = 25;
+    options.sgd.learning_rate = 0.05F;
+    options.sgd.momentum = 0.9F;
+    nn::fit(*model_, *train_, options);
+    baseline_accuracy_ = nn::evaluate_accuracy(*model_, *test_);
+    ASSERT_GT(baseline_accuracy_, 0.9);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete train_;
+    delete test_;
+    delete rng_;
+    model_ = nullptr;
+    train_ = nullptr;
+    test_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static Rng* rng_;
+  static data::Dataset* train_;
+  static data::Dataset* test_;
+  static nn::Model* model_;
+  static double baseline_accuracy_;
+};
+
+Rng* CompressFixture::rng_ = nullptr;
+data::Dataset* CompressFixture::train_ = nullptr;
+data::Dataset* CompressFixture::test_ = nullptr;
+nn::Model* CompressFixture::model_ = nullptr;
+double CompressFixture::baseline_accuracy_ = 0.0;
+
+TEST_F(CompressFixture, PruningReachesTargetSparsity) {
+  PruneOptions options;
+  options.sparsity = 0.7F;
+  options.finetune_epochs = 0;
+  CompressedModel pruned = magnitude_prune(*model_, options, nullptr);
+  EXPECT_NEAR(weight_sparsity(pruned.model), 0.7, 0.02);
+  EXPECT_LT(pruned.storage_bytes, model_->storage_bytes());
+  // Original untouched.
+  EXPECT_LT(weight_sparsity(*model_), 0.1);
+}
+
+TEST_F(CompressFixture, PruningWithFinetuneRecoversAccuracy) {
+  PruneOptions options;
+  options.sparsity = 0.8F;
+  options.finetune_epochs = 0;
+  CompressedModel pruned_only = magnitude_prune(*model_, options, nullptr);
+  double acc_no_finetune = nn::evaluate_accuracy(pruned_only.model, *test_);
+
+  options.finetune_epochs = 5;
+  options.train.sgd.learning_rate = 0.02F;
+  CompressedModel finetuned = magnitude_prune(*model_, options, train_);
+  double acc_finetuned = nn::evaluate_accuracy(finetuned.model, *test_);
+
+  // Table I: "pruning requires ... fine-tuning".  Fine-tuning must not hurt
+  // and the fine-tuned model must stay close to baseline.
+  EXPECT_GE(acc_finetuned + 1e-9, acc_no_finetune);
+  EXPECT_GT(acc_finetuned, baseline_accuracy_ - 0.05);
+  // Mask held: sparsity survives fine-tuning.
+  EXPECT_NEAR(weight_sparsity(finetuned.model), 0.8, 0.02);
+}
+
+TEST_F(CompressFixture, PruningZeroSparsityIsIdentity) {
+  PruneOptions options;
+  options.sparsity = 0.0F;
+  options.finetune_epochs = 0;
+  CompressedModel same = magnitude_prune(*model_, options, nullptr);
+  EXPECT_NEAR(nn::evaluate_accuracy(same.model, *test_), baseline_accuracy_, 1e-9);
+}
+
+TEST_F(CompressFixture, PruningRejectsFullSparsity) {
+  PruneOptions options;
+  options.sparsity = 1.0F;
+  EXPECT_THROW(magnitude_prune(*model_, options, nullptr),
+               openei::InvalidArgument);
+}
+
+TEST_F(CompressFixture, WeightSharingSnapsToCodebook) {
+  Rng rng(7);
+  WeightShareOptions options;
+  options.clusters = 16;
+  CompressedModel shared = kmeans_share_weights(*model_, options, rng);
+
+  // Every weight tensor holds at most 16 distinct values.
+  for (nn::Tensor* p : shared.model.parameters()) {
+    if (!is_weight_tensor(*p)) continue;
+    std::vector<float> distinct;
+    for (float v : p->data()) {
+      bool seen = false;
+      for (float d : distinct) {
+        if (d == v) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) distinct.push_back(v);
+    }
+    EXPECT_LE(distinct.size(), 16U);
+  }
+  // ~6x smaller (4 bits + codebook vs 32 bits), small accuracy cost.
+  EXPECT_GT(static_cast<double>(model_->storage_bytes()) /
+                static_cast<double>(shared.storage_bytes),
+            4.0);
+  EXPECT_GT(nn::evaluate_accuracy(shared.model, *test_),
+            baseline_accuracy_ - 0.1);
+}
+
+TEST_F(CompressFixture, WeightSharingMoreClustersLessError) {
+  Rng rng(8);
+  WeightShareOptions few;
+  few.clusters = 2;
+  WeightShareOptions many;
+  many.clusters = 64;
+  CompressedModel coarse = kmeans_share_weights(*model_, few, rng);
+  CompressedModel fine = kmeans_share_weights(*model_, many, rng);
+  double acc_coarse = nn::evaluate_accuracy(coarse.model, *test_);
+  double acc_fine = nn::evaluate_accuracy(fine.model, *test_);
+  EXPECT_GE(acc_fine + 0.05, acc_coarse);  // more clusters can't be much worse
+  EXPECT_LT(coarse.storage_bytes, fine.storage_bytes);
+}
+
+TEST_F(CompressFixture, BinarizationIsOneBitPerWeight) {
+  CompressedModel binary = binarize_weights(*model_);
+  // Weight tensors contain exactly two values (+alpha, -alpha) per tensor.
+  for (nn::Tensor* p : binary.model.parameters()) {
+    if (!is_weight_tensor(*p)) continue;
+    float alpha = std::fabs((*p)[0]);
+    for (float v : p->data()) {
+      EXPECT_NEAR(std::fabs(v), alpha, 1e-6F);
+    }
+  }
+  // ~32x compression on weights.
+  EXPECT_GT(static_cast<double>(model_->storage_bytes()) /
+                static_cast<double>(binary.storage_bytes),
+            10.0);
+}
+
+TEST_F(CompressFixture, LowRankPreservesOutputsAtFullRank) {
+  LowRankOptions options;
+  options.rank_fraction = 1.0F;
+  CompressedModel factored = lowrank_factorize(*model_, options);
+  Tensor probe = test_->features;
+  nn::Model original = model_->clone();
+  EXPECT_TRUE(factored.model.forward(probe, false)
+                  .all_close(original.forward(probe, false), 5e-2F));
+}
+
+TEST_F(CompressFixture, LowRankShrinksFlopsAndStorage) {
+  LowRankOptions options;
+  options.rank_fraction = 0.25F;
+  CompressedModel factored = lowrank_factorize(*model_, options);
+  EXPECT_LT(factored.model.flops_per_sample(), model_->flops_per_sample());
+  EXPECT_LT(factored.storage_bytes, model_->storage_bytes());
+  EXPECT_GT(nn::evaluate_accuracy(factored.model, *test_),
+            baseline_accuracy_ - 0.15);
+}
+
+TEST_F(CompressFixture, ChosenRankClampsToValidRange) {
+  LowRankOptions options;
+  options.rank_fraction = 0.01F;
+  EXPECT_EQ(chosen_rank(100, 50, options), 1U);
+  options.rank_fraction = 1.0F;
+  EXPECT_EQ(chosen_rank(100, 50, options), 50U);
+}
+
+TEST_F(CompressFixture, QuantizationQuartersStorageKeepsAccuracy) {
+  CompressedModel quantized = quantize_int8(*model_);
+  double ratio = static_cast<double>(model_->storage_bytes()) /
+                 static_cast<double>(quantized.storage_bytes);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+  EXPECT_GT(nn::evaluate_accuracy(quantized.model, *test_),
+            baseline_accuracy_ - 0.05);
+}
+
+TEST_F(CompressFixture, QuantizedModelRejectsTraining) {
+  CompressedModel quantized = quantize_int8(*model_);
+  EXPECT_THROW(quantized.model.forward(test_->features, /*training=*/true),
+               openei::InvalidArgument);
+}
+
+TEST_F(CompressFixture, DistillationTrainsSmallerStudentAboveChance) {
+  Rng rng(9);
+  nn::Model student = nn::zoo::make_mlp("student", 12, 4, {8}, rng);
+  DistillOptions options;
+  options.temperature = 2.0F;
+  options.train.epochs = 30;
+  options.train.sgd.learning_rate = 0.1F;
+  options.train.sgd.momentum = 0.9F;
+  CompressedModel distilled = distill(*model_, std::move(student), *train_, options);
+  EXPECT_LT(distilled.storage_bytes, model_->storage_bytes());
+  double acc = nn::evaluate_accuracy(distilled.model, *test_);
+  EXPECT_GT(acc, 0.8) << "student failed to absorb teacher knowledge";
+}
+
+TEST_F(CompressFixture, DistillationRejectsMismatchedStudent) {
+  Rng rng(10);
+  nn::Model wrong_classes = nn::zoo::make_mlp("s", 12, 3, {8}, rng);
+  DistillOptions options;
+  EXPECT_THROW(distill(*model_, std::move(wrong_classes), *train_, options),
+               openei::InvalidArgument);
+  nn::Model wrong_input = nn::zoo::make_mlp("s", 10, 4, {8}, rng);
+  EXPECT_THROW(distill(*model_, std::move(wrong_input), *train_, options),
+               openei::InvalidArgument);
+}
+
+TEST_F(CompressFixture, ReportComputesRatioAndDelta) {
+  PruneOptions options;
+  options.sparsity = 0.5F;
+  options.finetune_epochs = 0;
+  CompressedModel pruned = magnitude_prune(*model_, options, nullptr);
+  CompressionReport report = make_report(*model_, pruned, *test_);
+  EXPECT_EQ(report.method, "magnitude_prune");
+  EXPECT_EQ(report.original_bytes, model_->storage_bytes());
+  EXPECT_GT(report.compression_ratio, 1.0);
+  EXPECT_NEAR(report.accuracy_delta,
+              report.accuracy_after - report.accuracy_before, 1e-12);
+  EXPECT_EQ(report.flops_before, report.flops_after);  // pruning keeps shape
+}
+
+// Property sweep: every compression method keeps the model's output shape
+// and strictly reduces storage at default settings.
+struct MethodCase {
+  const char* name;
+};
+
+class AllMethodsProperty : public CompressFixture,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(AllMethodsProperty, ShrinksStorageAndKeepsShape) {
+  Rng rng(20);
+  CompressedModel result = [&]() -> CompressedModel {
+    switch (GetParam()) {
+      case 0: {
+        PruneOptions o;
+        o.sparsity = 0.6F;
+        o.finetune_epochs = 0;
+        return magnitude_prune(*model_, o, nullptr);
+      }
+      case 1: {
+        WeightShareOptions o;
+        return kmeans_share_weights(*model_, o, rng);
+      }
+      case 2:
+        return binarize_weights(*model_);
+      case 3: {
+        LowRankOptions o;
+        return lowrank_factorize(*model_, o);
+      }
+      default:
+        return quantize_int8(*model_);
+    }
+  }();
+  EXPECT_LT(result.storage_bytes, model_->storage_bytes()) << result.method;
+  EXPECT_EQ(result.model.output_shape(), model_->output_shape()) << result.method;
+  EXPECT_EQ(result.model.input_shape(), model_->input_shape()) << result.method;
+  // Accuracy stays above chance (0.25 for 4 classes) for every method.
+  EXPECT_GT(nn::evaluate_accuracy(result.model, *test_), 0.4) << result.method;
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AllMethodsProperty, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace openei::compress

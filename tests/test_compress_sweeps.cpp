@@ -1,0 +1,155 @@
+// Parameterized sweeps over the compression suite — monotonicity and bound
+// properties that must hold across whole parameter ranges, not just the
+// point-checks in test_compress.cpp.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lowrank.h"
+#include "compress/pruning.h"
+#include "compress/quantize_model.h"
+#include "compress/weight_sharing.h"
+#include "data/synthetic.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "tensor/quantize.h"
+
+namespace openei::compress {
+namespace {
+
+using common::Rng;
+
+/// Shared trained model (built once for the whole file).
+nn::Model& trained_model() {
+  static nn::Model model = [] {
+    Rng rng(401);
+    auto dataset = data::make_blobs(400, 16, 4, rng, 2.0F);
+    nn::Model m = nn::zoo::make_mlp("sweep_model", 16, 4, {48, 24}, rng);
+    nn::TrainOptions topt;
+    topt.epochs = 20;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::fit(m, dataset, topt);
+    return m;
+  }();
+  return model;
+}
+
+class SparsitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparsitySweep, StorageShrinksMonotonicallyWithSparsity) {
+  float sparsity = static_cast<float>(GetParam()) / 100.0F;
+  PruneOptions options;
+  options.sparsity = sparsity;
+  options.finetune_epochs = 0;
+  auto pruned = magnitude_prune(trained_model(), options, nullptr);
+
+  // Measured sparsity tracks the request.
+  EXPECT_NEAR(weight_sparsity(pruned.model), sparsity, 0.02);
+
+  // Storage strictly below the next-lower sparsity level's storage.
+  if (GetParam() > 0) {
+    PruneOptions lighter;
+    lighter.sparsity = sparsity - 0.2F;
+    lighter.finetune_epochs = 0;
+    auto lighter_pruned = magnitude_prune(trained_model(), lighter, nullptr);
+    EXPECT_LT(pruned.storage_bytes, lighter_pruned.storage_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SparsitySweep,
+                         ::testing::Values(0, 20, 40, 60, 80));
+
+class ClusterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterSweep, ReconstructionErrorShrinksWithMoreClusters) {
+  std::size_t clusters = GetParam();
+  Rng rng(402);
+  WeightShareOptions options;
+  options.clusters = clusters;
+  auto shared = kmeans_share_weights(trained_model(), options, rng);
+
+  // Weight-space L2 distance to the original falls as k doubles.
+  auto distance = [&](const CompressedModel& compressed) {
+    double total = 0.0;
+    auto original_params = trained_model().parameters();
+    nn::Model copy = compressed.model.clone();
+    auto compressed_params = copy.parameters();
+    for (std::size_t i = 0; i < original_params.size(); ++i) {
+      nn::Tensor diff = *original_params[i] - *compressed_params[i];
+      total += static_cast<double>(diff.norm());
+    }
+    return total;
+  };
+
+  if (clusters > 2) {
+    WeightShareOptions coarser;
+    coarser.clusters = clusters / 2;
+    Rng rng2(402);
+    auto coarse = kmeans_share_weights(trained_model(), coarser, rng2);
+    EXPECT_LE(distance(shared), distance(coarse) + 1e-6);
+  }
+  // Storage grows with the codebook but stays far below the original.
+  EXPECT_LT(shared.storage_bytes, trained_model().storage_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codebooks, ClusterSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, FlopsShrinkWithRankAndOutputsConvergeAtFullRank) {
+  float fraction = static_cast<float>(GetParam()) / 100.0F;
+  LowRankOptions options;
+  options.rank_fraction = fraction;
+  auto factored = lowrank_factorize(trained_model(), options);
+
+  // Factoring a [in, out] layer at rank r costs 2r(in+out) FLOPs, which
+  // only undercuts the original 2*in*out when r < in*out/(in+out) — about
+  // half of min(in, out).  Assert savings where the math guarantees them.
+  if (GetParam() <= 50) {
+    EXPECT_LT(factored.model.flops_per_sample(),
+              trained_model().flops_per_sample());
+  }
+  if (GetParam() == 100) {
+    Rng rng(403);
+    nn::Tensor probe = nn::Tensor::random_uniform(tensor::Shape{4, 16}, rng);
+    nn::Model original = trained_model().clone();
+    EXPECT_TRUE(factored.model.forward(probe, false)
+                    .all_close(original.forward(probe, false), 5e-2F));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, RankSweep,
+                         ::testing::Values(10, 25, 50, 75, 100));
+
+// Quantization keeps every zoo model's predictions close to its float self.
+class ZooQuantizationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZooQuantizationSweep, QuantizedPredictionsMostlyAgree) {
+  Rng rng(404);
+  nn::zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  auto catalog = nn::zoo::image_catalog();
+  ASSERT_LT(GetParam(), catalog.size());
+  nn::Model model = catalog[GetParam()].build(spec, rng);
+  auto quantized = quantize_int8(model);
+
+  nn::Tensor probe = nn::Tensor::random_uniform(tensor::Shape{24, 2, 8, 8}, rng);
+  auto float_preds = model.predict(probe);
+  auto int8_preds = quantized.model.predict(probe);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < float_preds.size(); ++i) {
+    if (float_preds[i] == int8_preds[i]) ++agree;
+  }
+  EXPECT_GE(agree * 10, float_preds.size() * 8)  // >= 80% agreement
+      << catalog[GetParam()].name;
+  EXPECT_LT(quantized.storage_bytes, model.storage_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooQuantizationSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace openei::compress

@@ -1,0 +1,157 @@
+// Tests for src/data: dataset mechanics, synthetic generators, metrics.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/metrics.h"
+#include "data/synthetic.h"
+
+namespace openei::data {
+namespace {
+
+using common::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(DatasetTest, CheckValidatesInvariants) {
+  Dataset bad{Tensor(Shape{3, 2}), {0, 1}, 2};  // 3 rows, 2 labels
+  EXPECT_THROW(bad.check(), openei::InvalidArgument);
+  Dataset bad_label{Tensor(Shape{2, 2}), {0, 5}, 2};
+  EXPECT_THROW(bad_label.check(), openei::InvalidArgument);
+  Dataset good{Tensor(Shape{2, 2}), {0, 1}, 2};
+  EXPECT_NO_THROW(good.check());
+}
+
+TEST(DatasetTest, SampleShapeStripsBatchDim) {
+  Dataset d{Tensor(Shape{5, 3, 4, 4}), std::vector<std::size_t>(5, 0), 2};
+  EXPECT_EQ(d.sample_shape(), Shape({3, 4, 4}));
+}
+
+TEST(DatasetTest, SliceAndSelect) {
+  Tensor x(Shape{4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Dataset d{x, {0, 1, 0, 1}, 2};
+  Dataset s = d.slice(1, 3);
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_FLOAT_EQ(s.features.at2(0, 0), 2.0F);
+  EXPECT_EQ(s.labels[1], 0U);
+
+  Dataset sel = d.select({3, 0});
+  EXPECT_FLOAT_EQ(sel.features.at2(0, 1), 7.0F);
+  EXPECT_EQ(sel.labels[0], 1U);
+  EXPECT_THROW(d.select({9}), openei::InvalidArgument);
+}
+
+TEST(DatasetTest, TrainTestSplitPartitions) {
+  Rng rng(1);
+  Dataset d = make_blobs(100, 3, 2, rng);
+  auto [train, test] = train_test_split(d, 0.7, rng);
+  EXPECT_EQ(train.size(), 70U);
+  EXPECT_EQ(test.size(), 30U);
+  EXPECT_THROW(train_test_split(d, 0.0, rng), openei::InvalidArgument);
+}
+
+TEST(DatasetTest, BatchIteratorCoversAllSamplesIncludingPartial) {
+  Rng rng(2);
+  Dataset d = make_blobs(25, 2, 2, rng);
+  BatchIterator it(d, 8);
+  EXPECT_EQ(it.batch_count(), 4U);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < it.batch_count(); ++i) total += it.batch(i).size();
+  EXPECT_EQ(total, 25U);
+  EXPECT_EQ(it.batch(3).size(), 1U);
+  EXPECT_THROW(it.batch(4), openei::InvalidArgument);
+}
+
+TEST(SyntheticTest, BlobsAreDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Dataset d1 = make_blobs(50, 4, 3, a);
+  Dataset d2 = make_blobs(50, 4, 3, b);
+  EXPECT_EQ(d1.features, d2.features);
+  EXPECT_EQ(d1.labels, d2.labels);
+}
+
+TEST(SyntheticTest, BlobsAreLinearlySeparableEnough) {
+  // Nearest-centroid classification should get far above chance.
+  Rng rng(8);
+  Dataset d = make_blobs(300, 6, 3, rng, /*separation=*/3.0F, /*stddev=*/1.0F);
+  // Estimate centroids from the data itself.
+  std::vector<std::vector<double>> centroid(3, std::vector<double>(6, 0.0));
+  std::vector<std::size_t> counts(3, 0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t f = 0; f < 6; ++f) {
+      centroid[d.labels[i]][f] += d.features.at2(i, f);
+    }
+    ++counts[d.labels[i]];
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (auto& v : centroid[c]) v /= static_cast<double>(counts[c]);
+  }
+  std::vector<std::size_t> preds(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    double best = 1e30;
+    for (std::size_t c = 0; c < 3; ++c) {
+      double dist = 0.0;
+      for (std::size_t f = 0; f < 6; ++f) {
+        double delta = d.features.at2(i, f) - centroid[c][f];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        preds[i] = c;
+      }
+    }
+  }
+  EXPECT_GT(accuracy(preds, d.labels), 0.9);
+}
+
+TEST(SyntheticTest, ImagesHaveExpectedShapeAndClassBalance) {
+  Rng rng(9);
+  Dataset d = make_images(200, 3, 8, 4, rng);
+  EXPECT_EQ(d.features.shape(), Shape({200, 3, 8, 8}));
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t label : d.labels) ++counts[label];
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(counts[c], 20U) << "class " << c << " badly under-represented";
+  }
+}
+
+TEST(SyntheticTest, SequencesFlattenStepsTimesDims) {
+  Rng rng(10);
+  Dataset d = make_sequences(40, 16, 3, 4, rng);
+  EXPECT_EQ(d.features.shape(), Shape({40, 48}));
+  d.check();
+}
+
+TEST(SyntheticTest, DriftChangesFeaturesKeepsLabels) {
+  Rng rng(11);
+  Dataset d = make_blobs(60, 4, 2, rng);
+  Rng drift_rng(12);
+  Dataset drifted = apply_drift(d, drift_rng, 2.0F);
+  EXPECT_EQ(drifted.labels, d.labels);
+  EXPECT_FALSE(drifted.features.all_close(d.features, 0.1F));
+}
+
+TEST(MetricsTest, AccuracyCountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_THROW(accuracy({1}, {1, 2}), openei::InvalidArgument);
+  EXPECT_THROW(accuracy({}, {}), openei::InvalidArgument);
+}
+
+TEST(MetricsTest, ConfusionMatrixLayout) {
+  auto m = confusion_matrix({0, 1, 1}, {0, 0, 1}, 2);
+  EXPECT_EQ(m[0][0], 1U);  // truth 0 predicted 0
+  EXPECT_EQ(m[0][1], 1U);  // truth 0 predicted 1
+  EXPECT_EQ(m[1][1], 1U);
+  EXPECT_EQ(m[1][0], 0U);
+}
+
+TEST(MetricsTest, MapPerfectAndDegenerate) {
+  EXPECT_DOUBLE_EQ(mean_average_precision({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  // All predictions on class 0, only one correct of three.
+  double map = mean_average_precision({0, 0, 0}, {0, 1, 2}, 3);
+  EXPECT_NEAR(map, (1.0 / 3.0) / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace openei::data

@@ -1,0 +1,94 @@
+// Tests for the edge data store: ring buffers, realtime/history semantics,
+// ordering invariants.
+#include <gtest/gtest.h>
+
+#include "datastore/timeseries.h"
+
+namespace openei::datastore {
+namespace {
+
+using common::Json;
+
+Record make_record(double t, double value) {
+  return Record{t, Json(value)};
+}
+
+TEST(SensorStoreTest, AppendAndLatest) {
+  SensorStore store;
+  store.append("cam1", make_record(1.0, 10.0));
+  store.append("cam1", make_record(2.0, 20.0));
+  auto latest = store.latest("cam1");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_DOUBLE_EQ(latest->timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(latest->payload.as_number(), 20.0);
+}
+
+TEST(SensorStoreTest, RealtimeReturnsEarliestAtOrAfterTimestamp) {
+  SensorStore store;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) store.append("s", make_record(t, t * 10));
+  auto at = store.realtime("s", 2.5);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_DOUBLE_EQ(at->timestamp, 3.0);
+  auto exact = store.realtime("s", 2.0);
+  EXPECT_DOUBLE_EQ(exact->timestamp, 2.0);
+  EXPECT_FALSE(store.realtime("s", 9.0).has_value());
+}
+
+TEST(SensorStoreTest, HistoryRangeInclusive) {
+  SensorStore store;
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) store.append("s", make_record(t, t));
+  auto records = store.history("s", 2.0, 4.0);
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_DOUBLE_EQ(records.front().timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(records.back().timestamp, 4.0);
+  EXPECT_TRUE(store.history("s", 10.0, 20.0).empty());
+  EXPECT_THROW(store.history("s", 5.0, 1.0), openei::InvalidArgument);
+}
+
+TEST(SensorStoreTest, RejectsOutOfOrderAppends) {
+  SensorStore store;
+  store.append("s", make_record(5.0, 1.0));
+  EXPECT_THROW(store.append("s", make_record(4.0, 1.0)), openei::InvalidArgument);
+  // Equal timestamps are fine (burst of readings).
+  EXPECT_NO_THROW(store.append("s", make_record(5.0, 2.0)));
+}
+
+TEST(SensorStoreTest, RingBufferEvictsOldest) {
+  SensorStore store(/*capacity_per_sensor=*/3);
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0}) store.append("s", make_record(t, t));
+  EXPECT_EQ(store.size("s"), 3U);
+  // Oldest two evicted; realtime(1.0) now lands on t=3.
+  EXPECT_DOUBLE_EQ(store.realtime("s", 1.0)->timestamp, 3.0);
+}
+
+TEST(SensorStoreTest, UnknownSensorThrowsKnownEmptyDoesNot) {
+  SensorStore store;
+  EXPECT_THROW(store.latest("ghost"), openei::NotFound);
+  EXPECT_THROW(store.size("ghost"), openei::NotFound);
+  store.register_sensor("declared");
+  EXPECT_EQ(store.size("declared"), 0U);
+  EXPECT_FALSE(store.latest("declared").has_value());
+}
+
+TEST(SensorStoreTest, SensorsListsRegisteredIds) {
+  SensorStore store;
+  store.register_sensor("b");
+  store.append("a", make_record(1.0, 0.0));
+  auto ids = store.sensors();
+  ASSERT_EQ(ids.size(), 2U);
+  EXPECT_EQ(ids[0], "a");
+  EXPECT_EQ(ids[1], "b");
+}
+
+TEST(SensorStoreTest, StructuredPayloadsSurvive) {
+  SensorStore store;
+  Json frame = Json::parse(R"({"pixels":[1,2,3],"label":"person"})");
+  store.append("cam", Record{1.0, frame});
+  auto back = store.latest("cam");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload.at("label").as_string(), "person");
+  EXPECT_EQ(back->payload.at("pixels").as_array().size(), 3U);
+}
+
+}  // namespace
+}  // namespace openei::datastore

@@ -1,0 +1,195 @@
+// Tests for the EI algorithms (paper Sec. IV-A2): Bonsai-style tree,
+// ProtoNN, FastGRNN — accuracy on synthetic workloads, kilobyte-scale model
+// sizes, and API contracts.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "eialg/bonsai.h"
+#include "eialg/classifier.h"
+#include "eialg/fastgrnn.h"
+#include "eialg/protonn.h"
+
+namespace openei::eialg {
+namespace {
+
+using common::Rng;
+
+TEST(BonsaiTest, LearnsBlobsAboveNinety) {
+  Rng rng(1);
+  auto dataset = data::make_blobs(600, 16, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  BonsaiOptions options;
+  options.projection_dim = 8;
+  options.max_depth = 5;
+  BonsaiTree tree(options);
+  tree.fit(train);
+  EXPECT_GT(evaluate(tree, test), 0.9);
+  EXPECT_GT(tree.node_count(), 1U);
+  EXPECT_LE(tree.depth(), 6U);
+}
+
+TEST(BonsaiTest, ModelFitsKilobyteBudget) {
+  Rng rng(2);
+  auto dataset = data::make_blobs(300, 32, 4, rng);
+  BonsaiOptions options;
+  options.projection_dim = 6;
+  options.max_depth = 4;
+  BonsaiTree tree(options);
+  tree.fit(dataset);
+  // Bonsai's pitch: models in the low-kilobyte range for IoT devices.
+  EXPECT_LT(tree.model_size_bytes(), 2048U);
+  EXPECT_GT(tree.model_size_bytes(), 0U);
+}
+
+TEST(BonsaiTest, PredictBeforeFitThrows) {
+  BonsaiTree tree(BonsaiOptions{});
+  Rng rng(3);
+  auto features = tensor::Tensor::random_uniform(tensor::Shape{2, 4}, rng);
+  EXPECT_THROW(tree.predict(features), openei::InvalidArgument);
+}
+
+TEST(BonsaiTest, FeatureWidthMismatchThrows) {
+  Rng rng(4);
+  auto dataset = data::make_blobs(100, 8, 2, rng);
+  BonsaiTree tree(BonsaiOptions{});
+  tree.fit(dataset);
+  auto wrong = tensor::Tensor::random_uniform(tensor::Shape{2, 9}, rng);
+  EXPECT_THROW(tree.predict(wrong), openei::InvalidArgument);
+}
+
+TEST(BonsaiTest, DeeperTreesNeverReduceTrainAccuracy) {
+  Rng rng(5);
+  auto dataset = data::make_blobs(400, 10, 4, rng, 2.5F);
+  double prev = 0.0;
+  for (std::size_t depth : {1UL, 3UL, 6UL}) {
+    BonsaiOptions options;
+    options.max_depth = depth;
+    options.seed = 11;  // same projection across depths
+    BonsaiTree tree(options);
+    tree.fit(dataset);
+    double train_acc = evaluate(tree, dataset);
+    EXPECT_GE(train_acc + 0.02, prev) << "depth " << depth;
+    prev = train_acc;
+  }
+}
+
+TEST(ProtoNnTest, LearnsBlobsAboveNinety) {
+  Rng rng(6);
+  auto dataset = data::make_blobs(600, 16, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  ProtoNnOptions options;
+  options.projection_dim = 8;
+  options.prototypes_per_class = 3;
+  ProtoNn model(options);
+  model.fit(train);
+  EXPECT_GT(evaluate(model, test), 0.9);
+  EXPECT_EQ(model.prototype_count(), 9U);
+}
+
+TEST(ProtoNnTest, RefinementImprovesOrMatchesInit) {
+  Rng rng(7);
+  auto dataset = data::make_blobs(500, 12, 4, rng, 2.0F, 1.5F);  // overlapping
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+
+  ProtoNnOptions no_refine;
+  no_refine.refine_epochs = 0;
+  ProtoNn init_only(no_refine);
+  init_only.fit(train);
+
+  ProtoNnOptions refined_opts = no_refine;
+  refined_opts.refine_epochs = 10;
+  ProtoNn refined(refined_opts);
+  refined.fit(train);
+
+  EXPECT_GE(evaluate(refined, test) + 0.05, evaluate(init_only, test));
+}
+
+TEST(ProtoNnTest, ModelFitsKilobyteBudget) {
+  Rng rng(8);
+  auto dataset = data::make_blobs(200, 24, 3, rng);
+  ProtoNnOptions options;
+  options.projection_dim = 6;
+  options.prototypes_per_class = 2;
+  ProtoNn model(options);
+  model.fit(dataset);
+  EXPECT_LT(model.model_size_bytes(), 2048U);
+}
+
+TEST(ProtoNnTest, PredictBeforeFitThrows) {
+  ProtoNn model(ProtoNnOptions{});
+  Rng rng(9);
+  auto features = tensor::Tensor::random_uniform(tensor::Shape{2, 4}, rng);
+  EXPECT_THROW(model.predict(features), openei::InvalidArgument);
+}
+
+TEST(FastGrnnTest, LearnsSequencesAboveEighty) {
+  Rng rng(10);
+  FastGrnnOptions options;
+  options.steps = 12;
+  options.input_dims = 2;
+  options.hidden = 12;
+  options.epochs = 15;
+  options.learning_rate = 0.1F;
+  auto dataset =
+      data::make_sequences(500, options.steps, options.input_dims, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  FastGrnn model(options);
+  model.fit(train);
+  EXPECT_GT(evaluate(model, test), 0.8);
+}
+
+TEST(FastGrnnTest, SharedWeightsHalveGruParameterCount) {
+  FastGrnnOptions options;
+  options.steps = 8;
+  options.input_dims = 4;
+  options.hidden = 16;
+  Rng rng(11);
+  auto dataset = data::make_sequences(120, 8, 4, 2, rng);
+  FastGrnn model(options);
+  model.fit(dataset);
+  // FastGRNN: W [D,H] + U [H,H] + 2 biases + readout.  A GRU would carry
+  // 3x (W + U).  Check the shared-weight count exactly.
+  std::size_t expected = 4 * 16 + 16 * 16 + 16 + 16 + 16 * 2 + 2;
+  EXPECT_EQ(model.param_count(), expected);
+}
+
+TEST(FastGrnnTest, RejectsWrongSequenceWidth) {
+  FastGrnnOptions options;
+  options.steps = 8;
+  options.input_dims = 3;
+  FastGrnn model(options);
+  Rng rng(12);
+  auto bad = data::make_sequences(50, 8, 2, 2, rng);  // 16 cols != 24
+  EXPECT_THROW(model.fit(bad), openei::InvalidArgument);
+}
+
+TEST(FastGrnnTest, PredictBeforeFitThrows) {
+  FastGrnn model(FastGrnnOptions{});
+  Rng rng(13);
+  auto features = tensor::Tensor::random_uniform(tensor::Shape{2, 48}, rng);
+  EXPECT_THROW(model.predict(features), openei::InvalidArgument);
+}
+
+// Property: all three EI algorithms stay within MCU-class model budgets on
+// the same workload while beating chance by a wide margin.
+TEST(EiAlgorithmsProperty, AllFitTinyBudgetsOnTabularWorkload) {
+  Rng rng(14);
+  auto dataset = data::make_blobs(400, 20, 4, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+
+  BonsaiTree bonsai{BonsaiOptions{}};
+  bonsai.fit(train);
+  ProtoNn protonn{ProtoNnOptions{}};
+  protonn.fit(train);
+
+  for (const EiClassifier* model :
+       std::vector<const EiClassifier*>{&bonsai, &protonn}) {
+    EXPECT_GT(evaluate(*model, test), 0.7) << model->name();
+    EXPECT_LT(model->model_size_bytes(), 8192U) << model->name();
+    EXPECT_GT(model->flops_per_sample(), 0U) << model->name();
+  }
+}
+
+}  // namespace
+}  // namespace openei::eialg

@@ -1,0 +1,157 @@
+// Tests for the failover client (Sec. IV-C high availability) and the
+// libei inference-session cache.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/edge_node.h"
+#include "core/failover.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/zoo.h"
+
+namespace openei::core {
+namespace {
+
+using common::Rng;
+
+std::unique_ptr<EdgeNode> make_replica(Rng& rng) {
+  auto node = std::make_unique<EdgeNode>(EdgeNodeConfig{
+      hwsim::raspberry_pi_4(), hwsim::openei_package(), 32});
+  Rng model_rng(1234);  // identical weights on every replica
+  node->deploy_model("safety", "detection",
+                     nn::zoo::make_mlp("det", 4, 2, {8}, model_rng), 0.9);
+  (void)rng;
+  return node;
+}
+
+TEST(FailoverTest, SurvivesPrimaryDeath) {
+  Rng rng(1);
+  auto primary = make_replica(rng);
+  auto backup = make_replica(rng);
+  auto p_port = primary->start_server(0);
+  auto b_port = backup->start_server(0);
+
+  FailoverClient client({p_port, b_port});
+  std::string target = "/ei_algorithms/safety/detection?input=[1,2,3,4]";
+
+  auto first = client.get(target);
+  EXPECT_EQ(first.status, 200);
+  EXPECT_EQ(client.active_replica(), 0U);
+  EXPECT_EQ(client.failover_count(), 0U);
+
+  // Primary dies; the same call keeps working via the backup.
+  primary->stop_server();
+  auto after = client.get(target);
+  EXPECT_EQ(after.status, 200);
+  EXPECT_EQ(client.active_replica(), 1U);
+  EXPECT_EQ(client.failover_count(), 1U);
+
+  // Identical weights -> identical answer across the failover.
+  EXPECT_EQ(common::Json::parse(first.body).at("predictions"),
+            common::Json::parse(after.body).at("predictions"));
+  backup->stop_server();
+}
+
+TEST(FailoverTest, AllReplicasDownThrowsIoError) {
+  Rng rng(2);
+  std::uint16_t dead1;
+  std::uint16_t dead2;
+  {
+    auto a = make_replica(rng);
+    auto b = make_replica(rng);
+    dead1 = a->start_server(0);
+    dead2 = b->start_server(0);
+    a->stop_server();
+    b->stop_server();
+  }
+  FailoverClient client({dead1, dead2});
+  EXPECT_THROW(client.get("/ei_status"), openei::IoError);
+}
+
+TEST(FailoverTest, ApplicationErrorsDoNotTriggerFailover) {
+  Rng rng(3);
+  auto primary = make_replica(rng);
+  auto backup = make_replica(rng);
+  auto p_port = primary->start_server(0);
+  auto b_port = backup->start_server(0);
+  FailoverClient client({p_port, b_port});
+
+  auto missing = client.get("/ei_algorithms/ghost/none?input=[1]");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(client.failover_count(), 0U);  // 404 is not a transport failure
+  primary->stop_server();
+  backup->stop_server();
+}
+
+TEST(FailoverTest, NeedsAtLeastOneReplica) {
+  EXPECT_THROW(FailoverClient({}), openei::InvalidArgument);
+}
+
+TEST(SessionCacheTest, RepeatCallsReuseCacheAndRedeployInvalidates) {
+  Rng rng(4);
+  EdgeNode node(EdgeNodeConfig{hwsim::raspberry_pi_4(),
+                               hwsim::openei_package(), 32});
+  Rng m1(5);
+  node.deploy_model("home", "monitor", nn::zoo::make_mlp("m", 4, 2, {8}, m1),
+                    0.9);
+
+  std::string target = "/ei_algorithms/home/monitor?input=[1,2,3,4]";
+  auto first = node.call("GET", target);
+  ASSERT_EQ(first.status, 200);
+  auto again = node.call("GET", target);
+  EXPECT_EQ(again.body, first.body);
+
+  // Redeploy under the same name with different weights; the cache must not
+  // serve the stale session.
+  Rng m2(6);
+  node.deploy_model("home", "monitor", nn::zoo::make_mlp("m", 4, 2, {8}, m2),
+                    0.9);
+  auto fresh = node.call("GET", target);
+  ASSERT_EQ(fresh.status, 200);
+  // ALEM/latency metadata identical but predictions may change; at minimum
+  // the call still works and reflects the *new* registry version.
+  common::Json doc = common::Json::parse(fresh.body);
+  EXPECT_EQ(doc.at("model").as_string(), "m");
+}
+
+TEST(SessionCacheTest, ConcurrentAlgorithmCallsShareOneSessionSafely) {
+  // Hammer one node's algorithm route from several clients at once: the
+  // shared cached session must produce identical, correct results with no
+  // crashes (inference-mode forward is read-only).
+  Rng rng(7);
+  EdgeNode node(EdgeNodeConfig{hwsim::jetson_tx2(),
+                               hwsim::openei_package(), 32});
+  node.deploy_model("safety", "detection",
+                    nn::zoo::make_mlp("det", 6, 3, {16}, rng), 0.9);
+  auto port = node.start_server(0);
+
+  std::string target = "/ei_algorithms/safety/detection?input=[1,2,3,4,5,6]";
+  std::string expected = node.call("GET", target).body;
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, port] {
+      net::HttpClient client(port);
+      for (int i = 0; i < 25; ++i) {
+        auto response = client.get(target);
+        if (response.status != 200) {
+          ++failures;
+        } else if (response.body != expected) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  node.stop_server();
+}
+
+}  // namespace
+}  // namespace openei::core

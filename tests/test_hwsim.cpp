@@ -1,0 +1,176 @@
+// Tests for the edge-hardware simulator: device fleet orderings, roofline
+// cost model, package effects, network links.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collab/edge_edge.h"
+#include "common/rng.h"
+#include "hwsim/cost_model.h"
+#include "hwsim/device.h"
+#include "hwsim/network.h"
+#include "hwsim/package.h"
+#include "nn/zoo.h"
+
+namespace openei::hwsim {
+namespace {
+
+using common::Rng;
+
+nn::Model test_model() {
+  Rng rng(1);
+  return nn::zoo::make_mlp("probe", 32, 4, {64, 32}, rng);
+}
+
+TEST(DeviceTest, FleetOrderingByCompute) {
+  // The capability ladder the paper assumes: MCU << Pi << phone << Jetson
+  // << edge server << cloud.
+  EXPECT_LT(arduino_class().effective_gflops, raspberry_pi_3().effective_gflops);
+  EXPECT_LT(raspberry_pi_3().effective_gflops, raspberry_pi_4().effective_gflops);
+  EXPECT_LT(raspberry_pi_4().effective_gflops, mobile_phone().effective_gflops);
+  EXPECT_LT(mobile_phone().effective_gflops, jetson_tx2().effective_gflops);
+  EXPECT_LT(jetson_tx2().effective_gflops, edge_server().effective_gflops);
+  EXPECT_LT(edge_server().effective_gflops, cloud_gpu().effective_gflops);
+}
+
+TEST(DeviceTest, FleetsHaveUniqueNames) {
+  auto fleet = default_fleet();
+  EXPECT_EQ(fleet.size(), 7U);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      EXPECT_NE(fleet[i].name, fleet[j].name);
+    }
+  }
+  EXPECT_EQ(edge_fleet().size(), 6U);  // cloud excluded
+}
+
+TEST(DeviceTest, InferenceEnergyIsAboveIdleDraw) {
+  DeviceProfile pi = raspberry_pi_3();
+  double energy = pi.inference_energy_j(2.0);
+  EXPECT_NEAR(energy, (pi.active_power_w - pi.idle_power_w) * 2.0, 1e-12);
+  EXPECT_GT(energy, 0.0);
+}
+
+TEST(CostModelTest, FasterDeviceLowerLatency) {
+  nn::Model model = test_model();
+  PackageSpec package = openei_package();
+  InferenceCost slow = estimate_inference(model, package, raspberry_pi_3());
+  InferenceCost fast = estimate_inference(model, package, edge_server());
+  EXPECT_GT(slow.latency_s, fast.latency_s);
+}
+
+TEST(CostModelTest, LatencyScalesWithModelFlops) {
+  Rng rng(2);
+  nn::Model small = nn::zoo::make_mlp("small", 32, 4, {16}, rng);
+  nn::Model large = nn::zoo::make_mlp("large", 32, 4, {256, 256}, rng);
+  PackageSpec package = lite_framework();
+  DeviceProfile device = raspberry_pi_3();
+  EXPECT_LT(estimate_inference(small, package, device).latency_s,
+            estimate_inference(large, package, device).latency_s);
+}
+
+TEST(CostModelTest, FullFrameworkHasHigherOverheadThanLite) {
+  nn::Model model = test_model();
+  DeviceProfile device = raspberry_pi_3();
+  InferenceCost full = estimate_inference(model, full_framework(), device);
+  InferenceCost lite = estimate_inference(model, lite_framework(), device);
+  // The pCAMP observation: the lite package wins latency AND memory on a Pi.
+  EXPECT_GT(full.latency_s, lite.latency_s);
+  EXPECT_GT(full.memory_bytes, lite.memory_bytes);
+}
+
+TEST(CostModelTest, PeakActivationCoversWidestLayerPair) {
+  Rng rng(3);
+  nn::Model model = nn::zoo::make_mlp("m", 8, 2, {100}, rng);
+  // Peak pair is the 100-wide ReLU: 100 in + 100 out floats live at once.
+  EXPECT_EQ(peak_activation_bytes(model), (100U + 100U) * sizeof(float));
+}
+
+TEST(CostModelTest, McuCannotHoldCnn) {
+  Rng rng(4);
+  nn::zoo::ImageSpec spec;
+  nn::Model cnn = nn::zoo::make_mini_vgg(spec, rng);
+  EXPECT_FALSE(fits_in_ram(cnn, lite_framework(), arduino_class()));
+  EXPECT_TRUE(fits_in_ram(cnn, lite_framework(), raspberry_pi_3()));
+}
+
+TEST(CostModelTest, EnergyFollowsLatencyAndPower) {
+  nn::Model model = test_model();
+  PackageSpec package = openei_package();
+  DeviceProfile pi = raspberry_pi_3();
+  InferenceCost cost = estimate_inference(model, package, pi);
+  EXPECT_NEAR(cost.energy_j, (pi.active_power_w - pi.idle_power_w) * cost.latency_s,
+              1e-12);
+}
+
+TEST(CostModelTest, TrainingCostsMoreThanInference) {
+  nn::Model model = test_model();
+  PackageSpec package = openei_package();
+  DeviceProfile device = raspberry_pi_4();
+  InferenceCost inference = estimate_inference(model, package, device);
+  InferenceCost training = estimate_training(model, package, device, 100, 5);
+  EXPECT_GT(training.latency_s, inference.latency_s * 100);
+  EXPECT_GT(training.memory_bytes, inference.memory_bytes);
+}
+
+TEST(CostModelTest, TrainingRejectsInferenceOnlyPackage) {
+  nn::Model model = test_model();
+  EXPECT_THROW(
+      estimate_training(model, lite_framework(), raspberry_pi_4(), 10, 1),
+      openei::InvalidArgument);
+}
+
+TEST(CostModelTest, LayerProfileSumsToStageLatency) {
+  Rng rng(5);
+  nn::zoo::ImageSpec spec;
+  nn::Model model = nn::zoo::make_mini_vgg(spec, rng);
+  auto package = openei_package();
+  auto device = raspberry_pi_4();
+
+  auto layers = profile_layers(model, package, device);
+  ASSERT_EQ(layers.size(), model.layer_count());
+  double total = 0.0;
+  for (const auto& layer : layers) {
+    EXPECT_GT(layer.latency_s, 0.0) << layer.type;
+    total += layer.latency_s;
+  }
+  // The profiler's total equals the split-inference stage model over the
+  // whole network (they share the same roofline arithmetic).
+  double stage = collab::stage_latency(model, 0, model.layer_count(), package,
+                                       device);
+  EXPECT_NEAR(total, stage, stage * 1e-9);
+
+  // Conv layers dominate a VGG's time; pick the most expensive layer and
+  // check it is a conv.
+  auto hottest = std::max_element(layers.begin(), layers.end(),
+                                  [](const LayerCost& a, const LayerCost& b) {
+                                    return a.latency_s < b.latency_s;
+                                  });
+  EXPECT_EQ(hottest->type, "conv2d");
+}
+
+TEST(NetworkTest, LinkOrderingAndTransferMath) {
+  auto links = default_links();
+  ASSERT_EQ(links.size(), 4U);
+  for (std::size_t i = 1; i < links.size(); ++i) {
+    EXPECT_GT(links[i].bandwidth_bps, links[i - 1].bandwidth_bps);
+  }
+  NetworkLink link = wifi();
+  std::size_t payload = 10'000'000;  // 10 MB
+  double t = link.transfer_time_s(payload);
+  EXPECT_NEAR(t, 0.0025 + 8e7 / 100e6, 1e-9);
+  EXPECT_NEAR(link.round_trip_s(payload, 100),
+              link.rtt_s + (1e7 + 100) * 8.0 / 100e6, 1e-9);
+  EXPECT_GT(link.transfer_energy_j(payload), 0.0);
+}
+
+TEST(NetworkTest, LorawanIsUnusableForVideo) {
+  // The Fig. 1 motivation in numbers: a single 100 kB frame takes ~30 s on
+  // LoRaWAN but milliseconds on LAN.
+  std::size_t frame = 100'000;
+  EXPECT_GT(lorawan().transfer_time_s(frame), 25.0);
+  EXPECT_LT(ethernet_lan().transfer_time_s(frame), 0.01);
+}
+
+}  // namespace
+}  // namespace openei::hwsim

@@ -1,0 +1,149 @@
+// Tests for the linear-algebra substrate: Jacobi SVD and 1-D k-means.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace openei::tensor {
+namespace {
+
+using common::Rng;
+
+TEST(SvdTest, ReconstructsFullRankExactly) {
+  Rng rng(1);
+  Tensor a = Tensor::random_uniform(Shape{6, 4}, rng, -2.0F, 2.0F);
+  SvdResult result = svd(a);
+  Tensor back = svd_reconstruct(result, 4);
+  EXPECT_TRUE(back.all_close(a, 1e-3F));
+}
+
+TEST(SvdTest, WideMatrixHandledByTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::random_uniform(Shape{3, 8}, rng);
+  SvdResult result = svd(a);
+  EXPECT_EQ(result.u.shape(), Shape({3, 3}));
+  EXPECT_EQ(result.v.shape(), Shape({8, 3}));
+  EXPECT_TRUE(svd_reconstruct(result, 3).all_close(a, 1e-3F));
+}
+
+TEST(SvdTest, SingularValuesDescendingAndNonNegative) {
+  Rng rng(3);
+  Tensor a = Tensor::random_uniform(Shape{10, 5}, rng);
+  SvdResult result = svd(a);
+  for (std::size_t i = 0; i < result.singular_values.size(); ++i) {
+    EXPECT_GE(result.singular_values[i], 0.0F);
+    if (i > 0) {
+      EXPECT_LE(result.singular_values[i], result.singular_values[i - 1] + 1e-5F);
+    }
+  }
+}
+
+TEST(SvdTest, ColumnsOfUAndVAreOrthonormal) {
+  Rng rng(4);
+  Tensor a = Tensor::random_uniform(Shape{7, 5}, rng);
+  SvdResult result = svd(a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      double dot_u = 0.0;
+      for (std::size_t r = 0; r < 7; ++r) {
+        dot_u += static_cast<double>(result.u.at2(r, i)) * result.u.at2(r, j);
+      }
+      double dot_v = 0.0;
+      for (std::size_t r = 0; r < 5; ++r) {
+        dot_v += static_cast<double>(result.v.at2(r, i)) * result.v.at2(r, j);
+      }
+      double expected = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(dot_u, expected, 1e-3) << "U columns " << i << "," << j;
+      EXPECT_NEAR(dot_v, expected, 1e-3) << "V columns " << i << "," << j;
+    }
+  }
+}
+
+TEST(SvdTest, LowRankMatrixRecoveredAtItsRank) {
+  // Build an exactly rank-2 matrix; truncating to rank 2 must be exact.
+  Rng rng(5);
+  Tensor u = Tensor::random_uniform(Shape{8, 2}, rng);
+  Tensor v = Tensor::random_uniform(Shape{2, 6}, rng);
+  Tensor a = matmul(u, v);
+  SvdResult result = svd(a);
+  EXPECT_TRUE(svd_reconstruct(result, 2).all_close(a, 1e-3F));
+  // Remaining singular values are ~0.
+  for (std::size_t i = 2; i < result.singular_values.size(); ++i) {
+    EXPECT_LT(result.singular_values[i], 1e-3F);
+  }
+}
+
+TEST(SvdTest, TruncationErrorDecreasesWithRank) {
+  Rng rng(6);
+  Tensor a = Tensor::random_uniform(Shape{10, 10}, rng);
+  SvdResult result = svd(a);
+  float prev_err = 1e30F;
+  for (std::size_t rank : {2UL, 5UL, 8UL, 10UL}) {
+    Tensor approx = svd_reconstruct(result, rank);
+    float err = (approx - a).norm();
+    EXPECT_LE(err, prev_err + 1e-4F) << "rank " << rank;
+    prev_err = err;
+  }
+}
+
+TEST(SvdTest, RejectsBadInputs) {
+  EXPECT_THROW(svd(Tensor(Shape{4})), openei::InvalidArgument);
+  Rng rng(7);
+  Tensor a = Tensor::random_uniform(Shape{3, 3}, rng);
+  SvdResult result = svd(a);
+  EXPECT_THROW(svd_reconstruct(result, 0), openei::InvalidArgument);
+  EXPECT_THROW(svd_reconstruct(result, 4), openei::InvalidArgument);
+}
+
+TEST(KmeansTest, SeparatesObviousClusters) {
+  Rng rng(8);
+  std::vector<float> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.normal_float(0.0F, 0.1F));
+  for (int i = 0; i < 50; ++i) values.push_back(rng.normal_float(10.0F, 0.1F));
+  auto result = kmeans_1d(values, 2, rng);
+  ASSERT_EQ(result.centroids.size(), 2U);
+  EXPECT_NEAR(result.centroids[0], 0.0F, 0.2F);
+  EXPECT_NEAR(result.centroids[1], 10.0F, 0.2F);
+  // Assignments split 50/50.
+  std::size_t zeros = 0;
+  for (std::size_t a : result.assignment) zeros += (a == 0) ? 1 : 0;
+  EXPECT_EQ(zeros, 50U);
+}
+
+TEST(KmeansTest, CentroidsSortedAndAssignmentsConsistent) {
+  Rng rng(9);
+  std::vector<float> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.uniform_float(-5.0F, 5.0F));
+  auto result = kmeans_1d(values, 8, rng);
+  for (std::size_t j = 1; j < result.centroids.size(); ++j) {
+    EXPECT_LE(result.centroids[j - 1], result.centroids[j]);
+  }
+  // Each value is assigned to its nearest centroid.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    float assigned = std::fabs(values[i] - result.centroids[result.assignment[i]]);
+    for (float c : result.centroids) {
+      EXPECT_LE(assigned, std::fabs(values[i] - c) + 1e-5F);
+    }
+  }
+}
+
+TEST(KmeansTest, KEqualsNPutsEachValueAlone) {
+  Rng rng(10);
+  std::vector<float> values = {1.0F, 5.0F, 9.0F};
+  auto result = kmeans_1d(values, 3, rng);
+  EXPECT_NEAR(result.centroids[0], 1.0F, 1e-4F);
+  EXPECT_NEAR(result.centroids[2], 9.0F, 1e-4F);
+}
+
+TEST(KmeansTest, RejectsBadArguments) {
+  Rng rng(11);
+  EXPECT_THROW(kmeans_1d({}, 2, rng), openei::InvalidArgument);
+  EXPECT_THROW(kmeans_1d({1.0F}, 2, rng), openei::InvalidArgument);
+  EXPECT_THROW(kmeans_1d({1.0F, 2.0F}, 0, rng), openei::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace openei::tensor

@@ -1,0 +1,212 @@
+// Tests for the conv low-rank extension (FactoredConv2d) and the Adam
+// optimizer.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compress/lowrank.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "data/synthetic.h"
+#include "nn/factored_conv.h"
+#include "nn/serialize.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+namespace openei::nn {
+namespace {
+
+using common::Rng;
+using tensor::Shape;
+
+Conv2d make_test_conv(Rng& rng) {
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 4;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.padding = 1;
+  return Conv2d(spec, rng);
+}
+
+TEST(FactoredConvTest, FullRankReproducesOriginalExactly) {
+  Rng rng(1);
+  Conv2d conv = make_test_conv(rng);
+  std::size_t full_rank = std::min<std::size_t>(8, 4 * 3 * 3);
+  auto factored = factorize_conv(conv, full_rank);
+  Tensor input = Tensor::random_uniform(Shape{2, 4, 6, 6}, rng);
+  Tensor original = conv.forward(input, false);
+  Tensor approx = factored->forward(input, false);
+  EXPECT_TRUE(approx.all_close(original, 1e-2F));
+}
+
+TEST(FactoredConvTest, TruncationErrorDecreasesWithRank) {
+  Rng rng(2);
+  Conv2d conv = make_test_conv(rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 4, 6, 6}, rng);
+  Tensor original = conv.forward(input, false);
+  float previous = 1e30F;
+  for (std::size_t rank : {1UL, 2UL, 4UL, 8UL}) {
+    auto factored = factorize_conv(conv, rank);
+    float err = (factored->forward(input, false) - original).norm();
+    EXPECT_LE(err, previous + 1e-4F) << "rank " << rank;
+    previous = err;
+  }
+}
+
+TEST(FactoredConvTest, LowRankShrinksFlopsAndParams) {
+  Rng rng(3);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 16;
+  spec.out_channels = 32;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Conv2d conv(spec, rng);
+  auto factored = factorize_conv(conv, 4);
+  Shape sample{16, 8, 8};
+  EXPECT_LT(factored->flops(sample), conv.flops(sample));
+  EXPECT_LT(factored->param_count(), conv.param_count());
+  EXPECT_EQ(factored->output_shape(sample), conv.output_shape(sample));
+}
+
+TEST(FactoredConvTest, RankBoundsValidated) {
+  Rng rng(4);
+  Conv2d conv = make_test_conv(rng);
+  EXPECT_THROW(factorize_conv(conv, 0), openei::InvalidArgument);
+  EXPECT_THROW(factorize_conv(conv, 9), openei::InvalidArgument);  // > min(8,36)
+}
+
+TEST(FactoredConvTest, IsTrainable) {
+  // A model containing a factored conv trains end-to-end.
+  Rng rng(5);
+  auto dataset = data::make_images(160, 2, 8, 3, rng, 0.3F);
+  Model model("factored_cnn", Shape{2, 8, 8});
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 8;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Conv2d seed_conv(spec, rng);
+  model.add(factorize_conv(seed_conv, 4));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(8 * 4 * 4, 3, rng));
+
+  TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 16;
+  options.sgd.learning_rate = 0.05F;
+  options.sgd.momentum = 0.9F;
+  auto history = fit(model, dataset, options);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss * 0.5F);
+}
+
+TEST(FactoredConvTest, SerializationRoundTrip) {
+  Rng rng(6);
+  Conv2d conv = make_test_conv(rng);
+  Model model("m", Shape{4, 6, 6});
+  model.add(factorize_conv(conv, 4));
+  Tensor input = Tensor::random_uniform(Shape{1, 4, 6, 6}, rng);
+  Tensor before = model.forward(input, false);
+  Model loaded = load_model(save_model(model));
+  EXPECT_TRUE(loaded.forward(input, false).all_close(before, 1e-4F));
+  EXPECT_EQ(loaded.layer(0).type(), "factored_conv2d");
+}
+
+TEST(LowRankConvCompressor, FactorsConvLayersWhenEnabled) {
+  Rng rng(7);
+  nn::zoo::ImageSpec spec;
+  spec.channels = 3;
+  spec.size = 12;
+  spec.classes = 4;
+  Model cnn = nn::zoo::make_mini_vgg(spec, rng);
+
+  compress::LowRankOptions options;
+  options.rank_fraction = 0.5F;
+  options.factor_convs = true;
+  auto factored = compress::lowrank_factorize(cnn, options);
+
+  std::size_t factored_convs = 0;
+  for (std::size_t i = 0; i < factored.model.layer_count(); ++i) {
+    if (factored.model.layer(i).type() == "factored_conv2d") ++factored_convs;
+  }
+  EXPECT_GT(factored_convs, 0U);
+  EXPECT_LT(factored.model.flops_per_sample(), cnn.flops_per_sample());
+
+  // At full rank the factored network reproduces the original (random
+  // untrained weights have flat spectra, so partial-rank deviation is large
+  // by construction; exactness at full rank is the correctness property).
+  compress::LowRankOptions exact;
+  exact.rank_fraction = 1.0F;
+  exact.factor_convs = true;
+  auto full_rank = compress::lowrank_factorize(cnn, exact);
+  Tensor input = Tensor::random_uniform(Shape{1, 3, 12, 12}, rng);
+  Tensor original = cnn.forward(input, false);
+  Tensor reproduced = full_rank.model.forward(input, false);
+  EXPECT_LT((reproduced - original).norm() / (original.norm() + 1e-6F), 0.05F);
+}
+
+TEST(AdamTest, ConvergesFasterThanPlainSgdOnBlobs) {
+  Rng rng(8);
+  auto dataset = data::make_blobs(300, 10, 3, rng);
+
+  auto train_with = [&](bool use_adam) {
+    Rng model_rng(9);
+    Model model = zoo::make_mlp("m", 10, 3, {16}, model_rng);
+    SoftmaxCrossEntropy loss_fn;
+    SgdOptimizer sgd({.learning_rate = 0.01F});
+    AdamOptimizer adam({.learning_rate = 0.01F});
+    float last_loss = 0.0F;
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      model.zero_gradients();
+      Tensor logits = model.forward(dataset.features, true);
+      auto loss = loss_fn.evaluate(logits, dataset.labels);
+      model.backward(loss.grad);
+      if (use_adam) {
+        adam.step(model.parameters(), model.gradients());
+      } else {
+        sgd.step(model.parameters(), model.gradients());
+      }
+      last_loss = loss.loss;
+    }
+    return last_loss;
+  };
+  EXPECT_LT(train_with(true), train_with(false));
+}
+
+TEST(AdamTest, StepValidatesAndIsDeterministic) {
+  EXPECT_THROW(AdamOptimizer({.learning_rate = 0.0F}), openei::InvalidArgument);
+  EXPECT_THROW(AdamOptimizer({.learning_rate = 0.1F, .beta1 = 1.0F}),
+               openei::InvalidArgument);
+
+  Tensor p1(Shape{2}, {1.0F, -1.0F});
+  Tensor p2 = p1;
+  Tensor g(Shape{2}, {0.5F, 0.5F});
+  AdamOptimizer a({.learning_rate = 0.1F});
+  AdamOptimizer b({.learning_rate = 0.1F});
+  a.step({&p1}, {&g});
+  b.step({&p2}, {&g});
+  EXPECT_EQ(p1, p2);
+  // First Adam step with bias correction moves by ~lr in -sign(g).
+  EXPECT_NEAR(p1[0], 1.0F - 0.1F, 1e-3F);
+}
+
+TEST(ZooTest, XceptionTrainsAndSerializes) {
+  Rng rng(10);
+  zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  Model model = zoo::make_mini_xception(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 2, 8, 8}, rng);
+  Tensor out = model.forward(input, true);
+  EXPECT_EQ(out.shape(), Shape({2, 3}));
+  model.backward(Tensor::ones(out.shape()));
+
+  Model loaded = load_model(save_model(model));
+  EXPECT_TRUE(loaded.forward(input, false)
+                  .all_close(model.forward(input, false), 1e-4F));
+}
+
+}  // namespace
+}  // namespace openei::nn

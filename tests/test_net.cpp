@@ -1,0 +1,184 @@
+// Tests for the networking substrate: HTTP parsing, URI targets, a live
+// loopback server round-trip, and malformed-input handling.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "common/error.h"
+#include "net/http.h"
+
+namespace openei::net {
+namespace {
+
+TEST(ParseTargetTest, SplitsPathAndQuery) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  parse_target("/ei_algorithms/safety/detection?video=cam1&min_accuracy=0.9",
+               path, query);
+  EXPECT_EQ(path, "/ei_algorithms/safety/detection");
+  EXPECT_EQ(query.at("video"), "cam1");
+  EXPECT_EQ(query.at("min_accuracy"), "0.9");
+}
+
+TEST(ParseTargetTest, DecodesEscapes) {
+  std::string path;
+  std::map<std::string, std::string> query;
+  parse_target("/data%20set?name=a%2Bb&flag", path, query);
+  EXPECT_EQ(path, "/data set");
+  EXPECT_EQ(query.at("name"), "a+b");
+  EXPECT_EQ(query.at("flag"), "");
+}
+
+TEST(ParseRequestTest, FullRequest) {
+  HttpRequest request = parse_request(
+      "GET /ei_data/realtime/camera1?timestamp=5 HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "X-Custom: Value",
+      "");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/ei_data/realtime/camera1");
+  EXPECT_EQ(request.query.at("timestamp"), "5");
+  EXPECT_EQ(request.headers.at("host"), "127.0.0.1");
+  EXPECT_EQ(request.headers.at("x-custom"), "Value");
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("GARBAGE", ""), openei::ParseError);
+  EXPECT_THROW(parse_request("GET /x", ""), openei::ParseError);
+  EXPECT_THROW(parse_request("GET /x SPDY/3", ""), openei::ParseError);
+  EXPECT_THROW(parse_request("GET /x HTTP/1.1\r\nBadHeaderNoColon", ""),
+               openei::ParseError);
+}
+
+TEST(HttpServerTest, EchoRoundTrip) {
+  HttpServer server(0, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = R"({"path":")" + request.path + R"(","method":")" +
+                    request.method + R"(","body_len":)" +
+                    std::to_string(request.body.size()) + "}";
+    return response;
+  });
+
+  HttpClient client(server.port());
+  HttpResponse get = client.get("/hello?x=1");
+  EXPECT_EQ(get.status, 200);
+  EXPECT_NE(get.body.find(R"("path":"/hello")"), std::string::npos);
+
+  HttpResponse post = client.post("/submit", "0123456789");
+  EXPECT_NE(post.body.find(R"("body_len":10)"), std::string::npos);
+  EXPECT_NE(post.body.find(R"("method":"POST")"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(HttpServerTest, HandlerExceptionsBecomeStatusCodes) {
+  HttpServer server(0, [](const HttpRequest& request) -> HttpResponse {
+    if (request.path == "/missing") throw openei::NotFound("nope");
+    if (request.path == "/bad") throw openei::ParseError("bad input");
+    throw std::runtime_error("boom");
+  });
+  HttpClient client(server.port());
+  EXPECT_EQ(client.get("/missing").status, 404);
+  EXPECT_EQ(client.get("/bad").status, 400);
+  EXPECT_EQ(client.get("/anything").status, 500);
+  server.stop();
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  std::atomic<int> hits{0};
+  HttpServer server(0, [&hits](const HttpRequest&) {
+    ++hits;
+    return HttpResponse::json(200, "{}");
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([port = server.port(), &ok] {
+      HttpClient client(port);
+      for (int j = 0; j < 5; ++j) {
+        if (client.get("/ping").status == 200) ++ok;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 40);
+  EXPECT_EQ(hits.load(), 40);
+  server.stop();
+}
+
+TEST(HttpServerTest, MalformedRequestGets400NotCrash) {
+  HttpServer server(0,
+                    [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  TcpConnection connection = connect_local(server.port());
+  connection.write_all("THIS IS NOT HTTP\r\n\r\n");
+  char buffer[512];
+  std::string reply;
+  while (true) {
+    std::size_t n = connection.read_some(buffer, sizeof(buffer));
+    if (n == 0) break;
+    reply.append(buffer, n);
+  }
+  EXPECT_NE(reply.find("400"), std::string::npos);
+  // Server is still healthy afterwards.
+  HttpClient client(server.port());
+  EXPECT_EQ(client.get("/ok").status, 200);
+  server.stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotent) {
+  auto server = std::make_unique<HttpServer>(
+      0, [](const HttpRequest&) { return HttpResponse::json(200, "{}"); });
+  server->stop();
+  server->stop();  // second stop must be a no-op
+}
+
+TEST(HttpFuzzTest, RandomGarbageNeverCrashesTheParser) {
+  // Seeded pseudo-random byte soup: the parser must throw ParseError or
+  // parse, never crash or loop.
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::size_t length = rng() % 200;
+    std::string head;
+    for (std::size_t i = 0; i < length; ++i) {
+      head.push_back(static_cast<char>(rng() % 256));
+    }
+    try {
+      parse_request(head, "");
+    } catch (const openei::ParseError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(HttpFuzzTest, MutatedValidRequestsDegradeGracefully) {
+  std::string valid =
+      "GET /ei_algorithms/safety/detection?input=[1,2] HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\nContent-Length: 0";
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    std::size_t pos = rng() % mutated.size();
+    mutated[pos] = static_cast<char>(rng() % 256);
+    try {
+      HttpRequest request = parse_request(mutated, "");
+      EXPECT_FALSE(request.method.empty());
+    } catch (const openei::ParseError&) {
+    }
+  }
+}
+
+TEST(TcpTest, ConnectToClosedPortThrows) {
+  // Grab an ephemeral port, close the listener, then connect.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  EXPECT_THROW(connect_local(dead_port), openei::IoError);
+}
+
+}  // namespace
+}  // namespace openei::net

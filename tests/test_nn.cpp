@@ -1,0 +1,655 @@
+// Unit + property tests for the NN engine: layer gradients (numerical
+// checking), model mechanics, losses, optimizer, training convergence,
+// serialization round-trips, and the model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/factored_conv.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "nn/residual.h"
+#include "nn/serialize.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "tensor/ops.h"
+
+namespace openei::nn {
+namespace {
+
+using common::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Numerical gradient checking harness.
+//
+// For scalar loss L = sum(forward(x) * seed), compares analytic gradients
+// (backward) against central finite differences for both inputs and
+// parameters.
+// ---------------------------------------------------------------------------
+
+float seeded_loss(Layer& layer, const Tensor& input, const Tensor& seed) {
+  Tensor out = layer.forward(input, /*training=*/true);
+  return (out * seed).sum();
+}
+
+void check_layer_gradients(Layer& layer, const Tensor& input, float tolerance,
+                           float epsilon = 1e-2F) {
+  Rng rng(99);
+  Tensor probe_out = layer.forward(input, true);
+  Tensor seed = Tensor::random_uniform(probe_out.shape(), rng, -1.0F, 1.0F);
+
+  // Analytic gradients.
+  layer.zero_gradients();
+  layer.forward(input, true);
+  Tensor grad_input = layer.backward(seed);
+
+  // Numerical input gradient.
+  Tensor x = input;
+  for (std::size_t i = 0; i < x.elements(); ++i) {
+    float original = x[i];
+    x[i] = original + epsilon;
+    float up = seeded_loss(layer, x, seed);
+    x[i] = original - epsilon;
+    float down = seeded_loss(layer, x, seed);
+    x[i] = original;
+    float numeric = (up - down) / (2.0F * epsilon);
+    EXPECT_NEAR(grad_input[i], numeric, tolerance) << "input grad " << i;
+  }
+
+  // Numerical parameter gradients.  Re-run analytic pass because the
+  // numerical probing above clobbered layer caches.
+  layer.zero_gradients();
+  layer.forward(input, true);
+  layer.backward(seed);
+  auto params = layer.parameters();
+  std::vector<Tensor> analytic;
+  for (Tensor* g : layer.gradients()) analytic.push_back(*g);
+
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    for (std::size_t i = 0; i < param.elements(); ++i) {
+      float original = param[i];
+      param[i] = original + epsilon;
+      float up = seeded_loss(layer, input, seed);
+      param[i] = original - epsilon;
+      float down = seeded_loss(layer, input, seed);
+      param[i] = original;
+      float numeric = (up - down) / (2.0F * epsilon);
+      EXPECT_NEAR(analytic[p][i], numeric, tolerance)
+          << "param " << p << " grad " << i;
+    }
+  }
+}
+
+TEST(GradientCheck, Dense) {
+  Rng rng(1);
+  Dense layer(5, 4, rng);
+  Tensor input = Tensor::random_uniform(Shape{3, 5}, rng);
+  check_layer_gradients(layer, input, 2e-2F);
+}
+
+TEST(GradientCheck, Conv2d) {
+  Rng rng(2);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Conv2d layer(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 2, 5, 5}, rng);
+  check_layer_gradients(layer, input, 3e-2F);
+}
+
+TEST(GradientCheck, Conv2dStrided) {
+  Rng rng(3);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 2;
+  spec.kernel = 3;
+  spec.stride = 2;
+  spec.padding = 1;
+  Conv2d layer(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{1, 1, 6, 6}, rng);
+  check_layer_gradients(layer, input, 3e-2F);
+}
+
+TEST(GradientCheck, DepthwiseConv2d) {
+  Rng rng(4);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 3;
+  spec.out_channels = 3;
+  spec.kernel = 3;
+  spec.padding = 1;
+  DepthwiseConv2d layer(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 3, 4, 4}, rng);
+  check_layer_gradients(layer, input, 3e-2F);
+}
+
+TEST(GradientCheck, ReluAwayFromKink) {
+  Rng rng(5);
+  Relu layer;
+  // Keep inputs away from 0 where ReLU is non-differentiable.
+  Tensor input = Tensor::random_uniform(Shape{2, 6}, rng, 0.5F, 2.0F);
+  Tensor negatives = Tensor::random_uniform(Shape{2, 6}, rng, -2.0F, -0.5F);
+  check_layer_gradients(layer, input, 1e-2F);
+  check_layer_gradients(layer, negatives, 1e-2F);
+}
+
+TEST(GradientCheck, SigmoidAndTanh) {
+  Rng rng(6);
+  Tensor input = Tensor::random_uniform(Shape{2, 5}, rng, -1.5F, 1.5F);
+  Sigmoid sigmoid;
+  check_layer_gradients(sigmoid, input, 1e-2F);
+  Tanh tanh_layer;
+  check_layer_gradients(tanh_layer, input, 1e-2F);
+}
+
+TEST(GradientCheck, MaxPoolAndAvgPool) {
+  Rng rng(7);
+  // Max-pool is non-differentiable where window elements tie; build an input
+  // whose values are all separated by >= 0.5 so the finite-difference probe
+  // (eps = 1e-2) never crosses an argmax switch.
+  Tensor input(Shape{1, 2, 4, 4});
+  auto perm = rng.permutation(input.elements());
+  for (std::size_t i = 0; i < input.elements(); ++i) {
+    input[i] = 0.5F * static_cast<float>(perm[i]);
+  }
+  MaxPool2d mx(2);
+  check_layer_gradients(mx, input, 1e-2F);
+  AvgPool2d av(2);
+  check_layer_gradients(av, input, 1e-2F);
+}
+
+TEST(GradientCheck, GlobalAvgPool) {
+  Rng rng(8);
+  Tensor input = Tensor::random_uniform(Shape{2, 3, 3, 3}, rng);
+  GlobalAvgPool layer;
+  check_layer_gradients(layer, input, 1e-2F);
+}
+
+TEST(GradientCheck, BatchNormRank2) {
+  Rng rng(9);
+  BatchNorm layer(4);
+  Tensor input = Tensor::random_uniform(Shape{6, 4}, rng, -2.0F, 2.0F);
+  check_layer_gradients(layer, input, 5e-2F);
+}
+
+TEST(GradientCheck, BatchNormRank4PerChannel) {
+  Rng rng(91);
+  BatchNorm layer(3);
+  Tensor input = Tensor::random_uniform(Shape{4, 3, 3, 3}, rng, -2.0F, 2.0F);
+  check_layer_gradients(layer, input, 6e-2F);
+}
+
+TEST(GradientCheck, FactoredDense) {
+  Rng rng(92);
+  Tensor u = Tensor::random_uniform(Shape{5, 3}, rng);
+  Tensor v = Tensor::random_uniform(Shape{3, 4}, rng);
+  Tensor bias = Tensor::random_uniform(Shape{4}, rng);
+  FactoredDense layer(std::move(u), std::move(v), std::move(bias));
+  Tensor input = Tensor::random_uniform(Shape{3, 5}, rng);
+  check_layer_gradients(layer, input, 2e-2F);
+}
+
+TEST(GradientCheck, FactoredConv2d) {
+  Rng rng(93);
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 2;
+  spec.out_channels = 4;
+  spec.kernel = 3;
+  spec.padding = 1;
+  Conv2d seed(spec, rng);
+  auto layer = factorize_conv(seed, 3);
+  Tensor input = Tensor::random_uniform(Shape{2, 2, 4, 4}, rng);
+  check_layer_gradients(*layer, input, 3e-2F);
+}
+
+TEST(GradientCheck, ResidualBlockWithProjection) {
+  Rng rng(10);
+  std::vector<LayerPtr> body;
+  body.push_back(std::make_unique<Dense>(4, 6, rng));
+  body.push_back(std::make_unique<Tanh>());
+  auto projection = std::make_unique<Dense>(4, 6, rng);
+  ResidualBlock layer(std::move(body), std::move(projection));
+  Tensor input = Tensor::random_uniform(Shape{3, 4}, rng);
+  check_layer_gradients(layer, input, 2e-2F);
+}
+
+// ---------------------------------------------------------------------------
+// Layer behaviour tests.
+// ---------------------------------------------------------------------------
+
+TEST(DenseTest, ShapeAndFlops) {
+  Rng rng(11);
+  Dense layer(8, 3, rng);
+  EXPECT_EQ(layer.output_shape(Shape{8}), Shape({3}));
+  EXPECT_EQ(layer.flops(Shape{8}), 2U * 8U * 3U);
+  EXPECT_EQ(layer.param_count(), 8U * 3U + 3U);
+  EXPECT_THROW(layer.output_shape(Shape{7}), openei::InvalidArgument);
+}
+
+TEST(DenseTest, ForwardMatchesManualMatmul) {
+  Dense layer(Tensor(Shape{2, 2}, {1, 2, 3, 4}), Tensor(Shape{2}, {10, 20}));
+  Tensor input(Shape{1, 2}, {1, 1});
+  Tensor out = layer.forward(input, false);
+  EXPECT_TRUE(out.all_close(Tensor(Shape{1, 2}, {14, 26})));
+}
+
+TEST(QuantizedDenseTest, ApproximatesDenseAndShrinksStorage) {
+  Rng rng(12);
+  Dense dense(16, 8, rng);
+  auto quantized = QuantizedDense::from_dense(dense);
+  Tensor input = Tensor::random_uniform(Shape{4, 16}, rng, -1.0F, 1.0F);
+  Tensor exact = dense.forward(input, false);
+  Tensor approx = quantized->forward(input, false);
+  for (std::size_t i = 0; i < exact.elements(); ++i) {
+    EXPECT_NEAR(approx[i], exact[i], 0.35F);
+  }
+  EXPECT_LT(quantized->storage_bytes(), dense.param_count() * sizeof(float) / 2);
+  EXPECT_THROW(quantized->forward(input, true), openei::InvalidArgument);
+  EXPECT_THROW(quantized->backward(input), openei::InvalidArgument);
+}
+
+TEST(DropoutTest, InferenceIsIdentityTrainingScales) {
+  Rng rng(13);
+  Dropout layer(0.5F, 77);
+  Tensor input = Tensor::ones(Shape{1, 1000});
+  EXPECT_EQ(layer.forward(input, false), input);
+  Tensor out = layer.forward(input, true);
+  // Kept units are scaled by 1/keep = 2; mean stays near 1.
+  EXPECT_NEAR(out.mean(), 1.0F, 0.15F);
+  std::size_t zeros = out.count_near_zero();
+  EXPECT_GT(zeros, 350U);
+  EXPECT_LT(zeros, 650U);
+}
+
+TEST(DropoutTest, RejectsBadRate) {
+  EXPECT_THROW(Dropout(1.0F, 1), openei::InvalidArgument);
+  EXPECT_THROW(Dropout(-0.1F, 1), openei::InvalidArgument);
+}
+
+TEST(BatchNormTest, NormalizesBatchInTraining) {
+  Rng rng(14);
+  BatchNorm layer(3);
+  Tensor input = Tensor::random_uniform(Shape{64, 3}, rng, 5.0F, 9.0F);
+  Tensor out = layer.forward(input, true);
+  // Per-feature mean ~0, variance ~1 (gamma=1, beta=0 at init).
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) mean += out.at2(i, f);
+    mean /= 64.0;
+    for (std::size_t i = 0; i < 64; ++i) {
+      var += (out.at2(i, f) - mean) * (out.at2(i, f) - mean);
+    }
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-3);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, InferenceUsesRunningStats) {
+  Rng rng(15);
+  BatchNorm layer(2, /*momentum=*/0.0F);  // running stats = last batch stats
+  Tensor batch = Tensor::random_uniform(Shape{32, 2}, rng, -1.0F, 3.0F);
+  layer.forward(batch, true);
+  Tensor train_out = layer.forward(batch, true);
+  Tensor infer_out = layer.forward(batch, false);
+  EXPECT_TRUE(infer_out.all_close(train_out, 5e-2F));
+}
+
+TEST(ResidualTest, IdentityShortcutAddsInput) {
+  // Body that outputs zeros -> residual output == input.
+  auto zero_dense =
+      std::make_unique<Dense>(Tensor(Shape{3, 3}), Tensor(Shape{3}));
+  std::vector<LayerPtr> body;
+  body.push_back(std::move(zero_dense));
+  ResidualBlock block(std::move(body), nullptr);
+  Rng rng(16);
+  Tensor input = Tensor::random_uniform(Shape{2, 3}, rng);
+  EXPECT_TRUE(block.forward(input, false).all_close(input));
+}
+
+TEST(ResidualTest, ShapeMismatchWithoutProjectionThrows) {
+  std::vector<LayerPtr> body;
+  Rng rng(17);
+  body.push_back(std::make_unique<Dense>(3, 5, rng));
+  ResidualBlock block(std::move(body), nullptr);
+  Tensor input = Tensor::random_uniform(Shape{2, 3}, rng);
+  EXPECT_THROW(block.forward(input, false), openei::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Model mechanics.
+// ---------------------------------------------------------------------------
+
+Model tiny_classifier(Rng& rng) {
+  Model model("tiny", Shape{4});
+  model.add(std::make_unique<Dense>(4, 8, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<Dense>(8, 3, rng));
+  return model;
+}
+
+TEST(ModelTest, AddValidatesShapes) {
+  Rng rng(18);
+  Model model("m", Shape{4});
+  model.add(std::make_unique<Dense>(4, 8, rng));
+  EXPECT_THROW(model.add(std::make_unique<Dense>(9, 2, rng)),
+               openei::InvalidArgument);
+}
+
+TEST(ModelTest, IntrospectionCounts) {
+  Rng rng(19);
+  Model model = tiny_classifier(rng);
+  EXPECT_EQ(model.param_count(), 4U * 8U + 8U + 8U * 3U + 3U);
+  EXPECT_EQ(model.flops_per_sample(), 2U * 4U * 8U + 8U + 2U * 8U * 3U);
+  EXPECT_EQ(model.output_shape(), Shape({3}));
+  EXPECT_EQ(model.storage_bytes(), model.param_count() * 4U);
+}
+
+TEST(ModelTest, PrefixSuffixSplitMatchesFullForward) {
+  Rng rng(20);
+  Model model = tiny_classifier(rng);
+  Tensor input = Tensor::random_uniform(Shape{5, 4}, rng);
+  Tensor full = model.forward(input, false);
+  for (std::size_t k = 0; k <= model.layer_count(); ++k) {
+    Tensor split = model.forward_suffix(model.forward_prefix(input, k), k);
+    EXPECT_TRUE(split.all_close(full)) << "split at " << k;
+  }
+}
+
+TEST(ModelTest, CloneIsDeepAndIndependent) {
+  Rng rng(21);
+  Model model = tiny_classifier(rng);
+  Model copy = model.clone();
+  Tensor input = Tensor::random_uniform(Shape{2, 4}, rng);
+  Tensor before = copy.forward(input, false);
+  // Mutate original weights; copy must be unaffected.
+  *model.parameters()[0] *= 0.0F;
+  Tensor after = copy.forward(input, false);
+  EXPECT_TRUE(before.all_close(after));
+}
+
+TEST(ModelTest, ReplaceLayerChecksShapes) {
+  Rng rng(22);
+  Model model = tiny_classifier(rng);
+  model.replace_layer(0, std::make_unique<Dense>(4, 8, rng));  // ok
+  EXPECT_THROW(model.replace_layer(0, std::make_unique<Dense>(4, 9, rng)),
+               openei::InvalidArgument);
+  EXPECT_THROW(model.replace_layer(10, std::make_unique<Relu>()),
+               openei::InvalidArgument);
+}
+
+TEST(ModelTest, SummaryListsEveryLayerAndTotals) {
+  Rng rng(94);
+  Model model = tiny_classifier(rng);
+  std::string summary = model.summary();
+  EXPECT_NE(summary.find("dense"), std::string::npos);
+  EXPECT_NE(summary.find("relu"), std::string::npos);
+  EXPECT_NE(summary.find(std::to_string(model.param_count())),
+            std::string::npos);
+  EXPECT_NE(summary.find("tiny"), std::string::npos);
+}
+
+TEST(ModelTest, PredictReturnsArgmaxRows) {
+  Model model("fixed", Shape{2});
+  model.add(std::make_unique<Dense>(Tensor(Shape{2, 2}, {1, 0, 0, 1}),
+                                    Tensor(Shape{2})));
+  Tensor input(Shape{2, 2}, {3, 1, 0, 5});
+  auto preds = model.predict(input);
+  ASSERT_EQ(preds.size(), 2U);
+  EXPECT_EQ(preds[0], 0U);
+  EXPECT_EQ(preds[1], 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Losses and optimizer.
+// ---------------------------------------------------------------------------
+
+TEST(LossTest, CrossEntropyPerfectPredictionNearZero) {
+  Tensor logits(Shape{1, 3}, {20.0F, 0.0F, 0.0F});
+  SoftmaxCrossEntropy loss_fn;
+  auto result = loss_fn.evaluate(logits, {0});
+  EXPECT_LT(result.loss, 1e-4F);
+}
+
+TEST(LossTest, CrossEntropyGradMatchesNumerical) {
+  Rng rng(23);
+  Tensor logits = Tensor::random_uniform(Shape{4, 3}, rng, -2.0F, 2.0F);
+  std::vector<std::size_t> labels = {0, 2, 1, 2};
+  SoftmaxCrossEntropy loss_fn;
+  auto result = loss_fn.evaluate(logits, labels);
+  float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.elements(); ++i) {
+    Tensor up = logits;
+    up[i] += eps;
+    Tensor down = logits;
+    down[i] -= eps;
+    float numeric =
+        (loss_fn.evaluate(up, labels).loss - loss_fn.evaluate(down, labels).loss) /
+        (2.0F * eps);
+    EXPECT_NEAR(result.grad[i], numeric, 1e-3F);
+  }
+}
+
+TEST(LossTest, SoftTargetGradMatchesNumerical) {
+  Rng rng(24);
+  Tensor logits = Tensor::random_uniform(Shape{3, 4}, rng, -1.0F, 1.0F);
+  Tensor targets = tensor::softmax_rows(Tensor::random_uniform(Shape{3, 4}, rng));
+  SoftTargetLoss loss_fn(2.0F);
+  auto result = loss_fn.evaluate(logits, targets);
+  float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.elements(); ++i) {
+    Tensor up = logits;
+    up[i] += eps;
+    Tensor down = logits;
+    down[i] -= eps;
+    float numeric = (loss_fn.evaluate(up, targets).loss -
+                     loss_fn.evaluate(down, targets).loss) /
+                    (2.0F * eps);
+    EXPECT_NEAR(result.grad[i], numeric, 1e-3F);
+  }
+}
+
+TEST(LossTest, MseZeroAtTarget) {
+  Tensor x(Shape{2, 2}, {1, 2, 3, 4});
+  MeanSquaredError mse;
+  EXPECT_FLOAT_EQ(mse.evaluate(x, x).loss, 0.0F);
+}
+
+TEST(OptimizerTest, PlainSgdStep) {
+  Tensor p(Shape{2}, {1.0F, 2.0F});
+  Tensor g(Shape{2}, {0.5F, -0.5F});
+  SgdOptimizer opt({.learning_rate = 0.1F});
+  opt.step({&p}, {&g});
+  EXPECT_TRUE(p.all_close(Tensor(Shape{2}, {0.95F, 2.05F})));
+}
+
+TEST(OptimizerTest, MomentumAccumulates) {
+  Tensor p(Shape{1}, {0.0F});
+  Tensor g(Shape{1}, {1.0F});
+  SgdOptimizer opt({.learning_rate = 1.0F, .momentum = 0.5F});
+  opt.step({&p}, {&g});  // v=1, p=-1
+  opt.step({&p}, {&g});  // v=1.5, p=-2.5
+  EXPECT_NEAR(p[0], -2.5F, 1e-6F);
+}
+
+TEST(OptimizerTest, WeightDecayPullsTowardZero) {
+  Tensor p(Shape{1}, {10.0F});
+  Tensor g(Shape{1}, {0.0F});
+  SgdOptimizer opt({.learning_rate = 0.1F, .weight_decay = 0.1F});
+  opt.step({&p}, {&g});
+  EXPECT_LT(p[0], 10.0F);
+}
+
+TEST(OptimizerTest, RejectsBadOptions) {
+  EXPECT_THROW(SgdOptimizer({.learning_rate = 0.0F}), openei::InvalidArgument);
+  EXPECT_THROW(SgdOptimizer({.learning_rate = 0.1F, .momentum = 1.0F}),
+               openei::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Training end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(TrainTest, MlpLearnsBlobs) {
+  Rng rng(25);
+  auto dataset = data::make_blobs(400, 8, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  Model model = zoo::make_mlp("mlp", 8, 3, {16}, rng);
+  TrainOptions options;
+  options.epochs = 30;
+  options.batch_size = 32;
+  options.sgd.learning_rate = 0.05F;
+  options.sgd.momentum = 0.9F;
+  auto history = fit(model, train, options);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GT(evaluate_accuracy(model, test), 0.9);
+}
+
+TEST(TrainTest, FrozenParametersDoNotMove) {
+  Rng rng(26);
+  auto dataset = data::make_blobs(100, 4, 2, rng);
+  Model model = zoo::make_mlp("mlp", 4, 2, {8}, rng);
+  Tensor frozen_before = *model.parameters()[0];
+  TrainOptions options;
+  options.epochs = 3;
+  options.frozen_parameters = {0, 1};  // first dense layer
+  auto history = fit(model, dataset, options);
+  EXPECT_TRUE(frozen_before.all_close(*model.parameters()[0]));
+}
+
+TEST(TrainTest, SmallCnnLearnsImages) {
+  Rng rng(27);
+  auto dataset = data::make_images(240, 1, 8, 3, rng, 0.3F);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  Model model("cnn", Shape{1, 8, 8});
+  tensor::Conv2dSpec spec;
+  spec.in_channels = 1;
+  spec.out_channels = 6;
+  spec.kernel = 3;
+  spec.padding = 1;
+  model.add(std::make_unique<Conv2d>(spec, rng));
+  model.add(std::make_unique<Relu>());
+  model.add(std::make_unique<MaxPool2d>(2));
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(6 * 4 * 4, 3, rng));
+  TrainOptions options;
+  options.epochs = 12;
+  options.batch_size = 16;
+  options.sgd.learning_rate = 0.05F;
+  options.sgd.momentum = 0.9F;
+  fit(model, train, options);
+  EXPECT_GT(evaluate_accuracy(model, test), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, MlpRoundTripPreservesOutputs) {
+  Rng rng(28);
+  Model model = zoo::make_mlp("mlp", 6, 3, {10, 5}, rng);
+  Tensor input = Tensor::random_uniform(Shape{4, 6}, rng);
+  Tensor before = model.forward(input, false);
+  Model loaded = load_model(save_model(model));
+  EXPECT_EQ(loaded.name(), "mlp");
+  EXPECT_TRUE(loaded.forward(input, false).all_close(before, 1e-5F));
+}
+
+class ZooSerializeRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ZooSerializeRoundTrip, OutputsPreserved) {
+  Rng rng(29);
+  auto catalog = zoo::image_catalog();
+  ASSERT_LT(GetParam(), catalog.size());
+  zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  Model model = catalog[GetParam()].build(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 2, 8, 8}, rng);
+  Tensor before = model.forward(input, false);
+  Model loaded = load_model(save_model(model));
+  EXPECT_TRUE(loaded.forward(input, false).all_close(before, 1e-4F))
+      << catalog[GetParam()].name;
+  EXPECT_EQ(loaded.param_count(), model.param_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, ZooSerializeRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(SerializeTest, RejectsUnknownFormatAndType) {
+  EXPECT_THROW(load_model("{\"format\":\"bogus\"}"), openei::Error);
+  EXPECT_THROW(
+      load_model(R"({"format":"openei-model-v1","name":"x","input_shape":[2],)"
+                 R"("layers":[{"type":"warp_drive","config":{}}]})"),
+      openei::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Zoo sanity.
+// ---------------------------------------------------------------------------
+
+TEST(ZooTest, CatalogModelsHaveDistinctCostProfiles) {
+  Rng rng(30);
+  zoo::ImageSpec spec;
+  spec.channels = 3;
+  spec.size = 16;
+  spec.classes = 4;
+  auto catalog = zoo::image_catalog();
+  ASSERT_EQ(catalog.size(), 7U);
+
+  std::size_t alexnet_params = 0;
+  std::size_t squeezenet_params = 0;
+  std::size_t mobilenet_flops = 0;
+  std::size_t vgg_flops = 0;
+  for (const auto& entry : catalog) {
+    Model model = entry.build(spec, rng);
+    EXPECT_EQ(model.output_shape(), Shape({4})) << entry.name;
+    EXPECT_GT(model.param_count(), 0U) << entry.name;
+    if (entry.name == "mini_alexnet") alexnet_params = model.param_count();
+    if (entry.name == "mini_squeezenet") squeezenet_params = model.param_count();
+    if (entry.name == "mini_mobilenet") mobilenet_flops = model.flops_per_sample();
+    if (entry.name == "mini_vgg") vgg_flops = model.flops_per_sample();
+  }
+  // Architectural signatures: SqueezeNet is far smaller than AlexNet;
+  // MobileNet does far fewer FLOPs than VGG.
+  EXPECT_LT(squeezenet_params * 3, alexnet_params);
+  EXPECT_LT(mobilenet_flops * 3, vgg_flops);
+}
+
+TEST(ZooTest, MobileNetWidthMultiplierShrinksModel) {
+  Rng rng(31);
+  zoo::ImageSpec spec;
+  Model full = zoo::make_mini_mobilenet(spec, rng, 1.0F);
+  Model half = zoo::make_mini_mobilenet(spec, rng, 0.5F);
+  EXPECT_LT(half.param_count(), full.param_count());
+  EXPECT_LT(half.flops_per_sample(), full.flops_per_sample());
+}
+
+TEST(ZooTest, ResnetForwardBackwardRuns) {
+  Rng rng(32);
+  zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  Model model = zoo::make_mini_resnet(spec, rng);
+  Tensor input = Tensor::random_uniform(Shape{2, 2, 8, 8}, rng);
+  Tensor out = model.forward(input, true);
+  EXPECT_EQ(out.shape(), Shape({2, 3}));
+  model.backward(Tensor::ones(out.shape()));  // must not throw
+}
+
+}  // namespace
+}  // namespace openei::nn

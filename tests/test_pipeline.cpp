@@ -1,0 +1,106 @@
+// Tests for the streaming inference pipeline.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/metrics.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "runtime/pipeline.h"
+
+namespace openei::runtime {
+namespace {
+
+using common::Rng;
+
+struct PipelineFixture {
+  data::Dataset test;
+  datastore::SensorStore store;
+  std::unique_ptr<StreamingPipeline> pipeline;
+
+  explicit PipelineFixture(double fps = 10.0) {
+    Rng rng(1);
+    auto dataset = data::make_blobs(300, 8, 3, rng);
+    auto split = data::train_test_split(dataset, 0.8, rng);
+    test = std::move(split.second);
+
+    nn::Model model = nn::zoo::make_mlp("streamer", 8, 3, {16}, rng);
+    nn::TrainOptions topt;
+    topt.epochs = 15;
+    topt.sgd.learning_rate = 0.05F;
+    topt.sgd.momentum = 0.9F;
+    nn::fit(model, split.first, topt);
+
+    InferenceSession session(std::move(model), hwsim::openei_package(),
+                             hwsim::raspberry_pi_4());
+    pipeline =
+        std::make_unique<StreamingPipeline>(std::move(session), store, "cam");
+
+    // Feed test rows as timestamped frames at `fps`.
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      common::JsonArray features;
+      for (std::size_t f = 0; f < 8; ++f) {
+        features.emplace_back(static_cast<double>(test.features.at2(i, f)));
+      }
+      store.append("cam", {static_cast<double>(i) / fps,
+                           common::Json(std::move(features))});
+    }
+  }
+};
+
+TEST(PipelineTest, DrainsExactlyOnceInOrder) {
+  PipelineFixture fx;
+  std::size_t n = fx.test.size();
+
+  auto first = fx.pipeline->process_available(static_cast<double>(n) / 20.0);
+  auto second = fx.pipeline->process_available(static_cast<double>(n));
+  auto third = fx.pipeline->process_available(static_cast<double>(n));
+
+  EXPECT_GT(first.processed, 0U);
+  EXPECT_EQ(first.processed + second.processed, n);
+  EXPECT_EQ(third.processed, 0U);  // nothing new
+  EXPECT_DOUBLE_EQ(fx.pipeline->watermark(),
+                   (static_cast<double>(n) - 1.0) / 10.0);
+}
+
+TEST(PipelineTest, PredictionsMatchDirectInference) {
+  PipelineFixture fx;
+  auto pass = fx.pipeline->process_available(1e6);
+  ASSERT_EQ(pass.processed, fx.test.size());
+  EXPECT_GT(data::accuracy(pass.predictions, fx.test.labels), 0.85);
+}
+
+TEST(PipelineTest, FrameLatencyAccountsCaptureToCompletion) {
+  PipelineFixture fx;
+  double now = 100.0;  // frames captured long before the pass -> latency
+  auto pass = fx.pipeline->process_available(now);
+  ASSERT_GT(pass.processed, 0U);
+  // Oldest frame (t=0) waited at least `now` seconds.
+  EXPECT_GE(pass.max_frame_latency_s, now);
+  EXPECT_GT(pass.mean_frame_latency_s, 0.0);
+  EXPECT_LE(pass.mean_frame_latency_s, pass.max_frame_latency_s);
+}
+
+TEST(PipelineTest, SustainableFpsMatchesCostModel) {
+  PipelineFixture fx;
+  double fps = fx.pipeline->sustainable_fps();
+  EXPECT_GT(fps, 0.0);
+  // A Pi-4 on a small MLP sustains far more than a 30 fps camera.
+  EXPECT_GT(fps, 30.0);
+}
+
+TEST(PipelineTest, MalformedPayloadThrows) {
+  Rng rng(2);
+  datastore::SensorStore store;
+  nn::Model model = nn::zoo::make_mlp("m", 4, 2, {4}, rng);
+  InferenceSession session(std::move(model), hwsim::openei_package(),
+                           hwsim::raspberry_pi_3());
+  StreamingPipeline pipeline(std::move(session), store, "s");
+  store.append("s", {1.0, common::Json::parse("[1, 2]")});  // width 2 != 4
+  EXPECT_THROW(pipeline.process_available(2.0), openei::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace openei::runtime

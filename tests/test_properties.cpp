@@ -1,0 +1,300 @@
+// Cross-module property tests: randomized invariants checked over
+// parameterized seeds — the behaviours that must hold for *any* input, not
+// just the curated cases in the per-module suites.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/serialize.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "runtime/model_registry.h"
+#include "runtime/realtime.h"
+#include "selector/capability_db.h"
+#include "selector/rl_selector.h"
+#include "selector/selecting_algorithm.h"
+#include "tensor/ops.h"
+
+namespace openei {
+namespace {
+
+using common::Rng;
+
+// ---------------------------------------------------------------------------
+// Scheduler invariants under random task sets.
+// ---------------------------------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::vector<runtime::MlTask> random_tasks(Rng& rng, std::size_t count) {
+  std::vector<runtime::MlTask> tasks;
+  for (std::size_t i = 0; i < count; ++i) {
+    tasks.push_back({"t" + std::to_string(i), rng.uniform(0.0, 5.0),
+                     rng.uniform(0.01, 0.5),
+                     rng.flip(0.25) ? runtime::TaskPriority::kUrgent
+                                    : runtime::TaskPriority::kBestEffort});
+  }
+  return tasks;
+}
+
+TEST_P(SchedulerProperty, WorkConservationAndCompleteness) {
+  Rng rng(GetParam());
+  auto tasks = random_tasks(rng, 30);
+  double total_work = 0.0;
+  double latest_arrival = 0.0;
+  for (const auto& task : tasks) {
+    total_work += task.duration_s;
+    latest_arrival = std::max(latest_arrival, task.arrival_s);
+  }
+
+  for (auto policy : {runtime::SchedulingPolicy::kFifo,
+                      runtime::SchedulingPolicy::kPriorityPreemptive}) {
+    auto done = runtime::simulate_schedule(tasks, policy);
+    // Completeness: every task finishes exactly once.
+    ASSERT_EQ(done.size(), tasks.size());
+    // No task finishes before its arrival + duration.
+    for (const auto& completed : done) {
+      EXPECT_GE(completed.finish_s + 1e-9,
+                completed.task.arrival_s + completed.task.duration_s);
+      EXPECT_GE(completed.start_s + 1e-9, completed.task.arrival_s);
+    }
+    // Work conservation: the single worker cannot finish earlier than
+    // total work, nor later than latest arrival + total work.
+    double makespan = done.back().finish_s;
+    EXPECT_GE(makespan + 1e-9, total_work);
+    EXPECT_LE(makespan, latest_arrival + total_work + 1e-9);
+  }
+}
+
+TEST_P(SchedulerProperty, PreemptionNeverHurtsUrgentTasks) {
+  Rng rng(GetParam() + 1000);
+  auto tasks = random_tasks(rng, 25);
+  // Make sure both classes exist.
+  tasks.push_back({"u", 0.5, 0.1, runtime::TaskPriority::kUrgent});
+  tasks.push_back({"b", 0.5, 0.1, runtime::TaskPriority::kBestEffort});
+
+  auto fifo = runtime::simulate_schedule(tasks, runtime::SchedulingPolicy::kFifo);
+  auto preemptive = runtime::simulate_schedule(
+      tasks, runtime::SchedulingPolicy::kPriorityPreemptive);
+  double fifo_mean = runtime::response_percentile(
+      fifo, 50, runtime::TaskPriority::kUrgent);
+  double rt_mean = runtime::response_percentile(
+      preemptive, 50, runtime::TaskPriority::kUrgent);
+  EXPECT_LE(rt_mean, fifo_mean + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Selector invariants.
+// ---------------------------------------------------------------------------
+
+selector::CapabilityDatabase random_db(Rng& rng, std::size_t entries) {
+  selector::CapabilityDatabase db;
+  const char* devices[] = {"dev-a", "dev-b"};
+  for (std::size_t i = 0; i < entries; ++i) {
+    selector::CapabilityEntry entry;
+    entry.model_name = "m" + std::to_string(i);
+    entry.package_name = "p" + std::to_string(i % 3);
+    entry.device_name = devices[i % 2];
+    entry.alem.accuracy = rng.uniform(0.3, 1.0);
+    entry.alem.latency_s = rng.uniform(1e-5, 1e-1);
+    entry.alem.energy_j = rng.uniform(1e-6, 1e-2);
+    entry.alem.memory_bytes = static_cast<std::size_t>(rng.uniform_int(1000, 1000000));
+    entry.deployable = rng.flip(0.85);
+    db.add(std::move(entry));
+  }
+  return db;
+}
+
+class SelectorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectorProperty, SelectEqualsRankFront) {
+  Rng rng(GetParam());
+  auto db = random_db(rng, 40);
+  for (auto objective :
+       {selector::Objective::kMinLatency, selector::Objective::kMaxAccuracy,
+        selector::Objective::kMinEnergy, selector::Objective::kMinMemory}) {
+    selector::SelectionRequest request;
+    request.objective = objective;
+    request.device_name = "dev-a";
+    request.requirements.min_accuracy = rng.uniform(0.0, 0.9);
+    request.requirements.max_energy_j = rng.uniform(1e-4, 1e-2);
+
+    auto picked = selector::select(db, request);
+    auto ranked = selector::rank(db, request);
+    if (ranked.empty()) {
+      EXPECT_FALSE(picked.has_value());
+    } else {
+      ASSERT_TRUE(picked.has_value());
+      // The pick is exactly as good as the rank front on the objective.
+      EXPECT_FALSE(selector::better(ranked.front().alem, picked->alem, objective));
+      EXPECT_FALSE(selector::better(picked->alem, ranked.front().alem, objective));
+    }
+  }
+}
+
+TEST_P(SelectorProperty, FrontierMembersAreMutuallyNonDominating) {
+  Rng rng(GetParam() + 77);
+  auto db = random_db(rng, 30);
+  auto frontier = selector::pareto_frontier(db, "");
+  for (const auto& a : frontier) {
+    for (const auto& b : frontier) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(selector::dominates(a.alem, b.alem));
+    }
+  }
+}
+
+TEST_P(SelectorProperty, DatabaseJsonRoundTrip) {
+  Rng rng(GetParam() + 1234);
+  auto db = random_db(rng, 20);
+  auto rebuilt = selector::CapabilityDatabase::from_json(
+      common::Json::parse(db.to_json().dump()));
+  ASSERT_EQ(rebuilt.entries().size(), db.entries().size());
+  for (std::size_t i = 0; i < db.entries().size(); ++i) {
+    const auto& a = db.entries()[i];
+    const auto& b = rebuilt.entries()[i];
+    EXPECT_EQ(a.model_name, b.model_name);
+    EXPECT_EQ(a.package_name, b.package_name);
+    EXPECT_EQ(a.device_name, b.device_name);
+    EXPECT_EQ(a.deployable, b.deployable);
+    EXPECT_DOUBLE_EQ(a.alem.accuracy, b.alem.accuracy);
+    EXPECT_DOUBLE_EQ(a.alem.latency_s, b.alem.latency_s);
+    EXPECT_DOUBLE_EQ(a.alem.energy_j, b.alem.energy_j);
+    EXPECT_EQ(a.alem.memory_bytes, b.alem.memory_bytes);
+  }
+  // Semantics preserved: same selection results.
+  selector::SelectionRequest request;
+  request.device_name = "dev-a";
+  auto original = selector::select(db, request);
+  auto from_copy = selector::select(rebuilt, request);
+  ASSERT_EQ(original.has_value(), from_copy.has_value());
+  if (original) EXPECT_EQ(original->model_name, from_copy->model_name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---------------------------------------------------------------------------
+// Model registry under concurrent access.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryConcurrency, ParallelPutGetFindNeverCorrupts) {
+  runtime::ModelRegistry registry;
+  Rng seed_rng(99);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&registry, &failed, w] {
+      Rng rng(static_cast<std::uint64_t>(w) + 1);
+      try {
+        for (int i = 0; i < 50; ++i) {
+          std::string name = "model_" + std::to_string(w) + "_" +
+                             std::to_string(i % 5);
+          registry.put({"scenario", "algo",
+                        nn::zoo::make_mlp(name, 4, 2, {4}, rng), 0.5});
+          auto entry = registry.get(name);
+          if (entry.scenario != "scenario") failed = true;
+          registry.find("scenario", "algo");
+          registry.names();
+          if (i % 7 == 0) registry.erase(name);
+        }
+      } catch (const openei::NotFound&) {
+        // A concurrent erase raced a get — acceptable; corruption is not.
+      } catch (...) {
+        failed = true;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_FALSE(failed.load());
+  // Registry still consistent: every listed name is fetchable.
+  for (const auto& name : registry.names()) {
+    EXPECT_NO_THROW(registry.get(name));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NN training/serialization properties over seeds.
+// ---------------------------------------------------------------------------
+
+class TrainingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrainingProperty, TrainingIsSeedDeterministic) {
+  auto build_and_train = [&] {
+    Rng rng(GetParam());
+    auto dataset = data::make_blobs(120, 6, 2, rng);
+    nn::Model model = nn::zoo::make_mlp("m", 6, 2, {8}, rng);
+    nn::TrainOptions options;
+    options.epochs = 5;
+    options.shuffle_seed = GetParam();
+    nn::fit(model, dataset, options);
+    return nn::save_model(model);
+  };
+  EXPECT_EQ(build_and_train(), build_and_train());
+}
+
+TEST_P(TrainingProperty, SerializationPreservesEveryZooModelExactly) {
+  Rng rng(GetParam());
+  nn::zoo::ImageSpec spec;
+  spec.channels = 2;
+  spec.size = 8;
+  spec.classes = 3;
+  for (const auto& entry : nn::zoo::image_catalog()) {
+    nn::Model model = entry.build(spec, rng);
+    nn::Model reloaded = nn::load_model(nn::save_model(model));
+    nn::Tensor probe =
+        nn::Tensor::random_uniform(tensor::Shape{2, 2, 8, 8}, rng);
+    EXPECT_TRUE(reloaded.forward(probe, false)
+                    .all_close(model.forward(probe, false), 1e-4F))
+        << entry.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainingProperty, ::testing::Values(3, 7, 42));
+
+// ---------------------------------------------------------------------------
+// Cost-model monotonicity over the fleet.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelProperty, LatencyMonotoneInModelSizeAcrossFleet) {
+  Rng rng(5);
+  nn::Model small = nn::zoo::make_mlp("s", 16, 3, {8}, rng);
+  nn::Model medium = nn::zoo::make_mlp("m", 16, 3, {64}, rng);
+  nn::Model large = nn::zoo::make_mlp("l", 16, 3, {256, 128}, rng);
+  for (const auto& device : hwsim::edge_fleet()) {
+    for (const auto& package : hwsim::default_packages()) {
+      double s = hwsim::estimate_inference(small, package, device).latency_s;
+      double m = hwsim::estimate_inference(medium, package, device).latency_s;
+      double l = hwsim::estimate_inference(large, package, device).latency_s;
+      EXPECT_LE(s, m) << device.name << "/" << package.name;
+      EXPECT_LE(m, l) << device.name << "/" << package.name;
+    }
+  }
+}
+
+TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {
+  Rng rng(6);
+  nn::zoo::ImageSpec spec;
+  for (const auto& entry : nn::zoo::image_catalog()) {
+    nn::Model model = entry.build(spec, rng);
+    for (const auto& device : hwsim::default_fleet()) {
+      for (const auto& package : hwsim::default_packages()) {
+        auto cost = hwsim::estimate_inference(model, package, device);
+        EXPECT_GT(cost.latency_s, 0.0);
+        EXPECT_GT(cost.energy_j, 0.0);
+        EXPECT_GT(cost.memory_bytes, model.storage_bytes());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace openei

@@ -1,0 +1,241 @@
+// Tests for the package-manager runtime: model registry, inference sessions,
+// local transfer-learning, and the real-time ML scheduler.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/metrics.h"
+#include "data/synthetic.h"
+#include "hwsim/device.h"
+#include "hwsim/package.h"
+#include "nn/train.h"
+#include "nn/zoo.h"
+#include "runtime/inference.h"
+#include "runtime/model_registry.h"
+#include "runtime/realtime.h"
+
+namespace openei::runtime {
+namespace {
+
+using common::Rng;
+
+TEST(RegistryTest, PutGetEraseRoundTrip) {
+  Rng rng(1);
+  ModelRegistry registry;
+  registry.put({"safety", "detection", nn::zoo::make_mlp("det_v1", 8, 2, {4}, rng),
+                0.91});
+  EXPECT_TRUE(registry.contains("det_v1"));
+  EXPECT_EQ(registry.size(), 1U);
+
+  ModelEntry entry = registry.get("det_v1");
+  EXPECT_EQ(entry.scenario, "safety");
+  EXPECT_EQ(entry.algorithm, "detection");
+  EXPECT_DOUBLE_EQ(entry.accuracy, 0.91);
+
+  EXPECT_TRUE(registry.erase("det_v1"));
+  EXPECT_FALSE(registry.erase("det_v1"));
+  EXPECT_THROW(registry.get("det_v1"), openei::NotFound);
+}
+
+TEST(RegistryTest, FindByScenarioAlgorithmReturnsAllVariants) {
+  Rng rng(2);
+  ModelRegistry registry;
+  registry.put({"safety", "detection", nn::zoo::make_mlp("det_big", 8, 2, {32}, rng),
+                0.95});
+  registry.put({"safety", "detection", nn::zoo::make_mlp("det_small", 8, 2, {4}, rng),
+                0.88});
+  registry.put({"home", "power_monitor", nn::zoo::make_mlp("pm", 8, 2, {8}, rng),
+                0.9});
+  auto variants = registry.find("safety", "detection");
+  EXPECT_EQ(variants.size(), 2U);
+  EXPECT_TRUE(registry.find("safety", "tracking").empty());
+  auto names = registry.names();
+  EXPECT_EQ(names.size(), 3U);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RegistryTest, GetReturnsIndependentClone) {
+  Rng rng(3);
+  ModelRegistry registry;
+  registry.put({"s", "a", nn::zoo::make_mlp("m", 4, 2, {4}, rng), 0.5});
+  ModelEntry copy = registry.get("m");
+  *copy.model.parameters()[0] *= 0.0F;
+  ModelEntry fresh = registry.get("m");
+  EXPECT_GT(fresh.model.parameters()[0]->norm(), 0.0F);
+}
+
+TEST(SessionTest, RunsRealInferenceWithSimulatedCosts) {
+  Rng rng(4);
+  auto dataset = data::make_blobs(200, 8, 3, rng);
+  auto [train, test] = data::train_test_split(dataset, 0.8, rng);
+  nn::Model model = nn::zoo::make_mlp("m", 8, 3, {16}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 20;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(model, train, topt);
+
+  InferenceSession session(std::move(model), hwsim::openei_package(),
+                           hwsim::raspberry_pi_3());
+  InferenceResult result = session.run(test.features);
+  EXPECT_EQ(result.predictions.size(), test.size());
+  EXPECT_GT(data::accuracy(result.predictions, test.labels), 0.85);
+  EXPECT_GT(result.per_sample.latency_s, 0.0);
+  EXPECT_NEAR(result.batch_latency_s,
+              result.per_sample.latency_s * static_cast<double>(test.size()),
+              1e-12);
+}
+
+TEST(SessionTest, RefusesModelLargerThanDeviceRam) {
+  Rng rng(5);
+  nn::Model big = nn::zoo::make_mlp("big", 64, 4, {128, 128}, rng);
+  EXPECT_THROW(InferenceSession(std::move(big), hwsim::lite_framework(),
+                                hwsim::arduino_class()),
+               openei::ResourceExhausted);
+}
+
+TEST(LocalTrainingTest, PersonalizationRecoversDriftedAccuracy) {
+  // The Fig. 3 dataflow-3 story: a cloud-trained model degrades on drifted
+  // local data; on-device head retraining recovers it.
+  Rng rng(6);
+  auto cloud_data = data::make_blobs(600, 10, 3, rng, /*separation=*/2.0F,
+                                     /*stddev=*/1.2F);
+  auto [cloud_train, cloud_test] = data::train_test_split(cloud_data, 0.8, rng);
+  nn::Model model = nn::zoo::make_mlp("general", 10, 3, {24}, rng);
+  nn::TrainOptions topt;
+  topt.epochs = 25;
+  topt.sgd.learning_rate = 0.05F;
+  topt.sgd.momentum = 0.9F;
+  nn::fit(model, cloud_train, topt);
+
+  Rng drift_rng(7);
+  auto local_data = data::apply_drift(cloud_data, drift_rng, 0.8F);
+  Rng split_rng(8);
+  auto [local_train, local_test] =
+      data::train_test_split(local_data, 0.7, split_rng);
+
+  double before = nn::evaluate_accuracy(model, local_test);
+
+  nn::TrainOptions retrain;
+  retrain.epochs = 20;
+  retrain.sgd.learning_rate = 0.05F;
+  retrain.sgd.momentum = 0.9F;
+  LocalTrainingResult result = retrain_head_locally(
+      model, local_train, hwsim::openei_package(), hwsim::raspberry_pi_4(),
+      retrain);
+
+  double after = nn::evaluate_accuracy(result.model, local_test);
+  EXPECT_GT(after, before + 0.05) << "personalization must help on drifted data";
+  EXPECT_GT(result.simulated_latency_s, 0.0);
+  EXPECT_GT(result.simulated_energy_j, 0.0);
+}
+
+TEST(LocalTrainingTest, OnlyHeadParametersChange) {
+  Rng rng(9);
+  auto dataset = data::make_blobs(100, 6, 2, rng);
+  nn::Model model = nn::zoo::make_mlp("m", 6, 2, {12}, rng);
+  nn::Tensor body_before = *model.parameters()[0];
+  nn::Tensor head_before = *model.parameters()[2];
+
+  nn::TrainOptions retrain;
+  retrain.epochs = 3;
+  LocalTrainingResult result = retrain_head_locally(
+      model, dataset, hwsim::openei_package(), hwsim::raspberry_pi_3(), retrain);
+
+  EXPECT_TRUE(body_before.all_close(*result.model.parameters()[0]));
+  EXPECT_FALSE(head_before.all_close(*result.model.parameters()[2], 1e-6F));
+}
+
+TEST(LocalTrainingTest, RejectsInferenceOnlyPackage) {
+  Rng rng(10);
+  auto dataset = data::make_blobs(50, 4, 2, rng);
+  nn::Model model = nn::zoo::make_mlp("m", 4, 2, {4}, rng);
+  EXPECT_THROW(retrain_head_locally(model, dataset, hwsim::lite_framework(),
+                                    hwsim::raspberry_pi_3(), nn::TrainOptions{}),
+               openei::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Real-time ML module.
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeTest, FifoRunsInArrivalOrder) {
+  std::vector<MlTask> tasks = {
+      {"a", 0.0, 1.0, TaskPriority::kBestEffort},
+      {"b", 0.1, 1.0, TaskPriority::kUrgent},
+  };
+  auto done = simulate_schedule(tasks, SchedulingPolicy::kFifo);
+  ASSERT_EQ(done.size(), 2U);
+  // FIFO: urgent b still waits for a.
+  EXPECT_EQ(done[0].task.name, "a");
+  EXPECT_NEAR(done[1].finish_s, 2.0, 1e-9);
+}
+
+TEST(RealtimeTest, UrgentPreemptsBestEffortImmediately) {
+  std::vector<MlTask> tasks = {
+      {"background", 0.0, 10.0, TaskPriority::kBestEffort},
+      {"urgent", 1.0, 0.5, TaskPriority::kUrgent},
+  };
+  auto done = simulate_schedule(tasks, SchedulingPolicy::kPriorityPreemptive);
+  ASSERT_EQ(done.size(), 2U);
+  EXPECT_EQ(done[0].task.name, "urgent");
+  EXPECT_NEAR(done[0].finish_s, 1.5, 1e-9);  // ran the moment it arrived
+  // Background: 1 s done before preemption + 0.5 s paused + 9 s remaining.
+  EXPECT_NEAR(done[1].finish_s, 10.5, 1e-9);
+}
+
+TEST(RealtimeTest, IdleGapsAreSkipped) {
+  std::vector<MlTask> tasks = {
+      {"late", 5.0, 1.0, TaskPriority::kBestEffort},
+  };
+  auto done = simulate_schedule(tasks, SchedulingPolicy::kFifo);
+  EXPECT_NEAR(done[0].start_s, 5.0, 1e-9);
+  EXPECT_NEAR(done[0].finish_s, 6.0, 1e-9);
+}
+
+TEST(RealtimeTest, PreemptionImprovesUrgentTailLatency) {
+  // A stream of heavy best-effort jobs plus sparse urgent jobs.
+  std::vector<MlTask> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back({"bg" + std::to_string(i), i * 0.5, 2.0,
+                     TaskPriority::kBestEffort});
+  }
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back({"urgent" + std::to_string(i), 3.0 + i * 7.0, 0.2,
+                     TaskPriority::kUrgent});
+  }
+  auto fifo = simulate_schedule(tasks, SchedulingPolicy::kFifo);
+  auto preemptive = simulate_schedule(tasks, SchedulingPolicy::kPriorityPreemptive);
+
+  double fifo_p99 = response_percentile(fifo, 99.0, TaskPriority::kUrgent);
+  double rt_p99 = response_percentile(preemptive, 99.0, TaskPriority::kUrgent);
+  EXPECT_LT(rt_p99 * 5, fifo_p99) << "real-time module must slash urgent tail";
+
+  // Conservation: both policies do the same total work.
+  double fifo_last = fifo.back().finish_s;
+  double rt_last = preemptive.back().finish_s;
+  EXPECT_NEAR(fifo_last, rt_last, 1e-9);
+}
+
+TEST(RealtimeTest, RejectsBadTasks) {
+  EXPECT_THROW(
+      simulate_schedule({{"x", 0.0, 0.0, TaskPriority::kUrgent}},
+                        SchedulingPolicy::kFifo),
+      openei::InvalidArgument);
+  EXPECT_THROW(
+      simulate_schedule({{"x", -1.0, 1.0, TaskPriority::kUrgent}},
+                        SchedulingPolicy::kFifo),
+      openei::InvalidArgument);
+}
+
+TEST(RealtimeTest, PercentileValidation) {
+  auto done = simulate_schedule({{"a", 0.0, 1.0, TaskPriority::kUrgent}},
+                                SchedulingPolicy::kFifo);
+  EXPECT_NEAR(response_percentile(done, 50.0, TaskPriority::kUrgent), 1.0, 1e-9);
+  EXPECT_THROW(response_percentile(done, 0.0, TaskPriority::kUrgent),
+               openei::InvalidArgument);
+  EXPECT_THROW(response_percentile(done, 50.0, TaskPriority::kBestEffort),
+               openei::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace openei::runtime
