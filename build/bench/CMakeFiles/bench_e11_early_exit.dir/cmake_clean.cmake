@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_early_exit.dir/bench_e11_early_exit.cpp.o"
+  "CMakeFiles/bench_e11_early_exit.dir/bench_e11_early_exit.cpp.o.d"
+  "bench_e11_early_exit"
+  "bench_e11_early_exit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_early_exit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

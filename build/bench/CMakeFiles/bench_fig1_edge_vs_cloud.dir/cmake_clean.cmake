@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_edge_vs_cloud.dir/bench_fig1_edge_vs_cloud.cpp.o"
+  "CMakeFiles/bench_fig1_edge_vs_cloud.dir/bench_fig1_edge_vs_cloud.cpp.o.d"
+  "bench_fig1_edge_vs_cloud"
+  "bench_fig1_edge_vs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_edge_vs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_collaboration.dir/bench_fig2_collaboration.cpp.o"
+  "CMakeFiles/bench_fig2_collaboration.dir/bench_fig2_collaboration.cpp.o.d"
+  "bench_fig2_collaboration"
+  "bench_fig2_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dataflows.dir/bench_fig3_dataflows.cpp.o"
+  "CMakeFiles/bench_fig3_dataflows.dir/bench_fig3_dataflows.cpp.o.d"
+  "bench_fig3_dataflows"
+  "bench_fig3_dataflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dataflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

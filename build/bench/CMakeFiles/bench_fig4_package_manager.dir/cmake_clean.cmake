@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_package_manager.dir/bench_fig4_package_manager.cpp.o"
+  "CMakeFiles/bench_fig4_package_manager.dir/bench_fig4_package_manager.cpp.o.d"
+  "bench_fig4_package_manager"
+  "bench_fig4_package_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_package_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

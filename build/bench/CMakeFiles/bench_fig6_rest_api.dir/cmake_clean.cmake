@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rest_api.dir/bench_fig6_rest_api.cpp.o"
+  "CMakeFiles/bench_fig6_rest_api.dir/bench_fig6_rest_api.cpp.o.d"
+  "bench_fig6_rest_api"
+  "bench_fig6_rest_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rest_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_openei_ablation.dir/bench_openei_ablation.cpp.o"
+  "CMakeFiles/bench_openei_ablation.dir/bench_openei_ablation.cpp.o.d"
+  "bench_openei_ablation"
+  "bench_openei_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openei_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_ei_algorithms.dir/bench_sec4_ei_algorithms.cpp.o"
+  "CMakeFiles/bench_sec4_ei_algorithms.dir/bench_sec4_ei_algorithms.cpp.o.d"
+  "bench_sec4_ei_algorithms"
+  "bench_sec4_ei_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_ei_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

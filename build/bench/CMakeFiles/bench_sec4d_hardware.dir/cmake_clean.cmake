@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4d_hardware.dir/bench_sec4d_hardware.cpp.o"
+  "CMakeFiles/bench_sec4d_hardware.dir/bench_sec4d_hardware.cpp.o.d"
+  "bench_sec4d_hardware"
+  "bench_sec4d_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4d_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_health.dir/connected_health.cpp.o"
+  "CMakeFiles/connected_health.dir/connected_health.cpp.o.d"
+  "connected_health"
+  "connected_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_status.dir/fleet_status.cpp.o"
+  "CMakeFiles/fleet_status.dir/fleet_status.cpp.o.d"
+  "fleet_status"
+  "fleet_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

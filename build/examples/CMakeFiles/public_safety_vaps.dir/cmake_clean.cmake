@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_safety_vaps.dir/public_safety_vaps.cpp.o"
+  "CMakeFiles/public_safety_vaps.dir/public_safety_vaps.cpp.o.d"
+  "public_safety_vaps"
+  "public_safety_vaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_safety_vaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

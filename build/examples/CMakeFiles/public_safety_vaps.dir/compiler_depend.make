@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for public_safety_vaps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for public_safety_vaps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_video_pipeline.dir/resilient_video_pipeline.cpp.o"
+  "CMakeFiles/resilient_video_pipeline.dir/resilient_video_pipeline.cpp.o.d"
+  "resilient_video_pipeline"
+  "resilient_video_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_video_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

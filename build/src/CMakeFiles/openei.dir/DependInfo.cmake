@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collab/cloud_edge.cpp" "src/CMakeFiles/openei.dir/collab/cloud_edge.cpp.o" "gcc" "src/CMakeFiles/openei.dir/collab/cloud_edge.cpp.o.d"
+  "/root/repo/src/collab/cloud_trainer.cpp" "src/CMakeFiles/openei.dir/collab/cloud_trainer.cpp.o" "gcc" "src/CMakeFiles/openei.dir/collab/cloud_trainer.cpp.o.d"
+  "/root/repo/src/collab/early_exit.cpp" "src/CMakeFiles/openei.dir/collab/early_exit.cpp.o" "gcc" "src/CMakeFiles/openei.dir/collab/early_exit.cpp.o.d"
+  "/root/repo/src/collab/edge_edge.cpp" "src/CMakeFiles/openei.dir/collab/edge_edge.cpp.o" "gcc" "src/CMakeFiles/openei.dir/collab/edge_edge.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/openei.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/openei.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/openei.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/openei.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/openei.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/openei.dir/common/strings.cpp.o.d"
+  "/root/repo/src/compress/compressed_model.cpp" "src/CMakeFiles/openei.dir/compress/compressed_model.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/compressed_model.cpp.o.d"
+  "/root/repo/src/compress/distill.cpp" "src/CMakeFiles/openei.dir/compress/distill.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/distill.cpp.o.d"
+  "/root/repo/src/compress/lowrank.cpp" "src/CMakeFiles/openei.dir/compress/lowrank.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/lowrank.cpp.o.d"
+  "/root/repo/src/compress/pruning.cpp" "src/CMakeFiles/openei.dir/compress/pruning.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/pruning.cpp.o.d"
+  "/root/repo/src/compress/quantize_model.cpp" "src/CMakeFiles/openei.dir/compress/quantize_model.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/quantize_model.cpp.o.d"
+  "/root/repo/src/compress/weight_sharing.cpp" "src/CMakeFiles/openei.dir/compress/weight_sharing.cpp.o" "gcc" "src/CMakeFiles/openei.dir/compress/weight_sharing.cpp.o.d"
+  "/root/repo/src/core/edge_node.cpp" "src/CMakeFiles/openei.dir/core/edge_node.cpp.o" "gcc" "src/CMakeFiles/openei.dir/core/edge_node.cpp.o.d"
+  "/root/repo/src/core/failover.cpp" "src/CMakeFiles/openei.dir/core/failover.cpp.o" "gcc" "src/CMakeFiles/openei.dir/core/failover.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/openei.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/openei.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/metrics.cpp" "src/CMakeFiles/openei.dir/data/metrics.cpp.o" "gcc" "src/CMakeFiles/openei.dir/data/metrics.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/openei.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/openei.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/datastore/timeseries.cpp" "src/CMakeFiles/openei.dir/datastore/timeseries.cpp.o" "gcc" "src/CMakeFiles/openei.dir/datastore/timeseries.cpp.o.d"
+  "/root/repo/src/eialg/bonsai.cpp" "src/CMakeFiles/openei.dir/eialg/bonsai.cpp.o" "gcc" "src/CMakeFiles/openei.dir/eialg/bonsai.cpp.o.d"
+  "/root/repo/src/eialg/classifier.cpp" "src/CMakeFiles/openei.dir/eialg/classifier.cpp.o" "gcc" "src/CMakeFiles/openei.dir/eialg/classifier.cpp.o.d"
+  "/root/repo/src/eialg/fastgrnn.cpp" "src/CMakeFiles/openei.dir/eialg/fastgrnn.cpp.o" "gcc" "src/CMakeFiles/openei.dir/eialg/fastgrnn.cpp.o.d"
+  "/root/repo/src/eialg/protonn.cpp" "src/CMakeFiles/openei.dir/eialg/protonn.cpp.o" "gcc" "src/CMakeFiles/openei.dir/eialg/protonn.cpp.o.d"
+  "/root/repo/src/hwsim/cost_model.cpp" "src/CMakeFiles/openei.dir/hwsim/cost_model.cpp.o" "gcc" "src/CMakeFiles/openei.dir/hwsim/cost_model.cpp.o.d"
+  "/root/repo/src/hwsim/device.cpp" "src/CMakeFiles/openei.dir/hwsim/device.cpp.o" "gcc" "src/CMakeFiles/openei.dir/hwsim/device.cpp.o.d"
+  "/root/repo/src/hwsim/network.cpp" "src/CMakeFiles/openei.dir/hwsim/network.cpp.o" "gcc" "src/CMakeFiles/openei.dir/hwsim/network.cpp.o.d"
+  "/root/repo/src/hwsim/package.cpp" "src/CMakeFiles/openei.dir/hwsim/package.cpp.o" "gcc" "src/CMakeFiles/openei.dir/hwsim/package.cpp.o.d"
+  "/root/repo/src/libei/service.cpp" "src/CMakeFiles/openei.dir/libei/service.cpp.o" "gcc" "src/CMakeFiles/openei.dir/libei/service.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/CMakeFiles/openei.dir/net/http.cpp.o" "gcc" "src/CMakeFiles/openei.dir/net/http.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/openei.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/openei.dir/net/socket.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/openei.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/openei.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/openei.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/openei.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/factored_conv.cpp" "src/CMakeFiles/openei.dir/nn/factored_conv.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/factored_conv.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/openei.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/openei.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/openei.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/openei.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/openei.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/CMakeFiles/openei.dir/nn/train.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/train.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/CMakeFiles/openei.dir/nn/zoo.cpp.o" "gcc" "src/CMakeFiles/openei.dir/nn/zoo.cpp.o.d"
+  "/root/repo/src/runtime/inference.cpp" "src/CMakeFiles/openei.dir/runtime/inference.cpp.o" "gcc" "src/CMakeFiles/openei.dir/runtime/inference.cpp.o.d"
+  "/root/repo/src/runtime/migration.cpp" "src/CMakeFiles/openei.dir/runtime/migration.cpp.o" "gcc" "src/CMakeFiles/openei.dir/runtime/migration.cpp.o.d"
+  "/root/repo/src/runtime/model_registry.cpp" "src/CMakeFiles/openei.dir/runtime/model_registry.cpp.o" "gcc" "src/CMakeFiles/openei.dir/runtime/model_registry.cpp.o.d"
+  "/root/repo/src/runtime/pipeline.cpp" "src/CMakeFiles/openei.dir/runtime/pipeline.cpp.o" "gcc" "src/CMakeFiles/openei.dir/runtime/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/realtime.cpp" "src/CMakeFiles/openei.dir/runtime/realtime.cpp.o" "gcc" "src/CMakeFiles/openei.dir/runtime/realtime.cpp.o.d"
+  "/root/repo/src/selector/alem.cpp" "src/CMakeFiles/openei.dir/selector/alem.cpp.o" "gcc" "src/CMakeFiles/openei.dir/selector/alem.cpp.o.d"
+  "/root/repo/src/selector/capability_db.cpp" "src/CMakeFiles/openei.dir/selector/capability_db.cpp.o" "gcc" "src/CMakeFiles/openei.dir/selector/capability_db.cpp.o.d"
+  "/root/repo/src/selector/rl_selector.cpp" "src/CMakeFiles/openei.dir/selector/rl_selector.cpp.o" "gcc" "src/CMakeFiles/openei.dir/selector/rl_selector.cpp.o.d"
+  "/root/repo/src/selector/selecting_algorithm.cpp" "src/CMakeFiles/openei.dir/selector/selecting_algorithm.cpp.o" "gcc" "src/CMakeFiles/openei.dir/selector/selecting_algorithm.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/CMakeFiles/openei.dir/tensor/linalg.cpp.o" "gcc" "src/CMakeFiles/openei.dir/tensor/linalg.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/openei.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/openei.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/quantize.cpp" "src/CMakeFiles/openei.dir/tensor/quantize.cpp.o" "gcc" "src/CMakeFiles/openei.dir/tensor/quantize.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/openei.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/openei.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerators.cpp" "tests/CMakeFiles/openei_tests.dir/test_accelerators.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_accelerators.cpp.o.d"
+  "/root/repo/tests/test_cloud_trainer.cpp" "tests/CMakeFiles/openei_tests.dir/test_cloud_trainer.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_cloud_trainer.cpp.o.d"
+  "/root/repo/tests/test_collab.cpp" "tests/CMakeFiles/openei_tests.dir/test_collab.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_collab.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/openei_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compress.cpp" "tests/CMakeFiles/openei_tests.dir/test_compress.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_compress.cpp.o.d"
+  "/root/repo/tests/test_compress_sweeps.cpp" "tests/CMakeFiles/openei_tests.dir/test_compress_sweeps.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_compress_sweeps.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/openei_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_datastore.cpp" "tests/CMakeFiles/openei_tests.dir/test_datastore.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_datastore.cpp.o.d"
+  "/root/repo/tests/test_eialg.cpp" "tests/CMakeFiles/openei_tests.dir/test_eialg.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_eialg.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/openei_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failover.cpp" "tests/CMakeFiles/openei_tests.dir/test_failover.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_failover.cpp.o.d"
+  "/root/repo/tests/test_hwsim.cpp" "tests/CMakeFiles/openei_tests.dir/test_hwsim.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_hwsim.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/openei_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_libei.cpp" "tests/CMakeFiles/openei_tests.dir/test_libei.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_libei.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/openei_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_lowrank_conv.cpp" "tests/CMakeFiles/openei_tests.dir/test_lowrank_conv.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_lowrank_conv.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/openei_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/openei_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/openei_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/openei_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/openei_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/openei_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_selector.cpp" "tests/CMakeFiles/openei_tests.dir/test_selector.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_selector.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/openei_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/openei_tests.dir/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/openei.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
