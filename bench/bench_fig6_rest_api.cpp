@@ -11,11 +11,14 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "core/edge_node.h"
 #include "data/synthetic.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
+#include "net/faults.h"
+#include "net/resilient_client.h"
 #include "nn/train.h"
 #include "nn/zoo.h"
 
@@ -92,6 +95,70 @@ void run_fig6() {
   double elapsed = throughput_timer.elapsed_seconds();
   std::printf("%d/200 requests ok in %.2f s -> %.0f req/s\n", completed.load(),
               elapsed, 200.0 / elapsed);
+
+  bench::section("(d) availability under a fixed fault schedule");
+  // Two passes over an identical seeded fault schedule: a bare HttpClient
+  // vs the resilient transport (retries + breaker).  Same seed, same rules,
+  // same request stream -> the schedules are bit-identical, so the delta is
+  // purely what the resilience layer absorbs.
+  auto make_faulted_node = [] {
+    auto n = std::make_unique<core::EdgeNode>(core::EdgeNodeConfig{
+        hwsim::raspberry_pi_4(), hwsim::openei_package(), 128});
+    for (std::size_t i = 0; i < 10; ++i) {
+      n->ingest("cam", static_cast<double>(i),
+                common::Json(common::JsonArray{common::Json(1.0)}));
+    }
+    auto plan = std::make_shared<net::FaultPlan>(2026);
+    plan->add({.path_prefix = "/ei_data",
+               .kind = net::FaultKind::kErrorBurst,
+               .probability = 0.25})
+        .add({.path_prefix = "/ei_data",
+              .kind = net::FaultKind::kRefuseConnection,
+              .probability = 0.15});
+    net::HttpServer::Options opts;
+    opts.faults = plan;
+    std::uint16_t port = n->start_server(0, opts);
+    return std::make_pair(std::move(n), port);
+  };
+  constexpr int kFaultedRequests = 100;
+  const std::string route = "/ei_data/realtime/cam?timestamp=5";
+
+  auto [naive_node, naive_port] = make_faulted_node();
+  int naive_ok = 0;
+  for (int i = 0; i < kFaultedRequests; ++i) {
+    try {
+      net::HttpClient bare(naive_port);
+      if (bare.get(route).status == 200) ++naive_ok;
+    } catch (const openei::IoError&) {
+    }
+  }
+  naive_node->stop_server();
+
+  auto [res_node, res_port] = make_faulted_node();
+  net::ResilientClient::Options ropts;
+  ropts.deadline_s = 1.0;
+  ropts.retry.initial_backoff_s = 0.001;
+  ropts.retry.max_backoff_s = 0.01;
+  ropts.breaker.failure_threshold = 10;  // keep probing through the bursts
+  net::ResilientClient resilient(res_port, ropts);
+  int resilient_ok = 0;
+  for (int i = 0; i < kFaultedRequests; ++i) {
+    try {
+      if (resilient.get(route).status == 200) ++resilient_ok;
+    } catch (const openei::IoError&) {
+    }
+  }
+  auto stats = resilient.stats();
+  res_node->stop_server();
+
+  std::printf("bare HttpClient:  %d/%d ok (%.0f%% availability)\n", naive_ok,
+              kFaultedRequests, 100.0 * naive_ok / kFaultedRequests);
+  std::printf("ResilientClient:  %d/%d ok (%.0f%% availability), "
+              "%llu retries across %llu attempts\n",
+              resilient_ok, kFaultedRequests,
+              100.0 * resilient_ok / kFaultedRequests,
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.attempts));
 }
 
 void BM_RestDataRealtime(benchmark::State& state) {

@@ -4,10 +4,13 @@
 // detection API is replicated on a backup node and a failover client rides
 // through the primary's death without dropping service.
 #include <cstdio>
+#include <memory>
 
+#include "collab/cloud_edge.h"
 #include "common/rng.h"
 #include "core/edge_node.h"
 #include "core/failover.h"
+#include "net/faults.h"
 #include "data/metrics.h"
 #include "data/synthetic.h"
 #include "hwsim/device.h"
@@ -99,6 +102,68 @@ int main() {
   bool same = common::Json::parse(before.body).at("predictions") ==
               common::Json::parse(after.body).at("predictions");
   std::printf("prediction identical across failover: %s\n", same ? "yes" : "NO");
+
+  backup.stop_server();
+
+  // 3. Degradation half: the backup comes back as a *flaky* upstream — a
+  // seeded FaultPlan batters the detection route with 5xx bursts, mid-stream
+  // resets and latency spikes while a degrading client falls back to its
+  // local copy of the detector instead of surfacing errors to the caller.
+  std::printf("\n!! backup restarts with a deterministic fault plan\n");
+  auto plan = std::make_shared<net::FaultPlan>(97);
+  plan->add({.path_prefix = "/ei_algorithms",
+             .kind = net::FaultKind::kErrorBurst,
+             .probability = 0.35})
+      .add({.path_prefix = "/ei_algorithms",
+            .kind = net::FaultKind::kResetMidStream,
+            .probability = 0.25})
+      .add({.path_prefix = "/ei_algorithms",
+            .kind = net::FaultKind::kInjectDelay,
+            .probability = 0.2,
+            .delay_s = 0.01});
+  net::HttpServer::Options faulty;
+  faulty.faults = plan;
+  std::uint16_t flaky_port = backup.start_server(0, faulty);
+
+  net::ResilientClient::Options copts;
+  copts.deadline_s = 0.5;
+  copts.retry.max_attempts = 2;
+  copts.retry.initial_backoff_s = 0.002;
+  copts.breaker.failure_threshold = 3;
+  copts.breaker.open_duration_s = 0.02;
+  collab::ResilientCloudEdge degrading(
+      flaky_port, "/ei_algorithms/safety/detection", detector.clone(),
+      hwsim::openei_package(), hwsim::raspberry_pi_4(), copts);
+
+  std::size_t cloud_ok = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    std::string row = "[";
+    for (std::size_t f = 0; f < 16; ++f) {
+      if (f > 0) row += ",";
+      row += std::to_string(test.features.at2(i, f));
+    }
+    row += "]";
+    try {
+      auto outcome = degrading.classify(row);
+      if (outcome.status != 200) {
+        ++failed;
+      } else if (outcome.served_by == "cloud") {
+        ++cloud_ok;
+      } else {
+        ++degraded;
+      }
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  std::printf("30 frames under faults (%zu/%zu upstream requests faulted):\n",
+              plan->injected_count(), plan->request_count());
+  std::printf("  served by cloud: %zu, degraded to local: %zu, failed: %zu\n",
+              cloud_ok, degraded, failed);
+  std::printf("  cloud breaker now: %s\n",
+              net::to_string(degrading.cloud_circuit_state()));
 
   backup.stop_server();
   std::printf("\n=== resilient pipeline example complete ===\n");

@@ -1,6 +1,7 @@
 #include "collab/cloud_edge.h"
 
 #include "common/error.h"
+#include "common/strings.h"
 #include "runtime/inference.h"
 
 namespace openei::collab {
@@ -146,6 +147,63 @@ FederatedRoundResult federated_round(const nn::Model& global_model,
                               2 * model_bytes * edge_shards.size(), slowest};
   result.global_model.set_name(global_model.name());
   return result;
+}
+
+ResilientCloudEdge::ResilientCloudEdge(std::uint16_t cloud_port,
+                                       std::string cloud_target_prefix,
+                                       nn::Model local_fallback,
+                                       const hwsim::PackageSpec& edge_package,
+                                       const hwsim::DeviceProfile& edge_device,
+                                       net::ResilientClient::Options options)
+    : cloud_(cloud_port, options),
+      target_prefix_(std::move(cloud_target_prefix)),
+      local_(std::move(local_fallback), edge_package, edge_device),
+      metrics_(options.metrics) {
+  OPENEI_CHECK(!target_prefix_.empty() && target_prefix_.front() == '/',
+               "cloud target prefix must be an absolute path");
+}
+
+ResilientCloudEdge::ServeOutcome ResilientCloudEdge::classify(
+    const std::string& input_rows) {
+  std::string target = target_prefix_ + "?input=" + common::uri_encode(input_rows);
+  try {
+    net::HttpResponse response = cloud_.get(target);
+    if (response.status == 200) {
+      ServeOutcome outcome;
+      outcome.served_by = "cloud";
+      outcome.status = response.status;
+      common::Json doc = common::Json::parse(response.body);
+      for (const common::Json& p : doc.at("predictions").as_array()) {
+        outcome.predictions.push_back(
+            static_cast<std::size_t>(p.as_number()));
+      }
+      ++cloud_served_;
+      return outcome;
+    }
+    // 4xx would repeat locally too (bad input), so surface it; a residual
+    // 5xx after the retry budget degrades to the local path below.
+    if (response.status < 500) {
+      ServeOutcome outcome;
+      outcome.served_by = "cloud";
+      outcome.status = response.status;
+      return outcome;
+    }
+  } catch (const IoError&) {
+    // Timeout, refused/reset connection, or an open circuit breaker:
+    // fall through to the local model.
+  }
+
+  common::Json rows = common::Json::parse(input_rows);
+  nn::Tensor batch =
+      runtime::rows_to_batch(rows, local_.model().input_shape());
+  runtime::InferenceResult result = local_.run(batch);
+  ServeOutcome outcome;
+  outcome.served_by = "local_fallback";
+  outcome.status = 200;
+  outcome.predictions = std::move(result.predictions);
+  ++degraded_served_;
+  if (metrics_) ++metrics_->degraded_serves;
+  return outcome;
 }
 
 }  // namespace openei::collab

@@ -12,10 +12,15 @@
 // averaged into "a general and global model".
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "data/dataset.h"
 #include "hwsim/cost_model.h"
 #include "hwsim/network.h"
+#include "net/resilient_client.h"
 #include "nn/train.h"
+#include "runtime/inference.h"
 
 namespace openei::collab {
 
@@ -78,5 +83,52 @@ FederatedRoundResult federated_round(const nn::Model& global_model,
                                      const hwsim::PackageSpec& edge_package,
                                      const hwsim::NetworkLink& link,
                                      const nn::TrainOptions& retrain);
+
+/// Graceful degradation for the cloud-inference dataflow (Fig. 3 dataflow 1
+/// meeting Sec. IV-C availability): requests prefer the cloud replica's
+/// richer model over libei, but when the cloud is unreachable — timeout,
+/// transport failure, 5xx burst, or an *open circuit breaker* (fail-fast,
+/// the link is not even tried) — the edge serves from a local (typically
+/// compressed) fallback model instead of surfacing an error.  Every serve
+/// reports which path produced it, and the degraded/cloud counters feed the
+/// shared resilience sink so /ei_status exposes degraded-mode serving.
+class ResilientCloudEdge {
+ public:
+  /// `cloud_target_prefix` is the cloud's algorithm route, e.g.
+  /// "/ei_algorithms/safety/detection"; inference input is appended as the
+  /// `input` query parameter.
+  ResilientCloudEdge(std::uint16_t cloud_port, std::string cloud_target_prefix,
+                     nn::Model local_fallback,
+                     const hwsim::PackageSpec& edge_package,
+                     const hwsim::DeviceProfile& edge_device,
+                     net::ResilientClient::Options options = {});
+
+  struct ServeOutcome {
+    /// "cloud" or "local_fallback".
+    std::string served_by;
+    std::vector<std::size_t> predictions;
+    /// HTTP status of the serving path (local fallback serves 200).
+    int status = 200;
+  };
+
+  /// Classifies `input_rows` (JSON rows, same wire format as libei's
+  /// `input=` parameter).  Never throws on cloud failure — it degrades.
+  ServeOutcome classify(const std::string& input_rows);
+
+  std::uint64_t cloud_served() const { return cloud_served_; }
+  std::uint64_t degraded_served() const { return degraded_served_; }
+  net::CircuitState cloud_circuit_state() const {
+    return cloud_.circuit_state();
+  }
+  const net::ResilientClient& cloud_client() const { return cloud_; }
+
+ private:
+  net::ResilientClient cloud_;
+  std::string target_prefix_;
+  runtime::InferenceSession local_;
+  std::shared_ptr<net::ResilienceMetrics> metrics_;
+  std::uint64_t cloud_served_ = 0;
+  std::uint64_t degraded_served_ = 0;
+};
 
 }  // namespace openei::collab

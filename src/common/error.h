@@ -48,6 +48,22 @@ class IoError : public Error {
   explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// An I/O operation exceeded its deadline.  Subclass of IoError so generic
+/// transport-failure handling (failover, retries) covers it, while callers
+/// that care can distinguish "slow" from "broken".
+class TimeoutError : public IoError {
+ public:
+  explicit TimeoutError(const std::string& what) : IoError(what) {}
+};
+
+/// A request was rejected locally because the endpoint's circuit breaker is
+/// open (the endpoint has been failing; we are not even trying).  Subclass of
+/// IoError: to a caller it is just another transport failure, but a fast one.
+class CircuitOpenError : public IoError {
+ public:
+  explicit CircuitOpenError(const std::string& what) : IoError(what) {}
+};
+
 namespace detail {
 
 template <typename... Args>

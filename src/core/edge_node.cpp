@@ -52,7 +52,9 @@ net::HttpResponse EdgeNode::call(const std::string& method,
 
 void EdgeNode::fetch_model_from_peer(std::uint16_t peer_port,
                                      const std::string& name) {
-  net::HttpClient peer(peer_port);
+  net::ResilientClient::Options options;
+  options.metrics = service_.resilience();
+  net::ResilientClient peer(peer_port, options);
   net::HttpResponse response = peer.get("/ei_models/" + name);
   if (response.status == 404) {
     throw NotFound("peer has no model named '" + name + "'");
@@ -68,11 +70,18 @@ void EdgeNode::fetch_model_from_peer(std::uint16_t peer_port,
 }
 
 std::uint16_t EdgeNode::start_server(std::uint16_t port) {
+  return start_server(port, net::HttpServer::Options{});
+}
+
+std::uint16_t EdgeNode::start_server(std::uint16_t port,
+                                     net::HttpServer::Options options) {
   OPENEI_CHECK(server_ == nullptr, "server already running");
   server_ = std::make_unique<net::HttpServer>(
-      port, [this](const net::HttpRequest& request) {
+      port,
+      [this](const net::HttpRequest& request) {
         return service_.handle(request);
-      });
+      },
+      std::move(options));
   return server_->port();
 }
 

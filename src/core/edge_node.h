@@ -54,16 +54,27 @@ class EdgeNode {
   // --- Edge-edge model sharing (Sec. II-C) ------------------------------
   /// Fetches a model from a peer edge node's libei (`GET /ei_models/{name}`
   /// on 127.0.0.1:`peer_port`) and deploys it locally under the peer's
-  /// scenario/algorithm.  Throws NotFound when the peer lacks the model and
-  /// IoError when the peer is unreachable.
+  /// scenario/algorithm.  Rides through transient peer faults with the
+  /// node's resilient transport (deadline + retries); throws NotFound when
+  /// the peer lacks the model and IoError when the peer stays unreachable.
   void fetch_model_from_peer(std::uint16_t peer_port, const std::string& name);
 
   // --- RESTful API (libei over HTTP) -----------------------------------
   /// Starts serving on 127.0.0.1 (port 0 = ephemeral); returns bound port.
+  /// The Options overload configures the server's read deadline and an
+  /// optional deterministic fault-injection plan (tests/chaos benchmarks).
   std::uint16_t start_server(std::uint16_t port = 0);
+  std::uint16_t start_server(std::uint16_t port, net::HttpServer::Options options);
   void stop_server();
   bool serving() const { return server_ != nullptr; }
   std::uint16_t port() const;
+
+  /// The node's shared outbound-transport resilience counters (also exposed
+  /// by GET /ei_status under "resilience").  Wire this into any
+  /// ResilientClient / FailoverClient acting on the node's behalf.
+  const std::shared_ptr<net::ResilienceMetrics>& resilience_metrics() const {
+    return service_.resilience();
+  }
 
   const hwsim::DeviceProfile& device() const { return config_.device; }
   const hwsim::PackageSpec& package() const { return config_.package; }

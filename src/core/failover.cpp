@@ -5,43 +5,73 @@
 
 namespace openei::core {
 
-FailoverClient::FailoverClient(std::vector<std::uint16_t> ports)
-    : ports_(std::move(ports)) {
-  OPENEI_CHECK(!ports_.empty(), "failover client needs at least one replica");
+FailoverClient::FailoverClient(std::vector<std::uint16_t> ports,
+                               FailoverOptions options)
+    : options_(std::move(options)) {
+  OPENEI_CHECK(!ports.empty(), "failover client needs at least one replica");
+  OPENEI_CHECK(options_.probe_every >= 1, "probe_every must be >= 1");
+  replicas_.reserve(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    net::ResilientClient::Options client_options = options_.client;
+    client_options.seed = options_.client.seed + i;  // independent jitter
+    replicas_.push_back(
+        std::make_unique<net::ResilientClient>(ports[i], client_options));
+  }
+}
+
+const net::ResilientClient& FailoverClient::replica_client(std::size_t i) const {
+  OPENEI_CHECK(i < replicas_.size(), "replica index ", i, " out of range");
+  return *replicas_[i];
+}
+
+void FailoverClient::maybe_fail_back() {
+  if (active_ == 0) return;
+  if (++requests_since_probe_ < options_.probe_every) return;
+  requests_since_probe_ = 0;
+  for (std::size_t preferred = 0; preferred < active_; ++preferred) {
+    if (replicas_[preferred]->probe(options_.probe_target)) {
+      common::log_info("failback: replica ", active_, " -> ", preferred);
+      active_ = preferred;
+      ++failbacks_;
+      if (options_.client.metrics) ++options_.client.metrics->failbacks;
+      return;
+    }
+  }
 }
 
 template <typename Call>
 net::HttpResponse FailoverClient::with_failover(Call&& call) {
+  maybe_fail_back();
   std::string last_error;
-  for (std::size_t attempt = 0; attempt < ports_.size(); ++attempt) {
-    std::size_t replica = (active_ + attempt) % ports_.size();
+  for (std::size_t attempt = 0; attempt < replicas_.size(); ++attempt) {
+    std::size_t replica = (active_ + attempt) % replicas_.size();
     try {
-      net::HttpResponse response = call(ports_[replica]);
+      net::HttpResponse response = call(*replicas_[replica]);
       if (replica != active_) {
         common::log_info("failover: replica ", active_, " -> ", replica);
         active_ = replica;
+        requests_since_probe_ = 0;
         ++failovers_;
+        if (options_.client.metrics) ++options_.client.metrics->failovers;
       }
       return response;
     } catch (const IoError& e) {
       last_error = e.what();
     }
   }
-  throw IoError("all " + std::to_string(ports_.size()) +
+  throw IoError("all " + std::to_string(replicas_.size()) +
                 " replicas unreachable; last error: " + last_error);
 }
 
 net::HttpResponse FailoverClient::get(const std::string& target) {
-  return with_failover([&target](std::uint16_t port) {
-    net::HttpClient client(port);
+  return with_failover([&target](net::ResilientClient& client) {
     return client.get(target);
   });
 }
 
 net::HttpResponse FailoverClient::post(const std::string& target,
                                        const std::string& body) {
-  return with_failover([&target, &body](std::uint16_t port) {
-    net::HttpClient client(port);
+  return with_failover([&target, &body](net::ResilientClient& client) {
     return client.post(target, body);
   });
 }

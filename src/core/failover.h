@@ -3,25 +3,52 @@
 // avoidance."
 //
 // A caller addresses a replicated EI service (the same models deployed on a
-// primary and one or more backups).  Requests go to the current primary;
-// when it is unreachable the client fails over to the next replica and
-// sticks with it.  Only transport failures (IoError) trigger failover —
-// application errors (4xx/5xx) are the caller's business and would repeat
+// primary and one or more backups), preference-ordered.  Requests go to the
+// current active replica through a per-replica net::ResilientClient
+// (deadline + retry budget + circuit breaker); when it is unreachable the
+// client fails over to the next replica.  Unlike the first-generation
+// client, it does not stick with a backup forever: while serving off a
+// less-preferred replica it periodically health-probes the more-preferred
+// ones and *fails back* as soon as one recovers.  Only transport failures
+// (IoError, including timeouts and open breakers) trigger failover —
+// application errors (4xx) are the caller's business and would repeat
 // identically on a replica.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "net/http.h"
+#include "net/resilient_client.h"
 
 namespace openei::core {
+
+struct FailoverOptions {
+  /// Per-replica transport options.  Failover wants fast detection, so the
+  /// defaults keep the per-replica retry budget small; the replica set is
+  /// the real redundancy.
+  net::ResilientClient::Options client{
+      /*deadline_s=*/2.0,
+      net::RetryPolicy{/*max_attempts=*/2, /*initial_backoff_s=*/0.005,
+                       /*backoff_multiplier=*/2.0, /*max_backoff_s=*/0.05,
+                       /*jitter_fraction=*/0.2},
+      net::CircuitBreakerPolicy{},
+      /*retry_server_errors=*/true,
+      /*seed=*/42,
+      /*metrics=*/nullptr};
+  /// While on a non-preferred replica, probe more-preferred replicas every
+  /// this many requests (count-based, so tests are deterministic).
+  std::size_t probe_every = 4;
+  /// Cheap health-check target used for failback probes.
+  std::string probe_target = "/ei_status";
+};
 
 class FailoverClient {
  public:
   /// `ports` lists replica endpoints on 127.0.0.1, preference-ordered.
-  explicit FailoverClient(std::vector<std::uint16_t> ports);
+  explicit FailoverClient(std::vector<std::uint16_t> ports,
+                          FailoverOptions options = {});
 
   /// GET with failover; throws IoError only when every replica is down.
   net::HttpResponse get(const std::string& target);
@@ -32,14 +59,25 @@ class FailoverClient {
   std::size_t active_replica() const { return active_; }
   /// Count of failovers performed so far.
   std::size_t failover_count() const { return failovers_; }
+  /// Count of failbacks (returns to a more-preferred replica) so far.
+  std::size_t failback_count() const { return failbacks_; }
+
+  /// The transport client bound to replica `i` (breaker state, stats).
+  const net::ResilientClient& replica_client(std::size_t i) const;
 
  private:
   template <typename Call>
   net::HttpResponse with_failover(Call&& call);
+  /// Probes more-preferred replicas (rate-limited by probe_every) and moves
+  /// `active_` back when one of them answers.
+  void maybe_fail_back();
 
-  std::vector<std::uint16_t> ports_;
+  FailoverOptions options_;
+  std::vector<std::unique_ptr<net::ResilientClient>> replicas_;
   std::size_t active_ = 0;
   std::size_t failovers_ = 0;
+  std::size_t failbacks_ = 0;
+  std::size_t requests_since_probe_ = 0;
 };
 
 }  // namespace openei::core

@@ -1,6 +1,16 @@
 #include "hwsim/network.h"
 
+#include "common/error.h"
+
 namespace openei::hwsim {
+
+NetworkLink NetworkLink::with_loss(double loss) const {
+  OPENEI_CHECK(loss >= 0.0 && loss < 1.0, "loss rate out of [0,1): ", loss);
+  NetworkLink degraded = *this;
+  degraded.loss_rate = loss;
+  if (loss > 0.0) degraded.name += "+loss";
+  return degraded;
+}
 
 NetworkLink lorawan() {
   return NetworkLink{

@@ -17,19 +17,33 @@ struct NetworkLink {
   /// Radio energy per transmitted byte (joules) — dominates edge offload
   /// energy budgets.
   double energy_per_byte_j = 1e-7;
+  /// Packet-loss rate in [0, 1).  Lost packets are retransmitted, so loss
+  /// shrinks goodput and inflates time/energy by the expected transmission
+  /// count 1/(1-loss) — the degraded-link regime the resilient transport
+  /// layer has to ride through.  0 (the default) reproduces a clean link.
+  double loss_rate = 0.0;
+
+  /// Expected transmissions per packet under the loss rate (>= 1).
+  double expected_transmissions() const { return 1.0 / (1.0 - loss_rate); }
 
   /// One-way transfer latency for a payload (half the RTT + serialization;
-  /// bandwidth is in bits/s, payloads in bytes).
+  /// bandwidth is in bits/s, payloads in bytes; retransmissions included).
   double transfer_time_s(std::size_t bytes) const {
-    return rtt_s / 2.0 + static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    return rtt_s / 2.0 + static_cast<double>(bytes) * 8.0 / bandwidth_bps *
+                             expected_transmissions();
   }
   /// Round trip carrying `up` bytes out and `down` bytes back.
   double round_trip_s(std::size_t up_bytes, std::size_t down_bytes) const {
-    return rtt_s + static_cast<double>(up_bytes + down_bytes) * 8.0 / bandwidth_bps;
+    return rtt_s + static_cast<double>(up_bytes + down_bytes) * 8.0 /
+                       bandwidth_bps * expected_transmissions();
   }
   double transfer_energy_j(std::size_t bytes) const {
-    return static_cast<double>(bytes) * energy_per_byte_j;
+    return static_cast<double>(bytes) * energy_per_byte_j *
+           expected_transmissions();
   }
+
+  /// A copy of this link degraded to `loss` packet loss ("wifi" at 20%...).
+  NetworkLink with_loss(double loss) const;
 };
 
 /// Representative links, ordered by quality.

@@ -23,8 +23,15 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
       package_(std::move(package)) {}
 
 EiService::Metrics EiService::metrics() const {
-  return Metrics{data_requests_.load(), algorithm_requests_.load(),
-                 model_requests_.load(), errors_.load()};
+  return Metrics{data_requests_.load(),
+                 algorithm_requests_.load(),
+                 model_requests_.load(),
+                 errors_.load(),
+                 resilience_->retries.load(),
+                 resilience_->timeouts.load(),
+                 resilience_->breaker_opens.load(),
+                 resilience_->breaker_rejections.load(),
+                 resilience_->degraded_serves.load()};
 }
 
 std::shared_ptr<runtime::InferenceSession> EiService::session_for(
@@ -98,6 +105,7 @@ HttpResponse EiService::handle(const HttpRequest& request) {
     counters.set("model_requests", snapshot.model_requests);
     counters.set("errors", snapshot.errors);
     out.set("requests", std::move(counters));
+    out.set("resilience", resilience_->to_json());
     return serve(HttpResponse::json(200, out.dump()));
   }
   throw NotFound("unknown resource type '" + segments[0] + "'");
@@ -218,38 +226,6 @@ Json EiService::resolve_input(const HttpRequest& request) const {
   throw ParseError("algorithm call needs 'input', a body, or 'sensor'");
 }
 
-namespace {
-
-/// Converts JSON rows ([[...],[...]] or a single flat [...]) to a batch
-/// tensor matching `sample_shape`.
-nn::Tensor rows_to_batch(const Json& input, const tensor::Shape& sample_shape) {
-  const JsonArray& outer = input.as_array();
-  if (outer.empty()) throw ParseError("empty inference input");
-
-  bool nested = outer[0].is_array();
-  std::size_t rows = nested ? outer.size() : 1;
-  std::size_t sample_elems = sample_shape.elements();
-
-  std::vector<std::size_t> dims{rows};
-  for (std::size_t d : sample_shape.dims()) dims.push_back(d);
-  nn::Tensor batch{tensor::Shape(dims)};
-  auto out = batch.data();
-
-  for (std::size_t r = 0; r < rows; ++r) {
-    const JsonArray& row = nested ? outer[r].as_array() : outer;
-    if (row.size() != sample_elems) {
-      throw ParseError("input row has " + std::to_string(row.size()) +
-                       " values; model expects " + std::to_string(sample_elems));
-    }
-    for (std::size_t j = 0; j < sample_elems; ++j) {
-      out[r * sample_elems + j] = static_cast<float>(row[j].as_number());
-    }
-  }
-  return batch;
-}
-
-}  // namespace
-
 HttpResponse EiService::handle_algorithm(const HttpRequest& request,
                                          const std::vector<std::string>& segments) {
   if (request.method != "GET" && request.method != "POST") {
@@ -294,8 +270,8 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
 
   std::shared_ptr<runtime::InferenceSession> session =
       session_for(chosen->model_name);
-  nn::Tensor batch = rows_to_batch(resolve_input(request),
-                                   session->model().input_shape());
+  nn::Tensor batch = runtime::rows_to_batch(resolve_input(request),
+                                            session->model().input_shape());
   runtime::InferenceResult result = session->run(batch);
 
   Json out{JsonObject{}};

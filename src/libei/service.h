@@ -31,6 +31,7 @@
 #include "hwsim/device.h"
 #include "hwsim/package.h"
 #include "net/http.h"
+#include "net/resilient_client.h"
 #include "runtime/model_registry.h"
 #include "selector/selecting_algorithm.h"
 
@@ -50,13 +51,27 @@ class EiService {
   const hwsim::DeviceProfile& device() const { return device_; }
 
   /// Served-request counters (reported by /ei_status for fleet monitoring).
+  /// The resilience fields snapshot the node's shared transport counters:
+  /// retries/timeouts/breaker state of every outbound client wired to
+  /// `resilience()` (peer fetches, failover, degrading cloud-edge serving).
   struct Metrics {
     std::uint64_t data_requests = 0;
     std::uint64_t algorithm_requests = 0;
     std::uint64_t model_requests = 0;
     std::uint64_t errors = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_rejections = 0;
+    std::uint64_t degraded_serves = 0;
   };
   Metrics metrics() const;
+
+  /// Shared sink for the node's outbound transport resilience counters;
+  /// reported in full under "resilience" by GET /ei_status.
+  const std::shared_ptr<net::ResilienceMetrics>& resilience() const {
+    return resilience_;
+  }
 
  private:
   net::HttpResponse handle_data(const net::HttpRequest& request,
@@ -97,6 +112,8 @@ class EiService {
   mutable std::atomic<std::uint64_t> algorithm_requests_{0};
   mutable std::atomic<std::uint64_t> model_requests_{0};
   mutable std::atomic<std::uint64_t> errors_{0};
+  std::shared_ptr<net::ResilienceMetrics> resilience_ =
+      std::make_shared<net::ResilienceMetrics>();
 };
 
 }  // namespace openei::libei

@@ -1,0 +1,62 @@
+#include "net/faults.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace openei::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kRefuseConnection: return "refuse_connection";
+    case FaultKind::kResetMidStream: return "reset_mid_stream";
+    case FaultKind::kTruncateResponse: return "truncate_response";
+    case FaultKind::kSlowRead: return "slow_read";
+    case FaultKind::kInjectDelay: return "inject_delay";
+    case FaultKind::kErrorBurst: return "error_burst";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultRule rule) {
+  OPENEI_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0,
+               "fault probability out of [0,1]: ", rule.probability);
+  OPENEI_CHECK(rule.delay_s >= 0.0, "negative fault delay ", rule.delay_s);
+  OPENEI_CHECK(rule.from_request <= rule.until_request,
+               "fault window reversed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(std::move(rule));
+  matches_.push_back(0);
+  return *this;
+}
+
+FaultPlan::Decision FaultPlan::next(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (!common::starts_with(path, rule.path_prefix)) continue;
+    std::size_t match_index = matches_[i]++;
+    if (match_index < rule.from_request || match_index >= rule.until_request) {
+      continue;
+    }
+    // Deterministic draw: always consume one uniform even for p=1 so the
+    // schedule does not depend on which rules have certain probabilities.
+    if (rng_.uniform() >= rule.probability) continue;
+    ++injected_;
+    return Decision{rule.kind, rule.delay_s, rule.status};
+  }
+  return Decision{};
+}
+
+std::size_t FaultPlan::request_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_;
+}
+
+std::size_t FaultPlan::injected_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace openei::net

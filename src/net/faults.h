@@ -1,0 +1,101 @@
+// Deterministic fault injection for the transport layer.
+//
+// The paper's Sec. IV-C names "high availability ... failure avoidance" as a
+// core edge-OS requirement; this module makes failure a first-class,
+// *testable* input instead of something that only happens in production.  A
+// FaultPlan is a seeded schedule of per-route fault rules that the in-process
+// HttpServer consults once per request.  All randomness flows through
+// common::Rng (no wall-clock entropy), so a given (seed, rule set, request
+// sequence) reproduces the exact same fault schedule bit-for-bit — the
+// property the fault-matrix tests and the faulted benchmarks rely on.
+//
+// Supported fault classes (what the client observes):
+//   kRefuseConnection — server closes without responding (connection refused
+//                       / dropped before any byte of the response);
+//   kResetMidStream   — RST after the status line is partially written
+//                       (ECONNRESET or a truncated head at the client);
+//   kTruncateResponse — valid head, body cut short of Content-Length;
+//   kSlowRead         — response dribbles out in small chunks with delays
+//                       (a slow peer; trips client read deadlines);
+//   kInjectDelay      — single added delay before the response (latency
+//                       spike; trips overall request deadlines);
+//   kErrorBurst       — handler bypassed, a 500/503 is served instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace openei::net {
+
+enum class FaultKind {
+  kNone,
+  kRefuseConnection,
+  kResetMidStream,
+  kTruncateResponse,
+  kSlowRead,
+  kInjectDelay,
+  kErrorBurst,
+};
+
+/// Human-readable fault-class name ("reset_mid_stream"...).
+const char* to_string(FaultKind kind);
+
+/// One scheduled fault.  A rule matches a request when the decoded path
+/// starts with `path_prefix` (empty prefix = every route) and the rule's
+/// per-rule match counter lies in [from_request, until_request).  A matching
+/// rule then fires with `probability` (1.0 = always), drawn from the plan's
+/// seeded RNG.
+struct FaultRule {
+  std::string path_prefix;  // "" matches all routes
+  FaultKind kind = FaultKind::kNone;
+  double probability = 1.0;
+  /// Window over the rule's matched-request counter: the fault applies to
+  /// the from-th..(until-1)-th requests that match the prefix.
+  std::size_t from_request = 0;
+  std::size_t until_request = std::numeric_limits<std::size_t>::max();
+  /// Total delay for kSlowRead / kInjectDelay.
+  double delay_s = 0.05;
+  /// Status served by kErrorBurst (500 or 503).
+  int status = 503;
+};
+
+/// Thread-safe deterministic fault schedule.  The server calls `next(path)`
+/// once per parsed request; the decision advances per-rule counters and the
+/// seeded RNG, so sequential request streams see a reproducible schedule.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : rng_(seed) {}
+
+  /// Registers a rule; rules are consulted in insertion order and the first
+  /// one that fires wins.
+  FaultPlan& add(FaultRule rule);
+
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    double delay_s = 0.0;
+    int status = 503;
+  };
+
+  /// Decides the fault (if any) for the next request on `path`.
+  Decision next(const std::string& path);
+
+  /// Requests inspected so far.
+  std::size_t request_count() const;
+  /// Requests that had a fault injected.
+  std::size_t injected_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  common::Rng rng_;
+  std::vector<FaultRule> rules_;
+  std::vector<std::size_t> matches_;  // per-rule matched-request counters
+  std::size_t requests_ = 0;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace openei::net

@@ -1,8 +1,11 @@
 #include "net/http.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
+#include "common/clock.h"
 #include "common/error.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -107,13 +110,19 @@ bool read_request(TcpConnection& connection, std::string& head, std::string& bod
   head = buffer.substr(0, header_end);
   std::string rest = buffer.substr(header_end + 4);
 
-  // Content-Length (case-insensitive scan of the head).
+  // Content-Length (case-insensitive scan of the head).  Parsed defensively:
+  // a non-numeric or absurdly large value is a 400, never an unhandled
+  // exception or a worker stuck waiting for petabytes that will never come.
   std::size_t content_length = 0;
   for (const std::string& line : split(head, '\n')) {
     std::string lower = to_lower(trim(line));
     if (starts_with(lower, "content-length:")) {
-      content_length = static_cast<std::size_t>(
-          std::stoull(std::string(trim(lower.substr(15)))));
+      std::string value(trim(lower.substr(15)));
+      try {
+        content_length = static_cast<std::size_t>(std::stoull(value));
+      } catch (const std::logic_error&) {
+        throw ParseError("bad Content-Length '" + value + "'");
+      }
     }
   }
   if (content_length > (64U << 20)) throw ParseError("HTTP body too large");
@@ -130,8 +139,12 @@ bool read_request(TcpConnection& connection, std::string& head, std::string& bod
 }  // namespace
 
 HttpServer::HttpServer(std::uint16_t port, Handler handler)
-    : listener_(port), handler_(std::move(handler)) {
+    : HttpServer(port, std::move(handler), Options{}) {}
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler, Options options)
+    : listener_(port), handler_(std::move(handler)), options_(std::move(options)) {
   OPENEI_CHECK(handler_ != nullptr, "null HTTP handler");
+  OPENEI_CHECK(options_.read_timeout_s > 0.0, "bad server read timeout");
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -171,15 +184,34 @@ void HttpServer::accept_loop() {
 
 void HttpServer::handle_connection(TcpConnection connection) {
   try {
-    connection.set_read_timeout(10.0);
+    connection.set_read_timeout(options_.read_timeout_s);
     std::string head;
     std::string body;
-    if (!read_request(connection, head, body)) return;
+    try {
+      if (!read_request(connection, head, body)) return;
+    } catch (const ParseError& e) {
+      // Malformed framing (bad Content-Length, oversized head/body...): the
+      // peer may still be listening, so answer 400 before closing.
+      connection.write_all(serialize_response(HttpResponse::json(
+          400, std::string(R"({"error":")") + e.what() + "\"}")));
+      return;
+    }
 
+    FaultPlan::Decision decision;
     HttpResponse response;
     try {
       HttpRequest request = parse_request(head, body);
-      response = handler_(request);
+      if (options_.faults) decision = options_.faults->next(request.path);
+      if (decision.kind == FaultKind::kRefuseConnection) {
+        connection.close();  // dropped before a single response byte
+        return;
+      }
+      if (decision.kind == FaultKind::kErrorBurst) {
+        response = HttpResponse::json(
+            decision.status, R"({"error":"injected fault: error burst"})");
+      } else {
+        response = handler_(request);
+      }
     } catch (const ParseError& e) {
       response = HttpResponse::json(
           400, std::string(R"({"error":")") + e.what() + "\"}");
@@ -190,9 +222,49 @@ void HttpServer::handle_connection(TcpConnection connection) {
       response = HttpResponse::json(
           500, std::string(R"({"error":")") + e.what() + "\"}");
     }
-    connection.write_all(serialize_response(response));
+    write_with_faults(connection, response, decision);
   } catch (const std::exception& e) {
     common::log_warn("http worker error: ", e.what());
+  }
+}
+
+bool HttpServer::write_with_faults(TcpConnection& connection,
+                                   const HttpResponse& response,
+                                   const FaultPlan::Decision& decision) {
+  std::string wire = serialize_response(response);
+  switch (decision.kind) {
+    case FaultKind::kResetMidStream: {
+      // A few bytes of the status line escape, then a hard RST.
+      connection.write_all(wire.data(), std::min<std::size_t>(wire.size(), 9));
+      connection.reset();
+      return false;
+    }
+    case FaultKind::kTruncateResponse: {
+      std::size_t body_start = wire.size() - response.body.size();
+      std::size_t keep = body_start + response.body.size() / 2;
+      connection.write_all(wire.data(), keep);
+      connection.close();  // Content-Length promises more than was sent
+      return false;
+    }
+    case FaultKind::kSlowRead: {
+      // Dribble the response out so the client experiences a slow read.
+      constexpr std::size_t kChunk = 16;
+      std::size_t chunks = (wire.size() + kChunk - 1) / kChunk;
+      auto pause = std::chrono::duration<double>(
+          decision.delay_s / static_cast<double>(std::max<std::size_t>(chunks, 1)));
+      for (std::size_t offset = 0; offset < wire.size(); offset += kChunk) {
+        std::this_thread::sleep_for(pause);
+        connection.write_all(wire.data() + offset,
+                             std::min(kChunk, wire.size() - offset));
+      }
+      return true;
+    }
+    case FaultKind::kInjectDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay_s));
+      [[fallthrough]];
+    default:
+      connection.write_all(wire);
+      return true;
   }
 }
 
@@ -209,7 +281,8 @@ HttpResponse HttpClient::request(const std::string& method,
                                  const std::string& target,
                                  const std::string& body,
                                  const std::string& content_type) {
-  TcpConnection connection = connect_local(port_);
+  common::Stopwatch elapsed;
+  TcpConnection connection = connect_local(port_, deadline_s_);
   std::ostringstream out;
   out << method << ' ' << target << " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
   if (!body.empty()) {
@@ -219,16 +292,31 @@ HttpResponse HttpClient::request(const std::string& method,
   out << "Connection: close\r\n\r\n" << body;
   connection.write_all(out.str());
 
-  // Read until the peer closes (Connection: close semantics).
+  // Read until the peer closes (Connection: close semantics).  The deadline
+  // is end-to-end: a peer dribbling one byte per recv cannot stretch the
+  // call past it, because the remaining budget shrinks on every read.
   std::string raw;
   char chunk[4096];
   while (true) {
+    double remaining = deadline_s_ - elapsed.elapsed_seconds();
+    if (remaining <= 0.0) {
+      throw TimeoutError("HTTP " + method + ' ' + target +
+                         " exceeded deadline of " +
+                         std::to_string(deadline_s_) + "s");
+    }
+    connection.set_read_timeout(remaining);
     std::size_t n = connection.read_some(chunk, sizeof(chunk));
     if (n == 0) break;
     raw.append(chunk, n);
   }
+  if (raw.empty()) {
+    throw IoError("connection closed before any response byte (" + method +
+                  ' ' + target + ")");
+  }
   auto header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) throw ParseError("malformed HTTP response");
+  if (header_end == std::string::npos) {
+    throw IoError("truncated HTTP response head (" + method + ' ' + target + ")");
+  }
   std::string head = raw.substr(0, header_end);
 
   HttpResponse response;
@@ -236,13 +324,26 @@ HttpResponse HttpClient::request(const std::string& method,
   auto status_parts = split(std::string(trim(lines[0])), ' ');
   if (status_parts.size() < 2) throw ParseError("malformed HTTP status line");
   response.status = std::stoi(status_parts[1]);
+  std::size_t expected_body = std::string::npos;
   for (const std::string& line : lines) {
     std::string lower = to_lower(trim(line));
     if (starts_with(lower, "content-type:")) {
       response.content_type = std::string(trim(lower.substr(13)));
+    } else if (starts_with(lower, "content-length:")) {
+      try {
+        expected_body = static_cast<std::size_t>(
+            std::stoull(std::string(trim(lower.substr(15)))));
+      } catch (const std::logic_error&) {
+        throw ParseError("bad Content-Length in response");
+      }
     }
   }
   response.body = raw.substr(header_end + 4);
+  if (expected_body != std::string::npos && response.body.size() < expected_body) {
+    throw IoError("truncated HTTP response body: got " +
+                  std::to_string(response.body.size()) + " of " +
+                  std::to_string(expected_body) + " bytes");
+  }
   return response;
 }
 

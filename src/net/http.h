@@ -9,11 +9,13 @@
 #include <condition_variable>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/faults.h"
 #include "net/socket.h"
 
 namespace openei::net {
@@ -51,10 +53,21 @@ class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  struct Options {
+    /// Per-recv deadline while reading a request: a stalled or silent client
+    /// cannot pin a worker thread past this.
+    double read_timeout_s = 10.0;
+    /// Optional deterministic fault schedule consulted once per request
+    /// (after parsing, before the handler).  Shared so tests/benchmarks can
+    /// inspect the plan's counters while the server runs.
+    std::shared_ptr<FaultPlan> faults;
+  };
+
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving `handler`.
   /// Exceptions from the handler become 500 responses; ParseError becomes 400;
   /// NotFound becomes 404.
   HttpServer(std::uint16_t port, Handler handler);
+  HttpServer(std::uint16_t port, Handler handler, Options options);
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
@@ -67,9 +80,15 @@ class HttpServer {
  private:
   void accept_loop();
   void handle_connection(TcpConnection connection);
+  /// Writes `response` subject to the fault `decision` (truncation, resets,
+  /// slow chunked writes...).  Returns false when the connection was
+  /// deliberately killed instead of served.
+  bool write_with_faults(TcpConnection& connection, const HttpResponse& response,
+                         const FaultPlan::Decision& decision);
 
   TcpListener listener_;
   Handler handler_;
+  Options options_;
   std::atomic<bool> running_{true};
   std::thread accept_thread_;
   std::mutex drain_mutex_;
@@ -77,21 +96,30 @@ class HttpServer {
   std::size_t active_workers_ = 0;  // guarded by drain_mutex_
 };
 
-/// Blocking single-request client.
+/// Blocking single-request client with an end-to-end deadline: connect,
+/// write, and the whole response read must complete within `deadline_s`, so
+/// a dead-but-accepting or slow-dribbling peer cannot hang the caller.
+/// Throws TimeoutError past the deadline and IoError on transport failures
+/// (connection refused/reset, truncated response).
 class HttpClient {
  public:
-  explicit HttpClient(std::uint16_t port) : port_(port) {}
+  explicit HttpClient(std::uint16_t port, double deadline_s = 5.0)
+      : port_(port), deadline_s_(deadline_s) {}
 
   /// `target` is a raw path+query, e.g. "/ei_data/realtime/cam1?timestamp=5".
   HttpResponse get(const std::string& target);
   HttpResponse post(const std::string& target, const std::string& body,
                     const std::string& content_type = "application/json");
 
+  std::uint16_t port() const { return port_; }
+  double deadline_s() const { return deadline_s_; }
+
  private:
   HttpResponse request(const std::string& method, const std::string& target,
                        const std::string& body, const std::string& content_type);
 
   std::uint16_t port_;
+  double deadline_s_;
 };
 
 }  // namespace openei::net

@@ -1,8 +1,10 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,6 +20,13 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
+}
+
+timeval to_timeval(double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  return tv;
 }
 
 }  // namespace
@@ -46,7 +55,12 @@ int FdHandle::release() {
 std::size_t TcpConnection::read_some(char* buffer, std::size_t max_bytes) {
   OPENEI_CHECK(fd_.valid(), "read on closed connection");
   ssize_t n = ::recv(fd_.get(), buffer, max_bytes, 0);
-  if (n < 0) throw_errno("recv failed");
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw TimeoutError("recv timed out");
+    }
+    throw_errno("recv failed");
+  }
   return static_cast<std::size_t>(n);
 }
 
@@ -55,22 +69,42 @@ void TcpConnection::write_all(const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     ssize_t n = ::send(fd_.get(), data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) throw_errno("send failed");
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("send timed out");
+      }
+      throw_errno("send failed");
+    }
     sent += static_cast<std::size_t>(n);
   }
 }
 
 void TcpConnection::set_read_timeout(double seconds) {
   OPENEI_CHECK(fd_.valid() && seconds > 0.0, "bad read timeout");
-  timeval tv;
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  timeval tv = to_timeval(seconds);
   if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     throw_errno("setsockopt(SO_RCVTIMEO) failed");
   }
 }
 
+void TcpConnection::set_write_timeout(double seconds) {
+  OPENEI_CHECK(fd_.valid() && seconds > 0.0, "bad write timeout");
+  timeval tv = to_timeval(seconds);
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_SNDTIMEO) failed");
+  }
+}
+
 void TcpConnection::close() { FdHandle dropped = std::move(fd_); }
+
+void TcpConnection::reset() {
+  if (!fd_.valid()) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  close();
+}
 
 TcpListener::TcpListener(std::uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -108,23 +142,44 @@ void TcpListener::shutdown() {
 }
 
 TcpConnection connect_local(std::uint16_t port, double timeout_s) {
+  OPENEI_CHECK(timeout_s > 0.0, "bad connect timeout ", timeout_s);
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket() failed");
   FdHandle handle(fd);
-
-  timeval tv;
-  tv.tv_sec = static_cast<time_t>(timeout_s);
-  tv.tv_usec = static_cast<suseconds_t>((timeout_s - std::floor(timeout_s)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("connect() to 127.0.0.1 failed");
+
+  // Non-blocking connect + poll so a dead or saturated peer cannot hang the
+  // caller past the deadline (a plain connect() has no portable timeout).
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throw_errno("connect() to 127.0.0.1 failed");
+    pollfd waiter{fd, POLLOUT, 0};
+    int timeout_ms = static_cast<int>(timeout_s * 1e3);
+    int ready = ::poll(&waiter, 1, timeout_ms > 0 ? timeout_ms : 1);
+    if (ready == 0) {
+      throw TimeoutError("connect() to 127.0.0.1:" + std::to_string(port) +
+                         " timed out after " + std::to_string(timeout_s) + "s");
+    }
+    if (ready < 0) throw_errno("poll() during connect failed");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      throw IoError(std::string("connect() to 127.0.0.1 failed: ") +
+                    std::strerror(err));
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking with SO_*TIMEO deadlines
+
+  timeval tv = to_timeval(timeout_s);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   return TcpConnection(std::move(handle));
 }
 

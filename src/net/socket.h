@@ -41,10 +41,19 @@ class TcpConnection {
   void write_all(const std::string& data) { write_all(data.data(), data.size()); }
 
   /// Sets a receive timeout so a stuck peer cannot hang a server worker.
+  /// A blocked read past the deadline throws TimeoutError.
   void set_read_timeout(double seconds);
+
+  /// Sets a send timeout (a peer that stops draining cannot hang a writer).
+  void set_write_timeout(double seconds);
 
   bool valid() const { return fd_.valid(); }
   void close();
+
+  /// Hard-closes with an RST (SO_LINGER 0) instead of an orderly FIN — the
+  /// peer observes ECONNRESET.  Used by the fault injector to model
+  /// mid-stream connection resets.
+  void reset();
 
  private:
   FdHandle fd_;
@@ -72,7 +81,9 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to 127.0.0.1:`port`; throws IoError on refusal.
+/// Connects to 127.0.0.1:`port`; throws IoError on refusal and TimeoutError
+/// when the connection cannot be established within `timeout_s`.  The
+/// returned connection inherits `timeout_s` as its read/write timeout.
 TcpConnection connect_local(std::uint16_t port, double timeout_s = 5.0);
 
 }  // namespace openei::net

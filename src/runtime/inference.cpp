@@ -73,4 +73,31 @@ LocalTrainingResult retrain_head_locally(const nn::Model& model,
   return result;
 }
 
+nn::Tensor rows_to_batch(const common::Json& input,
+                         const tensor::Shape& sample_shape) {
+  const common::JsonArray& outer = input.as_array();
+  if (outer.empty()) throw ParseError("empty inference input");
+
+  bool nested = outer[0].is_array();
+  std::size_t rows = nested ? outer.size() : 1;
+  std::size_t sample_elems = sample_shape.elements();
+
+  std::vector<std::size_t> dims{rows};
+  for (std::size_t d : sample_shape.dims()) dims.push_back(d);
+  nn::Tensor batch{tensor::Shape(dims)};
+  auto out = batch.data();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const common::JsonArray& row = nested ? outer[r].as_array() : outer;
+    if (row.size() != sample_elems) {
+      throw ParseError("input row has " + std::to_string(row.size()) +
+                       " values; model expects " + std::to_string(sample_elems));
+    }
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      out[r * sample_elems + j] = static_cast<float>(row[j].as_number());
+    }
+  }
+  return batch;
+}
+
 }  // namespace openei::runtime

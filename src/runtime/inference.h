@@ -4,6 +4,7 @@
 // engine plus simulated ALEM costs from the hardware model.
 #pragma once
 
+#include "common/json.h"
 #include "data/dataset.h"
 #include "hwsim/cost_model.h"
 #include "nn/train.h"
@@ -61,5 +62,12 @@ LocalTrainingResult retrain_head_locally(const nn::Model& model,
                                          const hwsim::PackageSpec& package,
                                          const hwsim::DeviceProfile& device,
                                          const nn::TrainOptions& options);
+
+/// Converts JSON inference rows ([[...],[...]] or a single flat [...]) to a
+/// batch tensor matching `sample_shape`.  Shared by libei's algorithm route
+/// and the degrading cloud-edge path (both accept the same wire format).
+/// Throws ParseError on shape mismatch or empty input.
+nn::Tensor rows_to_batch(const common::Json& input,
+                         const tensor::Shape& sample_shape);
 
 }  // namespace openei::runtime
