@@ -1,0 +1,198 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+
+namespace openei::common {
+
+namespace {
+
+thread_local bool t_on_pool_thread = false;
+
+struct GlobalPool {
+  std::mutex mutex;
+  std::shared_ptr<ThreadPool> pool;  // null when lanes == 1
+  std::size_t lanes = 0;             // 0 = not yet initialized
+};
+
+GlobalPool& global_state() {
+  static GlobalPool state;
+  return state;
+}
+
+std::size_t default_lanes() {
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return parse_thread_env(std::getenv("OPENEI_THREADS"), hw);
+}
+
+/// Returns the pool for the current configuration (initializing it from
+/// OPENEI_THREADS on first use) plus the lane count.  The shared_ptr keeps
+/// the pool alive across a concurrent set_thread_count().
+std::pair<std::shared_ptr<ThreadPool>, std::size_t> acquire() {
+  GlobalPool& state = global_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.lanes == 0) {
+    state.lanes = default_lanes();
+    if (state.lanes > 1) {
+      state.pool = std::make_shared<ThreadPool>(state.lanes - 1);
+    }
+  }
+  return {state.pool, state.lanes};
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  OPENEI_CHECK(workers > 0, "thread pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_pool_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::size_t thread_count() { return acquire().second; }
+
+void set_thread_count(std::size_t n) {
+  std::size_t lanes = n == 0 ? default_lanes() : n;
+  std::shared_ptr<ThreadPool> replacement;
+  if (lanes > 1) replacement = std::make_shared<ThreadPool>(lanes - 1);
+  std::shared_ptr<ThreadPool> retired;
+  {
+    GlobalPool& state = global_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    retired = std::move(state.pool);
+    state.pool = std::move(replacement);
+    state.lanes = lanes;
+  }
+  // retired's destructor joins its workers after they drain the queue.
+}
+
+bool on_pool_thread() { return t_on_pool_thread; }
+
+std::size_t parse_thread_env(const char* value, std::size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+namespace {
+
+/// Shared completion state for one parallel_for: counts outstanding chunks
+/// and stores the first exception.
+struct ForkJoin {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining;
+  std::exception_ptr error;
+
+  explicit ForkJoin(std::size_t chunks) : remaining(chunks) {}
+
+  void run_chunk(const std::function<void(std::size_t, std::size_t)>& body,
+                 std::size_t begin, std::size_t end) {
+    std::exception_ptr caught;
+    try {
+      body(begin, end);
+    } catch (...) {
+      caught = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    if (caught && !error) error = caught;
+    if (--remaining == 0) done.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return remaining == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain) {
+  if (end <= begin) return;
+  std::size_t n = end - begin;
+  auto [pool, lanes] = acquire();
+  if (!pool || lanes <= 1 || n <= grain || on_pool_thread()) {
+    body(begin, end);
+    return;
+  }
+
+  std::size_t chunks = std::min(lanes, (n + grain - 1) / grain);
+  std::size_t per_chunk = (n + chunks - 1) / chunks;
+  auto state = std::make_shared<ForkJoin>(chunks);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    std::size_t lo = begin + c * per_chunk;
+    std::size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) {
+      state->run_chunk([](std::size_t, std::size_t) {}, 0, 0);
+      continue;
+    }
+    pool->submit([state, &body, lo, hi] { state->run_chunk(body, lo, hi); });
+  }
+  // The caller is lane 0: it works instead of blocking idle.
+  state->run_chunk(body, begin, std::min(end, begin + per_chunk));
+  state->wait();
+}
+
+void parallel_chunked_reduce(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& partial,
+    const std::function<void(std::size_t)>& combine) {
+  OPENEI_CHECK(chunk > 0, "zero reduction chunk");
+  if (n == 0) return;
+  std::size_t chunks = (n + chunk - 1) / chunk;
+  parallel_for(
+      0, chunks,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          partial(c, c * chunk, std::min(n, (c + 1) * chunk));
+        }
+      },
+      /*grain=*/1);
+  for (std::size_t c = 0; c < chunks; ++c) combine(c);
+}
+
+}  // namespace openei::common

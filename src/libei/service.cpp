@@ -17,10 +17,17 @@ using net::HttpResponse;
 
 EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
                      hwsim::DeviceProfile device, hwsim::PackageSpec package)
+    : EiService(registry, store, std::move(device), std::move(package),
+                Options{}) {}
+
+EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
+                     hwsim::DeviceProfile device, hwsim::PackageSpec package,
+                     Options options)
     : registry_(registry),
       store_(store),
       device_(std::move(device)),
-      package_(std::move(package)) {}
+      package_(std::move(package)),
+      options_(options) {}
 
 EiService::Metrics EiService::metrics() const {
   return Metrics{data_requests_.load(),
@@ -31,7 +38,10 @@ EiService::Metrics EiService::metrics() const {
                  resilience_->timeouts.load(),
                  resilience_->breaker_opens.load(),
                  resilience_->breaker_rejections.load(),
-                 resilience_->degraded_serves.load()};
+                 resilience_->degraded_serves.load(),
+                 batcher_metrics_->flushes.load(),
+                 batcher_metrics_->fused_requests.load(),
+                 batcher_metrics_->max_fused_rows.load()};
 }
 
 std::shared_ptr<runtime::InferenceSession> EiService::session_for(
@@ -39,6 +49,9 @@ std::shared_ptr<runtime::InferenceSession> EiService::session_for(
   std::lock_guard<std::mutex> lock(cache_mutex_);
   std::uint64_t version = registry_.version();
   if (version != cached_registry_version_) {
+    // Retire batchers before their sessions: each destructor drains its
+    // queue, so in-flight requests still complete against the old model.
+    batcher_cache_.clear();
     session_cache_.clear();
     cached_registry_version_ = version;
   }
@@ -50,6 +63,18 @@ std::shared_ptr<runtime::InferenceSession> EiService::session_for(
       std::move(entry.model), package_, device_);
   session_cache_.emplace(model_name, session);
   return session;
+}
+
+std::shared_ptr<runtime::MicroBatcher> EiService::batcher_for(
+    const std::string& model_name) {
+  std::shared_ptr<runtime::InferenceSession> session = session_for(model_name);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = batcher_cache_.find(model_name);
+  if (it != batcher_cache_.end()) return it->second;
+  auto batcher = std::make_shared<runtime::MicroBatcher>(
+      std::move(session), options_.batching, batcher_metrics_);
+  batcher_cache_.emplace(model_name, batcher);
+  return batcher;
 }
 
 HttpResponse EiService::handle(const HttpRequest& request) {
@@ -106,6 +131,14 @@ HttpResponse EiService::handle(const HttpRequest& request) {
     counters.set("errors", snapshot.errors);
     out.set("requests", std::move(counters));
     out.set("resilience", resilience_->to_json());
+    Json batching{JsonObject{}};
+    batching.set("coalescing", options_.coalesce_inference);
+    batching.set("max_batch_rows", options_.batching.max_batch_rows);
+    batching.set("max_wait_s", options_.batching.max_wait_s);
+    batching.set("flushes", snapshot.batch_flushes);
+    batching.set("coalesced_requests", snapshot.coalesced_requests);
+    batching.set("max_fused_rows", snapshot.max_fused_rows);
+    out.set("batching", std::move(batching));
     return serve(HttpResponse::json(200, out.dump()));
   }
   throw NotFound("unknown resource type '" + segments[0] + "'");
@@ -272,7 +305,15 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
       session_for(chosen->model_name);
   nn::Tensor batch = runtime::rows_to_batch(resolve_input(request),
                                             session->model().input_shape());
-  runtime::InferenceResult result = session->run(batch);
+  runtime::InferenceResult result;
+  if (options_.coalesce_inference) {
+    // Concurrent connection threads funnel into the per-model micro-batch
+    // queue; this request's rows ride a fused forward pass (bit-identical
+    // to a solo run) instead of serializing behind other requests.
+    result = batcher_for(chosen->model_name)->submit(std::move(batch)).get();
+  } else {
+    result = session->run(batch);
+  }
 
   Json out{JsonObject{}};
   out.set("scenario", scenario);

@@ -27,6 +27,7 @@
 #include <mutex>
 
 #include "datastore/timeseries.h"
+#include "runtime/batcher.h"
 #include "runtime/inference.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
@@ -39,10 +40,21 @@ namespace openei::libei {
 
 class EiService {
  public:
+  struct Options {
+    /// Coalesce concurrent /ei_algorithms inference through a per-model
+    /// micro-batching queue instead of serializing independent forward
+    /// passes.  Results are bit-identical either way.
+    bool coalesce_inference = true;
+    runtime::MicroBatcher::Options batching;
+  };
+
   /// Borrows the registry and store (the owning EdgeNode outlives the
   /// service); copies the device/package profiles.
   EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
             hwsim::DeviceProfile device, hwsim::PackageSpec package);
+  EiService(runtime::ModelRegistry& registry, datastore::SensorStore& store,
+            hwsim::DeviceProfile device, hwsim::PackageSpec package,
+            Options options);
 
   /// Routes one request.  Throws NotFound / ParseError for the HTTP server
   /// to translate, or returns a JSON response.
@@ -54,6 +66,9 @@ class EiService {
   /// The resilience fields snapshot the node's shared transport counters:
   /// retries/timeouts/breaker state of every outbound client wired to
   /// `resilience()` (peer fetches, failover, degrading cloud-edge serving).
+  /// All backing counters are atomics (the HTTP server handles requests on
+  /// concurrent connection threads and the micro-batcher flushes on its
+  /// own); this struct is a consistent-enough snapshot for monitoring.
   struct Metrics {
     std::uint64_t data_requests = 0;
     std::uint64_t algorithm_requests = 0;
@@ -64,6 +79,9 @@ class EiService {
     std::uint64_t breaker_opens = 0;
     std::uint64_t breaker_rejections = 0;
     std::uint64_t degraded_serves = 0;
+    std::uint64_t batch_flushes = 0;
+    std::uint64_t coalesced_requests = 0;
+    std::uint64_t max_fused_rows = 0;
   };
   Metrics metrics() const;
 
@@ -98,15 +116,25 @@ class EiService {
   std::shared_ptr<runtime::InferenceSession> session_for(
       const std::string& model_name);
 
+  /// Per-model micro-batching queue over session_for's session; same
+  /// invalidation lifecycle as the session cache.
+  std::shared_ptr<runtime::MicroBatcher> batcher_for(
+      const std::string& model_name);
+
   runtime::ModelRegistry& registry_;
   datastore::SensorStore& store_;
   hwsim::DeviceProfile device_;
   hwsim::PackageSpec package_;
+  Options options_;
 
   std::mutex cache_mutex_;
   std::uint64_t cached_registry_version_ = ~0ULL;
   std::map<std::string, std::shared_ptr<runtime::InferenceSession>>
       session_cache_;
+  std::map<std::string, std::shared_ptr<runtime::MicroBatcher>>
+      batcher_cache_;
+  std::shared_ptr<runtime::BatcherMetrics> batcher_metrics_ =
+      std::make_shared<runtime::BatcherMetrics>();
 
   mutable std::atomic<std::uint64_t> data_requests_{0};
   mutable std::atomic<std::uint64_t> algorithm_requests_{0};

@@ -2,12 +2,29 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace openei::nn {
+
+namespace {
+
+/// Elementwise map over a tensor's flat storage, batch-parallel.  Each index
+/// is written by exactly one chunk, so results are bit-identical at any
+/// thread count.
+template <typename Fn>
+void parallel_elementwise(std::span<float> data, const Fn& fn) {
+  common::parallel_for(0, data.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace
 
 Tensor Relu::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   Tensor out = input;
-  out.apply([](float v) { return v > 0.0F ? v : 0.0F; });
+  auto o = out.data();
+  parallel_elementwise(o, [&](std::size_t i) { o[i] = o[i] > 0.0F ? o[i] : 0.0F; });
   return out;
 }
 
@@ -17,15 +34,17 @@ Tensor Relu::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   auto g = grad.data();
   auto x = cached_input_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
+  parallel_elementwise(g, [&](std::size_t i) {
     if (x[i] <= 0.0F) g[i] = 0.0F;
-  }
+  });
   return grad;
 }
 
 Tensor Sigmoid::forward(const Tensor& input, bool training) {
   Tensor out = input;
-  out.apply([](float v) { return 1.0F / (1.0F + std::exp(-v)); });
+  auto o = out.data();
+  parallel_elementwise(
+      o, [&](std::size_t i) { o[i] = 1.0F / (1.0F + std::exp(-o[i])); });
   if (training) cached_output_ = out;
   return out;
 }
@@ -36,13 +55,14 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   auto g = grad.data();
   auto y = cached_output_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0F - y[i]);
+  parallel_elementwise(g, [&](std::size_t i) { g[i] *= y[i] * (1.0F - y[i]); });
   return grad;
 }
 
 Tensor Tanh::forward(const Tensor& input, bool training) {
   Tensor out = input;
-  out.apply([](float v) { return std::tanh(v); });
+  auto o = out.data();
+  parallel_elementwise(o, [&](std::size_t i) { o[i] = std::tanh(o[i]); });
   if (training) cached_output_ = out;
   return out;
 }
@@ -53,7 +73,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   auto g = grad.data();
   auto y = cached_output_.data();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0F - y[i] * y[i];
+  parallel_elementwise(g, [&](std::size_t i) { g[i] *= 1.0F - y[i] * y[i]; });
   return grad;
 }
 

@@ -2,7 +2,35 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace openei::nn {
+
+namespace {
+
+/// Per-feature reduction over a rank-2 [N, F] or rank-4 [N, C, H, W] input:
+/// accumulate(f, x_i) for every element i belonging to feature f, visited in
+/// ascending flat order.  Features own disjoint accumulators and keep the
+/// serial visit order, so feature-parallel execution is bit-identical.
+template <typename Accumulate>
+void for_each_feature(const tensor::Shape& shape, std::size_t features,
+                      std::span<const float> x, const Accumulate& accumulate) {
+  std::size_t n = shape.dim(0);
+  std::size_t hw = shape.rank() == 4 ? shape.dim(2) * shape.dim(3) : 1;
+  common::parallel_for(
+      0, features,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          for (std::size_t b = 0; b < n; ++b) {
+            const float* base = x.data() + (b * features + f) * hw;
+            for (std::size_t i = 0; i < hw; ++i) accumulate(f, base[i]);
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
 
 BatchNorm::BatchNorm(std::size_t features, float momentum, float epsilon)
     : features_(features),
@@ -39,12 +67,13 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   Tensor mean(Shape{features_});
   Tensor var(Shape{features_});
   if (training) {
-    for (std::size_t i = 0; i < x.size(); ++i) mean[feature_of(i, shape)] += x[i];
+    for_each_feature(shape, features_, x,
+                     [&](std::size_t f, float v) { mean[f] += v; });
     mean *= 1.0F / static_cast<float>(per_feature);
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      float d = x[i] - mean[feature_of(i, shape)];
-      var[feature_of(i, shape)] += d * d;
-    }
+    for_each_feature(shape, features_, x, [&](std::size_t f, float v) {
+      float d = v - mean[f];
+      var[f] += d * d;
+    });
     var *= 1.0F / static_cast<float>(per_feature);
     // Update running estimates.
     for (std::size_t f = 0; f < features_; ++f) {
@@ -65,11 +94,13 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
   Tensor normalized(shape);
   auto o = out.data();
   auto nh = normalized.data();
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    std::size_t f = feature_of(i, shape);
-    nh[i] = (x[i] - mean[f]) * inv_std[f];
-    o[i] = gamma_[f] * nh[i] + beta_[f];
-  }
+  common::parallel_for(0, x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t f = feature_of(i, shape);
+      nh[i] = (x[i] - mean[f]) * inv_std[f];
+      o[i] = gamma_[f] * nh[i] + beta_[f];
+    }
+  });
 
   if (training) {
     cached_normalized_ = std::move(normalized);
@@ -94,21 +125,36 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
   //   dx = (gamma * inv_std / m) * (m*dy - dbeta - x_hat*dgamma)
   Tensor sum_dy(Shape{features_});
   Tensor sum_dy_xhat(Shape{features_});
-  for (std::size_t i = 0; i < go.size(); ++i) {
-    std::size_t f = feature_of(i, shape);
-    sum_dy[f] += go[i];
-    sum_dy_xhat[f] += go[i] * xh[i];
+  {
+    std::size_t n = shape.dim(0);
+    std::size_t hw = shape.rank() == 4 ? shape.dim(2) * shape.dim(3) : 1;
+    common::parallel_for(
+        0, features_,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t f = lo; f < hi; ++f) {
+            for (std::size_t b = 0; b < n; ++b) {
+              std::size_t base = (b * features_ + f) * hw;
+              for (std::size_t i = 0; i < hw; ++i) {
+                sum_dy[f] += go[base + i];
+                sum_dy_xhat[f] += go[base + i] * xh[base + i];
+              }
+            }
+          }
+        },
+        /*grain=*/1);
   }
   grad_gamma_ += sum_dy_xhat;
   grad_beta_ += sum_dy;
 
   Tensor grad_input(shape);
   auto gi = grad_input.data();
-  for (std::size_t i = 0; i < go.size(); ++i) {
-    std::size_t f = feature_of(i, shape);
-    gi[i] = gamma_[f] * cached_batch_inv_std_[f] / m *
-            (m * go[i] - sum_dy[f] - xh[i] * sum_dy_xhat[f]);
-  }
+  common::parallel_for(0, go.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      std::size_t f = feature_of(i, shape);
+      gi[i] = gamma_[f] * cached_batch_inv_std_[f] / m *
+              (m * go[i] - sum_dy[f] - xh[i] * sum_dy_xhat[f]);
+    }
+  });
   return grad_input;
 }
 

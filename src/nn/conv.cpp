@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace openei::nn {
 
 using tensor::Conv2dSpec;
@@ -59,61 +61,78 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   OPENEI_CHECK(grad_output.shape() == Shape({n, spec_.out_channels, out_h, out_w}),
                "conv2d grad_output shape mismatch");
 
-  // Gather grad_output NCHW into the [N*oh*ow, oc] layout used at forward.
+  // Gather grad_output NCHW into the [N*oh*ow, oc] layout used at forward;
+  // each image fills a disjoint row block, so the gather is batch-parallel.
   Tensor grad_mat(Shape{n * out_h * out_w, spec_.out_channels});
-  std::size_t row = 0;
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oh = 0; oh < out_h; ++oh) {
-      for (std::size_t ow = 0; ow < out_w; ++ow) {
-        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-          grad_mat.at2(row, oc) = grad_output.at4(b, oc, oh, ow);
+  std::size_t rows_per_image = out_h * out_w;
+  common::parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          std::size_t row = b * rows_per_image;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
+              for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+                grad_mat.at2(row, oc) = grad_output.at4(b, oc, oh, ow);
+              }
+            }
+          }
         }
-        ++row;
-      }
-    }
-  }
+      },
+      /*grain=*/1);
 
   // dW = (patches^T grad_mat)^T reshaped to [oc, ic, k, k].
   Tensor grad_w_mat =
       tensor::transpose(tensor::matmul(tensor::transpose(cached_patches_), grad_mat));
   grad_weights_ += grad_w_mat.reshaped(weights_.shape());
 
-  // db = column sums of grad_mat.
-  for (std::size_t r = 0; r < grad_mat.shape().dim(0); ++r) {
-    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-      grad_bias_[oc] += grad_mat.at2(r, oc);
-    }
-  }
+  // db = column sums of grad_mat; per-column accumulation stays in ascending
+  // row order, so parallelizing over columns is bit-identical.
+  common::parallel_for(
+      0, spec_.out_channels,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t oc = lo; oc < hi; ++oc) {
+          for (std::size_t r = 0; r < grad_mat.shape().dim(0); ++r) {
+            grad_bias_[oc] += grad_mat.at2(r, oc);
+          }
+        }
+      },
+      /*grain=*/4);
 
-  // dX: grad_patches = grad_mat W2, then col2im scatter-add.
+  // dX: grad_patches = grad_mat W2, then col2im scatter-add.  The scatter
+  // only touches grad_input[b, ...], so it parallelizes over images.
   Tensor w2 = weights_.reshaped(Shape{spec_.out_channels, patch});
   Tensor grad_patches = tensor::matmul(grad_mat, w2);  // [N*oh*ow, patch]
 
   Tensor grad_input(cached_input_shape_);
-  row = 0;
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oh = 0; oh < out_h; ++oh) {
-      for (std::size_t ow = 0; ow < out_w; ++ow) {
-        std::size_t col = 0;
-        for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
-          for (std::size_t kh = 0; kh < spec_.kernel; ++kh) {
-            for (std::size_t kw = 0; kw < spec_.kernel; ++kw, ++col) {
-              long ih = static_cast<long>(oh * spec_.stride + kh) -
-                        static_cast<long>(spec_.padding);
-              long iw = static_cast<long>(ow * spec_.stride + kw) -
-                        static_cast<long>(spec_.padding);
-              if (ih < 0 || iw < 0) continue;
-              auto uh = static_cast<std::size_t>(ih);
-              auto uw = static_cast<std::size_t>(iw);
-              if (uh >= in_h || uw >= in_w) continue;
-              grad_input.at4(b, ic, uh, uw) += grad_patches.at2(row, col);
+  common::parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          std::size_t row = b * rows_per_image;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
+              std::size_t col = 0;
+              for (std::size_t ic = 0; ic < spec_.in_channels; ++ic) {
+                for (std::size_t kh = 0; kh < spec_.kernel; ++kh) {
+                  for (std::size_t kw = 0; kw < spec_.kernel; ++kw, ++col) {
+                    long ih = static_cast<long>(oh * spec_.stride + kh) -
+                              static_cast<long>(spec_.padding);
+                    long iw = static_cast<long>(ow * spec_.stride + kw) -
+                              static_cast<long>(spec_.padding);
+                    if (ih < 0 || iw < 0) continue;
+                    auto uh = static_cast<std::size_t>(ih);
+                    auto uw = static_cast<std::size_t>(iw);
+                    if (uh >= in_h || uw >= in_w) continue;
+                    grad_input.at4(b, ic, uh, uw) += grad_patches.at2(row, col);
+                  }
+                }
+              }
             }
           }
         }
-        ++row;
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return grad_input;
 }
 
@@ -186,31 +205,40 @@ Tensor DepthwiseConv2d::backward(const Tensor& grad_output) {
   OPENEI_CHECK(grad_output.shape() == Shape({n, channels, out_h, out_w}),
                "depthwise grad_output shape mismatch");
 
+  // Channel-parallel: channel c only touches grad_bias_[c],
+  // grad_weights_[c, ...], and grad_input[:, c, ...], and its per-channel
+  // accumulation keeps the original ascending-(b, oh, ow) order.
   Tensor grad_input(cached_input_.shape());
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      for (std::size_t oh = 0; oh < out_h; ++oh) {
-        for (std::size_t ow = 0; ow < out_w; ++ow) {
-          float g = grad_output.at4(b, c, oh, ow);
-          grad_bias_[c] += g;
-          for (std::size_t kh = 0; kh < spec_.kernel; ++kh) {
-            for (std::size_t kw = 0; kw < spec_.kernel; ++kw) {
-              long ih = static_cast<long>(oh * spec_.stride + kh) -
-                        static_cast<long>(spec_.padding);
-              long iw = static_cast<long>(ow * spec_.stride + kw) -
-                        static_cast<long>(spec_.padding);
-              if (ih < 0 || iw < 0) continue;
-              auto uh = static_cast<std::size_t>(ih);
-              auto uw = static_cast<std::size_t>(iw);
-              if (uh >= in_h || uw >= in_w) continue;
-              grad_weights_.at4(c, 0, kh, kw) += g * cached_input_.at4(b, c, uh, uw);
-              grad_input.at4(b, c, uh, uw) += g * weights_.at4(c, 0, kh, kw);
+  common::parallel_for(
+      0, channels,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          for (std::size_t b = 0; b < n; ++b) {
+            for (std::size_t oh = 0; oh < out_h; ++oh) {
+              for (std::size_t ow = 0; ow < out_w; ++ow) {
+                float g = grad_output.at4(b, c, oh, ow);
+                grad_bias_[c] += g;
+                for (std::size_t kh = 0; kh < spec_.kernel; ++kh) {
+                  for (std::size_t kw = 0; kw < spec_.kernel; ++kw) {
+                    long ih = static_cast<long>(oh * spec_.stride + kh) -
+                              static_cast<long>(spec_.padding);
+                    long iw = static_cast<long>(ow * spec_.stride + kw) -
+                              static_cast<long>(spec_.padding);
+                    if (ih < 0 || iw < 0) continue;
+                    auto uh = static_cast<std::size_t>(ih);
+                    auto uw = static_cast<std::size_t>(iw);
+                    if (uh >= in_h || uw >= in_w) continue;
+                    grad_weights_.at4(c, 0, kh, kw) +=
+                        g * cached_input_.at4(b, c, uh, uw);
+                    grad_input.at4(b, c, uh, uw) += g * weights_.at4(c, 0, kh, kw);
+                  }
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return grad_input;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace openei::nn {
@@ -40,11 +41,18 @@ Tensor Dense::backward(const Tensor& grad_output) {
   grad_weights_ += tensor::matmul(tensor::transpose(cached_input_), grad_output);
   std::size_t rows = grad_output.shape().dim(0);
   std::size_t cols = grad_output.shape().dim(1);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) {
-      grad_bias_[c] += grad_output.at2(r, c);
-    }
-  }
+  // Column sums: each column accumulates rows in ascending order, so
+  // column-parallel execution is bit-identical to the serial loop.
+  common::parallel_for(
+      0, cols,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          for (std::size_t r = 0; r < rows; ++r) {
+            grad_bias_[c] += grad_output.at2(r, c);
+          }
+        }
+      },
+      /*grain=*/std::max<std::size_t>(4, 4096 / std::max<std::size_t>(1, rows)));
   return tensor::matmul(grad_output, tensor::transpose(weights_));
 }
 

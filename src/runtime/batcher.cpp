@@ -1,0 +1,140 @@
+#include "runtime/batcher.h"
+
+#include <chrono>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace openei::runtime {
+
+MicroBatcher::MicroBatcher(std::shared_ptr<InferenceSession> session,
+                           Options options,
+                           std::shared_ptr<BatcherMetrics> metrics)
+    : session_(std::move(session)),
+      options_(options),
+      metrics_(std::move(metrics)) {
+  OPENEI_CHECK(session_ != nullptr, "micro-batcher needs a session");
+  OPENEI_CHECK(options_.max_batch_rows > 0, "zero max_batch_rows");
+  OPENEI_CHECK(options_.max_wait_s >= 0.0, "negative max_wait_s");
+  flusher_ = std::thread([this] { flush_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  pending_changed_.notify_all();
+  flusher_.join();
+}
+
+std::future<InferenceResult> MicroBatcher::submit(nn::Tensor rows) {
+  Pending pending{std::move(rows), std::promise<InferenceResult>{},
+                  common::wall_now_ns()};
+  std::future<InferenceResult> future = pending.promise.get_future();
+  std::size_t row_count =
+      pending.rows.shape().rank() >= 1 ? pending.rows.shape().dim(0) : 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    OPENEI_CHECK(!stopping_, "submit on a stopping micro-batcher");
+    pending_.push_back(std::move(pending));
+    pending_rows_ += row_count;
+  }
+  if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
+  pending_changed_.notify_all();
+  return future;
+}
+
+std::deque<MicroBatcher::Pending> MicroBatcher::take_flushable(
+    std::unique_lock<std::mutex>&) {
+  std::deque<Pending> batch;
+  std::size_t rows = 0;
+  // Always take the head request even if it alone exceeds max_batch_rows
+  // (requests are never split); stop before overshooting with later ones.
+  while (!pending_.empty()) {
+    std::size_t next_rows = pending_.front().rows.shape().rank() >= 1
+                                ? pending_.front().rows.shape().dim(0)
+                                : 0;
+    if (!batch.empty() && rows + next_rows > options_.max_batch_rows) break;
+    rows += next_rows;
+    pending_rows_ -= next_rows;
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    if (rows >= options_.max_batch_rows) break;
+  }
+  return batch;
+}
+
+void MicroBatcher::flush_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    pending_changed_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stopping and drained
+
+    if (!options_.eager_when_idle && !stopping_) {
+      // Strict mode: hold for max_wait_s from the oldest enqueue (or a full
+      // batch), letting concurrent arrivals pile in.
+      auto deadline_reached = [this] {
+        return stopping_ || pending_rows_ >= options_.max_batch_rows ||
+               (!pending_.empty() &&
+                static_cast<double>(common::wall_now_ns() -
+                                    pending_.front().enqueued_ns) *
+                        1e-9 >=
+                    options_.max_wait_s);
+      };
+      while (!deadline_reached()) {
+        double waited_s = static_cast<double>(common::wall_now_ns() -
+                                              pending_.front().enqueued_ns) *
+                          1e-9;
+        auto remaining = std::chrono::duration<double>(
+            std::max(0.0, options_.max_wait_s - waited_s));
+        pending_changed_.wait_for(
+            lock,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(remaining));
+      }
+      if (pending_.empty()) continue;
+    }
+
+    std::deque<Pending> batch = take_flushable(lock);
+    lock.unlock();
+    run_flush(std::move(batch));
+    lock.lock();
+  }
+}
+
+void MicroBatcher::run_flush(std::deque<Pending> batch) {
+  std::vector<nn::Tensor> requests;
+  requests.reserve(batch.size());
+  for (Pending& pending : batch) requests.push_back(std::move(pending.rows));
+
+  std::vector<InferenceResult> results;
+  try {
+    results = session_->predict_batch(requests);
+  } catch (...) {
+    // A malformed request poisons the whole flush; every caller learns why.
+    std::exception_ptr error = std::current_exception();
+    for (Pending& pending : batch) pending.promise.set_exception(error);
+    return;
+  }
+
+  if (metrics_) {
+    std::size_t rows = 0;
+    for (const nn::Tensor& request : requests) rows += request.shape().dim(0);
+    metrics_->flushes.fetch_add(1, std::memory_order_relaxed);
+    if (batch.size() > 1) {
+      metrics_->fused_requests.fetch_add(batch.size(),
+                                         std::memory_order_relaxed);
+    }
+    std::uint64_t seen = metrics_->max_fused_rows.load(std::memory_order_relaxed);
+    while (rows > seen && !metrics_->max_fused_rows.compare_exchange_weak(
+                              seen, rows, std::memory_order_relaxed)) {
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+}  // namespace openei::runtime

@@ -1,0 +1,94 @@
+// Micro-batching queue in front of an InferenceSession.
+//
+// Concurrent callers (libei serves each REST request on its own connection
+// thread) submit row batches; a dedicated flush thread fuses everything
+// queued into one forward pass via InferenceSession::predict_batch and
+// completes each caller's future with its slice.  Coalescing policy:
+//
+//   - a flush fires as soon as >= max_batch_rows are queued,
+//   - or when the oldest request has waited max_wait_s,
+//   - or, with eager_when_idle (the service default), immediately when the
+//     flush thread is idle — a lone request pays no batching latency, and
+//     requests arriving while a flush is running pile up and ride the next
+//     one (continuous batching).
+//
+// Fused results are bit-identical to per-request runs (see predict_batch),
+// so coalescing is invisible to callers except in throughput.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/inference.h"
+
+namespace openei::runtime {
+
+/// Shared counters for fleet monitoring (reported under /ei_status).  One
+/// sink can serve many batchers; all fields are atomics because the flush
+/// threads and the metrics reader race freely.
+struct BatcherMetrics {
+  std::atomic<std::uint64_t> requests{0};       // submitted row batches
+  std::atomic<std::uint64_t> flushes{0};        // fused forward passes
+  std::atomic<std::uint64_t> fused_requests{0}; // requests that shared a flush
+  std::atomic<std::uint64_t> max_fused_rows{0}; // largest fused batch seen
+};
+
+class MicroBatcher {
+ public:
+  struct Options {
+    /// Flush as soon as this many rows are queued.
+    std::size_t max_batch_rows = 8;
+    /// Flush when the oldest queued request has waited this long.
+    double max_wait_s = 0.002;
+    /// Flush immediately whenever the flush thread is idle (continuous
+    /// batching).  Disable to force strict fill-or-timeout batching.
+    bool eager_when_idle = true;
+  };
+
+  /// Shares ownership of the session; `metrics` may be null.
+  MicroBatcher(std::shared_ptr<InferenceSession> session, Options options,
+               std::shared_ptr<BatcherMetrics> metrics = nullptr);
+
+  /// Drains the queue (every submitted request completes), then stops.
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues a row batch ([rows, ...sample_shape]); the future completes
+  /// with this request's slice of a fused forward pass.  Shape errors are
+  /// reported through the future.
+  std::future<InferenceResult> submit(nn::Tensor rows);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Pending {
+    nn::Tensor rows;
+    std::promise<InferenceResult> promise;
+    std::int64_t enqueued_ns;
+  };
+
+  void flush_loop();
+  /// Pops up to max_batch_rows worth of requests (at least one).
+  std::deque<Pending> take_flushable(std::unique_lock<std::mutex>& lock);
+  void run_flush(std::deque<Pending> batch);
+
+  std::shared_ptr<InferenceSession> session_;
+  Options options_;
+  std::shared_ptr<BatcherMetrics> metrics_;
+
+  std::mutex mutex_;
+  std::condition_variable pending_changed_;
+  std::deque<Pending> pending_;
+  std::size_t pending_rows_ = 0;
+  bool stopping_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace openei::runtime

@@ -1,5 +1,7 @@
 #include "runtime/inference.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "nn/dense.h"
 
@@ -26,6 +28,49 @@ InferenceResult InferenceSession::run(const nn::Tensor& batch) {
   result.batch_latency_s = per_sample_.latency_s * n;
   result.batch_energy_j = per_sample_.energy_j * n;
   return result;
+}
+
+std::vector<InferenceResult> InferenceSession::predict_batch(
+    const std::vector<nn::Tensor>& requests) {
+  OPENEI_CHECK(!requests.empty(), "predict_batch of zero requests");
+  std::size_t sample_elems = model_.input_shape().elements();
+  std::size_t total_rows = 0;
+  for (const nn::Tensor& request : requests) {
+    OPENEI_CHECK(request.shape().rank() >= 2, "request needs a batch dim");
+    OPENEI_CHECK(request.elements() ==
+                     request.shape().dim(0) * sample_elems,
+                 "request sample shape does not match model input");
+    total_rows += request.shape().dim(0);
+  }
+
+  std::vector<std::size_t> dims{total_rows};
+  for (std::size_t d : model_.input_shape().dims()) dims.push_back(d);
+  nn::Tensor fused{tensor::Shape(dims)};
+  auto out = fused.data();
+  std::size_t offset = 0;
+  for (const nn::Tensor& request : requests) {
+    auto in = request.data();
+    std::copy(in.begin(), in.end(), out.begin() + offset);
+    offset += in.size();
+  }
+
+  InferenceResult fused_result = run(fused);
+
+  std::vector<InferenceResult> results;
+  results.reserve(requests.size());
+  std::size_t row = 0;
+  for (const nn::Tensor& request : requests) {
+    std::size_t rows = request.shape().dim(0);
+    InferenceResult slice;
+    slice.predictions.assign(fused_result.predictions.begin() + row,
+                             fused_result.predictions.begin() + row + rows);
+    slice.per_sample = per_sample_;
+    slice.batch_latency_s = per_sample_.latency_s * static_cast<double>(rows);
+    slice.batch_energy_j = per_sample_.energy_j * static_cast<double>(rows);
+    results.push_back(std::move(slice));
+    row += rows;
+  }
+  return results;
 }
 
 nn::Tensor InferenceSession::forward(const nn::Tensor& batch) {

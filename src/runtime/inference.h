@@ -32,6 +32,14 @@ class InferenceSession {
   /// Runs real inference; costs are simulated for the bound device.
   InferenceResult run(const nn::Tensor& batch);
 
+  /// Batched inference: fuses independent row-batches into one forward pass
+  /// and slices the results back per request.  Every layer computes each
+  /// sample independently at inference time, so result i is bit-identical
+  /// to run(requests[i]) — fusing trades nothing but latency for
+  /// throughput.  All requests must match the model's sample shape.
+  std::vector<InferenceResult> predict_batch(
+      const std::vector<nn::Tensor>& requests);
+
   /// Raw logits (used by collaboration/distillation flows).
   nn::Tensor forward(const nn::Tensor& batch);
 

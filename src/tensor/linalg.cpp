@@ -4,9 +4,69 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace openei::tensor {
+
+namespace {
+
+/// k-dimension cache block: one block of B rows (kKc x n floats) stays hot
+/// in L2 while the row panel streams over it.
+constexpr std::size_t kKc = 256;
+
+/// Serial kernel for C rows [row_begin, row_end): k-blocked, two A rows per
+/// sweep so each loaded B row feeds two output rows.  For any fixed C
+/// element the adds happen in ascending-k order — the same order as the
+/// naive i-k-j loop — so blocking changes nothing bitwise.
+void gemm_panel(const float* a, const float* b, float* c, std::size_t row_begin,
+                std::size_t row_end, std::size_t k, std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += kKc) {
+    std::size_t k_end = std::min(k, kk + kKc);
+    std::size_t i = row_begin;
+    for (; i + 1 < row_end; i += 2) {
+      float* c0 = c + i * n;
+      float* c1 = c0 + n;
+      for (std::size_t p = kk; p < k_end; ++p) {
+        float a0 = a[i * k + p];
+        float a1 = a[(i + 1) * k + p];
+        if (a0 == 0.0F && a1 == 0.0F) continue;  // benefits pruned weights
+        const float* b_row = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          float bj = b_row[j];
+          c0[j] += a0 * bj;
+          c1[j] += a1 * bj;
+        }
+      }
+    }
+    if (i < row_end) {
+      float* c0 = c + i * n;
+      for (std::size_t p = kk; p < k_end; ++p) {
+        float a0 = a[i * k + p];
+        if (a0 == 0.0F) continue;
+        const float* b_row = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) c0[j] += a0 * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n) {
+  // Below ~64k multiply-adds the fork/join overhead dominates; stay serial.
+  if (m * k * n < 65536 || m < 2) {
+    gemm_panel(a, b, c, 0, m, k, n);
+    return;
+  }
+  // Row panels write disjoint C rows, so threads never share an output.
+  std::size_t grain = std::max<std::size_t>(1, 65536 / std::max<std::size_t>(1, k * n));
+  common::parallel_for(
+      0, m,
+      [&](std::size_t lo, std::size_t hi) { gemm_panel(a, b, c, lo, hi, k, n); },
+      grain);
+}
 
 namespace {
 

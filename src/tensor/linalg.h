@@ -1,14 +1,26 @@
-// Dense linear-algebra routines needed by the compression suite:
-// singular value decomposition (low-rank factorization, paper Table I) and
-// 1-D k-means (weight sharing / vector quantization, Gong et al. [21]).
+// Dense linear-algebra routines: the blocked/multi-threaded GEMM under
+// tensor::matmul (and therefore every dense, conv-im2col, and training
+// path), plus the compression-suite kernels — singular value decomposition
+// (low-rank factorization, paper Table I) and 1-D k-means (weight sharing /
+// vector quantization, Gong et al. [21]).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.h"
 #include "tensor/tensor.h"
 
 namespace openei::tensor {
+
+/// C(m x n) = A(m x k) * B(k x n) over raw row-major buffers.  `c` must be
+/// zero-initialized.  Cache-blocked over k, register-blocked two output rows
+/// at a time, and parallelized over row panels of C; each C element
+/// accumulates in ascending-k order regardless of blocking or thread count,
+/// so the result is bit-identical to the naive i-k-j loop at any
+/// OPENEI_THREADS setting.
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n);
 
 /// Thin SVD A = U diag(S) V^T of a rank-2 tensor A (m x n).
 /// U: [m, r], S: r singular values (descending), V: [n, r], r = min(m, n).

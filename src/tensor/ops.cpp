@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
+#include "tensor/linalg.h"
+
 namespace openei::tensor {
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -16,19 +19,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   std::size_t n = b.shape().dim(1);
 
   Tensor out(Shape{m, n});
-  auto a_data = a.data();
-  auto b_data = b.data();
-  auto o_data = out.data();
-  // ikj loop order keeps the inner loop contiguous in both B and C.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      float a_ip = a_data[i * k + p];
-      if (a_ip == 0.0F) continue;  // benefits pruned (sparse) weights
-      const float* b_row = &b_data[p * n];
-      float* o_row = &o_data[i * n];
-      for (std::size_t j = 0; j < n; ++j) o_row[j] += a_ip * b_row[j];
-    }
-  }
+  gemm(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -52,9 +43,16 @@ Tensor add_row_bias(const Tensor& a, const Tensor& bias) {
   auto out_data = out.data();
   auto bias_data = bias.data();
   std::size_t rows = a.shape().dim(0);
-  for (std::size_t r = 0; r < rows; ++r) {
-    for (std::size_t c = 0; c < cols; ++c) out_data[r * cols + c] += bias_data[c];
-  }
+  common::parallel_for(
+      0, rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          for (std::size_t c = 0; c < cols; ++c) {
+            out_data[r * cols + c] += bias_data[c];
+          }
+        }
+      },
+      /*grain=*/std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, cols)));
   return out;
 }
 
@@ -142,26 +140,33 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
   std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
 
   Tensor out(Shape{n * out_h * out_w, patch});
-  std::size_t row = 0;
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oh = 0; oh < out_h; ++oh) {
-      for (std::size_t ow = 0; ow < out_w; ++ow) {
-        std::size_t col = 0;
-        for (std::size_t ic = 0; ic < spec.in_channels; ++ic) {
-          for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
-            for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
-              long ih = static_cast<long>(oh * spec.stride + kh) -
-                        static_cast<long>(spec.padding);
-              long iw = static_cast<long>(ow * spec.stride + kw) -
-                        static_cast<long>(spec.padding);
-              out.at2(row, col++) = input_at_or_zero(input, b, ic, ih, iw);
+  // Each (image, output row) pair fills a disjoint block of patch rows, so
+  // the gather parallelizes over the fused n*out_h index without races.
+  common::parallel_for(
+      0, n * out_h,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t slab = lo; slab < hi; ++slab) {
+          std::size_t b = slab / out_h;
+          std::size_t oh = slab % out_h;
+          std::size_t row = slab * out_w;
+          for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
+            std::size_t col = 0;
+            for (std::size_t ic = 0; ic < spec.in_channels; ++ic) {
+              for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
+                for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
+                  long ih = static_cast<long>(oh * spec.stride + kh) -
+                            static_cast<long>(spec.padding);
+                  long iw = static_cast<long>(ow * spec.stride + kw) -
+                            static_cast<long>(spec.padding);
+                  out.at2(row, col++) = input_at_or_zero(input, b, ic, ih, iw);
+                }
+              }
             }
           }
         }
-        ++row;
-      }
-    }
-  }
+      },
+      /*grain=*/std::max<std::size_t>(
+          1, 4096 / std::max<std::size_t>(1, out_w * patch)));
   return out;
 }
 
@@ -178,19 +183,24 @@ Tensor conv2d_im2col(const Tensor& input, const Tensor& weights, const Tensor& b
   Tensor result = matmul(patches, transpose(w2));                 // [N*oh*ow, oc]
   result = add_row_bias(result, bias);
 
-  // Scatter [N*oh*ow, oc] back to NCHW.
+  // Scatter [N*oh*ow, oc] back to NCHW; images write disjoint slices.
   Tensor out(Shape{n, spec.out_channels, out_h, out_w});
-  std::size_t row = 0;
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oh = 0; oh < out_h; ++oh) {
-      for (std::size_t ow = 0; ow < out_w; ++ow) {
-        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-          out.at4(b, oc, oh, ow) = result.at2(row, oc);
+  std::size_t rows_per_image = out_h * out_w;
+  common::parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          std::size_t row = b * rows_per_image;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
+              for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+                out.at4(b, oc, oh, ow) = result.at2(row, oc);
+              }
+            }
+          }
         }
-        ++row;
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 
@@ -203,26 +213,34 @@ Tensor depthwise_conv2d(const Tensor& input, const Tensor& weights, const Tensor
   std::size_t out_w = spec.out_size(input.shape().dim(3));
 
   Tensor out(Shape{n, channels, out_h, out_w});
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      for (std::size_t oh = 0; oh < out_h; ++oh) {
-        for (std::size_t ow = 0; ow < out_w; ++ow) {
-          double acc = bias[c];
-          for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
-            for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
-              long ih = static_cast<long>(oh * spec.stride + kh) -
-                        static_cast<long>(spec.padding);
-              long iw = static_cast<long>(ow * spec.stride + kw) -
-                        static_cast<long>(spec.padding);
-              acc += static_cast<double>(input_at_or_zero(input, b, c, ih, iw)) *
-                     weights.at4(c, 0, kh, kw);
+  // Each (image, channel) plane is independent: disjoint output, per-plane
+  // accumulation order unchanged — bit-identical at any thread count.
+  common::parallel_for(
+      0, n * channels,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+          std::size_t b = plane / channels;
+          std::size_t c = plane % channels;
+          for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+              double acc = bias[c];
+              for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
+                for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
+                  long ih = static_cast<long>(oh * spec.stride + kh) -
+                            static_cast<long>(spec.padding);
+                  long iw = static_cast<long>(ow * spec.stride + kw) -
+                            static_cast<long>(spec.padding);
+                  acc +=
+                      static_cast<double>(input_at_or_zero(input, b, c, ih, iw)) *
+                      weights.at4(c, 0, kh, kw);
+                }
+              }
+              out.at4(b, c, oh, ow) = static_cast<float>(acc);
             }
           }
-          out.at4(b, c, oh, ow) = static_cast<float>(acc);
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 
@@ -300,19 +318,28 @@ Tensor softmax_rows(const Tensor& logits) {
   std::size_t rows = logits.shape().dim(0);
   std::size_t cols = logits.shape().dim(1);
   Tensor out = logits;
-  for (std::size_t r = 0; r < rows; ++r) {
-    float max_v = -std::numeric_limits<float>::infinity();
-    for (std::size_t c = 0; c < cols; ++c) max_v = std::max(max_v, out.at2(r, c));
-    double denom = 0.0;
-    for (std::size_t c = 0; c < cols; ++c) {
-      float e = std::exp(out.at2(r, c) - max_v);
-      out.at2(r, c) = e;
-      denom += e;
-    }
-    for (std::size_t c = 0; c < cols; ++c) {
-      out.at2(r, c) = static_cast<float>(out.at2(r, c) / denom);
-    }
-  }
+  // Rows normalize independently (disjoint writes, per-row accumulation
+  // order unchanged), so batch-parallel execution is bit-identical.
+  common::parallel_for(
+      0, rows,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float max_v = -std::numeric_limits<float>::infinity();
+          for (std::size_t c = 0; c < cols; ++c) {
+            max_v = std::max(max_v, out.at2(r, c));
+          }
+          double denom = 0.0;
+          for (std::size_t c = 0; c < cols; ++c) {
+            float e = std::exp(out.at2(r, c) - max_v);
+            out.at2(r, c) = e;
+            denom += e;
+          }
+          for (std::size_t c = 0; c < cols; ++c) {
+            out.at2(r, c) = static_cast<float>(out.at2(r, c) / denom);
+          }
+        }
+      },
+      /*grain=*/std::max<std::size_t>(1, 1024 / std::max<std::size_t>(1, cols)));
   return out;
 }
 
