@@ -165,9 +165,17 @@ ResilientCloudEdge::ResilientCloudEdge(std::uint16_t cloud_port,
 
 ResilientCloudEdge::ServeOutcome ResilientCloudEdge::classify(
     const std::string& input_rows) {
+  obs::Span root;
+  if (tracer_ != nullptr) root = tracer_->begin_trace("collab.classify");
   std::string target = target_prefix_ + "?input=" + common::uri_encode(input_rows);
+  obs::Span cloud_span = root.child("collab.cloud_attempt");
   try {
     net::HttpResponse response = cloud_.get(target);
+    if (cloud_span.active()) {
+      cloud_span.set_attribute("status", static_cast<double>(response.status));
+      cloud_span.set_attribute("outcome",
+                               response.status < 500 ? "served" : "5xx");
+    }
     if (response.status == 200) {
       ServeOutcome outcome;
       outcome.served_by = "cloud";
@@ -178,6 +186,10 @@ ResilientCloudEdge::ServeOutcome ResilientCloudEdge::classify(
             static_cast<std::size_t>(p.as_number()));
       }
       ++cloud_served_;
+      if (root.active()) {
+        root.set_attribute("served_by", "cloud");
+        outcome.trace_id = root.trace_id();
+      }
       return outcome;
     }
     // 4xx would repeat locally too (bad input), so surface it; a residual
@@ -186,23 +198,45 @@ ResilientCloudEdge::ServeOutcome ResilientCloudEdge::classify(
       ServeOutcome outcome;
       outcome.served_by = "cloud";
       outcome.status = response.status;
+      if (root.active()) {
+        root.set_attribute("served_by", "cloud");
+        outcome.trace_id = root.trace_id();
+      }
       return outcome;
     }
-  } catch (const IoError&) {
+  } catch (const IoError& e) {
     // Timeout, refused/reset connection, or an open circuit breaker:
     // fall through to the local model.
+    if (cloud_span.active()) {
+      cloud_span.set_attribute("outcome", "transport_error");
+      cloud_span.set_attribute("error", std::string(e.what()));
+    }
   }
+  cloud_span.finish();
 
+  obs::Span fallback_span = root.child("collab.local_fallback");
   common::Json rows = common::Json::parse(input_rows);
   nn::Tensor batch =
       runtime::rows_to_batch(rows, local_.model().input_shape());
   runtime::InferenceResult result = local_.run(batch);
+  if (fallback_span.active()) {
+    fallback_span.set_attribute("model", local_.model().name());
+    fallback_span.set_attribute("rows",
+                                static_cast<double>(batch.shape().dim(0)));
+    fallback_span.set_attribute("sim_latency_us",
+                                result.batch_latency_s * 1e6);
+    fallback_span.set_attribute("sim_energy_mj", result.batch_energy_j * 1e3);
+  }
   ServeOutcome outcome;
   outcome.served_by = "local_fallback";
   outcome.status = 200;
   outcome.predictions = std::move(result.predictions);
   ++degraded_served_;
   if (metrics_) ++metrics_->degraded_serves;
+  if (root.active()) {
+    root.set_attribute("served_by", "local_fallback");
+    outcome.trace_id = root.trace_id();
+  }
   return outcome;
 }
 

@@ -20,6 +20,7 @@
 #include "hwsim/network.h"
 #include "net/resilient_client.h"
 #include "nn/train.h"
+#include "obs/trace.h"
 #include "runtime/inference.h"
 
 namespace openei::collab {
@@ -109,11 +110,18 @@ class ResilientCloudEdge {
     std::vector<std::size_t> predictions;
     /// HTTP status of the serving path (local fallback serves 200).
     int status = 200;
+    /// Id of the collab.classify trace (0 when tracing is off).
+    std::uint64_t trace_id = 0;
   };
 
   /// Classifies `input_rows` (JSON rows, same wire format as libei's
   /// `input=` parameter).  Never throws on cloud failure — it degrades.
   ServeOutcome classify(const std::string& input_rows);
+
+  /// Attaches a tracer: every classify() emits a collab.classify trace whose
+  /// spans record which path served (cloud attempt vs local fallback).  The
+  /// tracer must outlive this object; nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   std::uint64_t cloud_served() const { return cloud_served_; }
   std::uint64_t degraded_served() const { return degraded_served_; }
@@ -127,6 +135,7 @@ class ResilientCloudEdge {
   std::string target_prefix_;
   runtime::InferenceSession local_;
   std::shared_ptr<net::ResilienceMetrics> metrics_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t cloud_served_ = 0;
   std::uint64_t degraded_served_ = 0;
 };

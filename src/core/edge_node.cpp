@@ -8,7 +8,8 @@ namespace openei::core {
 EdgeNode::EdgeNode(EdgeNodeConfig config)
     : config_(std::move(config)),
       store_(config_.sensor_capacity),
-      service_(registry_, store_, config_.device, config_.package) {}
+      service_(registry_, store_, config_.device, config_.package,
+               config_.service) {}
 
 EdgeNode::~EdgeNode() { stop_server(); }
 

@@ -23,6 +23,9 @@ struct EdgeNodeConfig {
   hwsim::DeviceProfile device;   // what hardware this node simulates
   hwsim::PackageSpec package;    // which deep-learning package it runs
   std::size_t sensor_capacity = 4096;
+  /// libei behaviour: inference coalescing, micro-batching knobs, and
+  /// per-request tracing (service.tracing.enabled turns /ei_trace on).
+  libei::EiService::Options service = {};
 };
 
 class EdgeNode {
@@ -75,6 +78,10 @@ class EdgeNode {
   const std::shared_ptr<net::ResilienceMetrics>& resilience_metrics() const {
     return service_.resilience();
   }
+
+  /// The libei service, for direct access to its tracer (GET /ei_trace) and
+  /// metric families (GET /ei_metrics) from tests, benches, and dashboards.
+  libei::EiService& service() { return service_; }
 
   const hwsim::DeviceProfile& device() const { return config_.device; }
   const hwsim::PackageSpec& package() const { return config_.package; }

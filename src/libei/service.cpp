@@ -1,5 +1,6 @@
 #include "libei/service.h"
 
+#include "common/clock.h"
 #include "common/strings.h"
 #include "hwsim/cost_model.h"
 #include "nn/serialize.h"
@@ -27,7 +28,19 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
       store_(store),
       device_(std::move(device)),
       package_(std::move(package)),
-      options_(options) {}
+      options_(options),
+      tracer_(options.tracing) {
+  meter_.describe("ei_requests_total", "Requests served, by route and status class");
+  meter_.describe("ei_request_latency_seconds",
+                  "Wall-clock /ei_algorithms latency, by model");
+  meter_.describe("ei_model_sim_energy_mj_total",
+                  "Simulated inference energy spent per model (mJ, hwsim cost model)");
+  meter_.describe("ei_model_sim_memory_bytes",
+                  "Simulated peak inference memory footprint per model");
+  meter_.describe("ei_model_rows_total", "Inference rows served per model");
+  meter_.describe("ei_traces_completed_total",
+                  "Finished traces committed to the in-memory ring");
+}
 
 EiService::Metrics EiService::metrics() const {
   return Metrics{data_requests_.load(),
@@ -86,62 +99,145 @@ HttpResponse EiService::handle(const HttpRequest& request) {
       if (armed) ++errors;
     }
   } error_guard{errors_};
-  auto serve = [&error_guard](HttpResponse response) {
-    if (response.status < 400) error_guard.armed = false;
-    return response;
-  };
 
   auto segments = common::split_nonempty(request.path, '/');
   if (segments.empty()) {
     throw NotFound("no resource at '" + request.path + "'");
   }
-  if (segments[0] == "ei_data") {
+  const std::string& route = segments[0];
+
+  // Root span of this request's trace — inert (no allocation, one branch)
+  // unless Options.tracing.enabled.
+  obs::Span root = tracer_.begin_trace("ei.request");
+  if (root.active()) {
+    root.set_attribute("method", request.method);
+    root.set_attribute("path", request.path);
+  }
+
+  auto serve = [this, &error_guard, &root, &route](HttpResponse response) {
+    if (response.status < 400) error_guard.armed = false;
+    if (root.active()) {
+      root.set_attribute("status", static_cast<double>(response.status));
+    }
+    meter_
+        .counter("ei_requests_total",
+                 {{"route", route},
+                  {"status", response.status < 400 ? "ok" : "error"}})
+        .increment();
+    return response;
+  };
+
+  if (route == "ei_data") {
     ++data_requests_;
     return serve(handle_data(request, segments));
   }
-  if (segments[0] == "ei_algorithms") {
+  if (route == "ei_algorithms") {
     ++algorithm_requests_;
-    return serve(handle_algorithm(request, segments));
+    return serve(handle_algorithm(request, segments, root));
   }
-  if (segments[0] == "ei_models") {
+  if (route == "ei_models") {
     ++model_requests_;
     return serve(handle_models(request, segments));
   }
-  if (segments[0] == "ei_status" && segments.size() == 1 &&
-      request.method == "GET") {
-    Json out{JsonObject{}};
-    out.set("device", device_.name);
-    out.set("ram_bytes", device_.ram_bytes);
-    out.set("effective_gflops", device_.effective_gflops);
-    out.set("package", package_.name);
-    out.set("supports_training", package_.supports_training);
-    JsonArray model_names;
-    for (const std::string& name : registry_.names()) {
-      model_names.emplace_back(name);
-    }
-    out.set("models", Json(std::move(model_names)));
-    JsonArray sensor_ids;
-    for (const std::string& id : store_.sensors()) sensor_ids.emplace_back(id);
-    out.set("sensors", Json(std::move(sensor_ids)));
-    Metrics snapshot = metrics();
-    Json counters{JsonObject{}};
-    counters.set("data_requests", snapshot.data_requests);
-    counters.set("algorithm_requests", snapshot.algorithm_requests);
-    counters.set("model_requests", snapshot.model_requests);
-    counters.set("errors", snapshot.errors);
-    out.set("requests", std::move(counters));
-    out.set("resilience", resilience_->to_json());
-    Json batching{JsonObject{}};
-    batching.set("coalescing", options_.coalesce_inference);
-    batching.set("max_batch_rows", options_.batching.max_batch_rows);
-    batching.set("max_wait_s", options_.batching.max_wait_s);
-    batching.set("flushes", snapshot.batch_flushes);
-    batching.set("coalesced_requests", snapshot.coalesced_requests);
-    batching.set("max_fused_rows", snapshot.max_fused_rows);
-    out.set("batching", std::move(batching));
-    return serve(HttpResponse::json(200, out.dump()));
+  if (route == "ei_status" && segments.size() == 1 && request.method == "GET") {
+    return serve(handle_status());
   }
-  throw NotFound("unknown resource type '" + segments[0] + "'");
+  if (route == "ei_metrics" && segments.size() == 1 &&
+      request.method == "GET") {
+    meter_.gauge("ei_traces_completed_total")
+        .set(static_cast<double>(tracer_.completed_traces()));
+    return serve(HttpResponse{200, "text/plain; version=0.0.4",
+                              meter_.render_prometheus()});
+  }
+  if (route == "ei_trace" && request.method == "GET") {
+    return serve(handle_trace(segments));
+  }
+  throw NotFound("unknown resource type '" + route + "'");
+}
+
+HttpResponse EiService::handle_status() {
+  Json out{JsonObject{}};
+  out.set("device", device_.name);
+  out.set("ram_bytes", device_.ram_bytes);
+  out.set("effective_gflops", device_.effective_gflops);
+  out.set("package", package_.name);
+  out.set("supports_training", package_.supports_training);
+  JsonArray model_names;
+  for (const std::string& name : registry_.names()) {
+    model_names.emplace_back(name);
+  }
+  out.set("models", Json(std::move(model_names)));
+  JsonArray sensor_ids;
+  for (const std::string& id : store_.sensors()) sensor_ids.emplace_back(id);
+  out.set("sensors", Json(std::move(sensor_ids)));
+  Metrics snapshot = metrics();
+  Json counters{JsonObject{}};
+  counters.set("data_requests", snapshot.data_requests);
+  counters.set("algorithm_requests", snapshot.algorithm_requests);
+  counters.set("model_requests", snapshot.model_requests);
+  counters.set("errors", snapshot.errors);
+  out.set("requests", std::move(counters));
+  out.set("resilience", resilience_->to_json());
+  Json batching{JsonObject{}};
+  batching.set("coalescing", options_.coalesce_inference);
+  batching.set("max_batch_rows", options_.batching.max_batch_rows);
+  batching.set("max_wait_s", options_.batching.max_wait_s);
+  batching.set("flushes", snapshot.batch_flushes);
+  batching.set("coalesced_requests", snapshot.coalesced_requests);
+  batching.set("max_fused_rows", snapshot.max_fused_rows);
+  out.set("batching", std::move(batching));
+  // Per-model request-latency percentiles from the /ei_metrics histograms —
+  // the ALEM latency attribute as actually served, not as simulated.
+  Json latency{JsonObject{}};
+  for (const auto& [labels, snap] :
+       meter_.histogram_snapshots("ei_request_latency_seconds")) {
+    std::string model = "unknown";
+    for (const auto& [key, value] : labels) {
+      if (key == "model") model = value;
+    }
+    Json percentiles{JsonObject{}};
+    percentiles.set("count", snap.count);
+    percentiles.set("p50_us", snap.quantile(0.50) * 1e6);
+    percentiles.set("p95_us", snap.quantile(0.95) * 1e6);
+    percentiles.set("p99_us", snap.quantile(0.99) * 1e6);
+    latency.set(model, std::move(percentiles));
+  }
+  out.set("latency", std::move(latency));
+  Json tracing{JsonObject{}};
+  tracing.set("enabled", tracer_.enabled());
+  tracing.set("completed_traces", tracer_.completed_traces());
+  tracing.set("ring_capacity", tracer_.options().ring_capacity);
+  out.set("tracing", std::move(tracing));
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse EiService::handle_trace(const std::vector<std::string>& segments) {
+  if (segments.size() == 1) {
+    Json out{JsonObject{}};
+    out.set("enabled", tracer_.enabled());
+    JsonArray ids;
+    for (std::uint64_t id : tracer_.recent_trace_ids()) {
+      ids.emplace_back(std::to_string(id));  // 64-bit ids stay exact as text
+    }
+    out.set("traces", Json(std::move(ids)));
+    return HttpResponse::json(200, out.dump());
+  }
+  if (segments.size() != 2) {
+    throw ParseError("expected /ei_trace or /ei_trace/{id}");
+  }
+  std::uint64_t id = 0;
+  try {
+    id = std::stoull(segments[1]);
+  } catch (const std::exception&) {
+    throw ParseError("trace id '" + segments[1] + "' is not a number");
+  }
+  std::optional<obs::TraceRecord> record = tracer_.find(id);
+  if (!record.has_value()) {
+    throw NotFound(tracer_.enabled()
+                       ? "no retained trace with id " + segments[1]
+                       : "tracing is disabled on this node");
+  }
+  return HttpResponse::json(200, record->to_json().dump());
 }
 
 namespace {
@@ -260,7 +356,8 @@ Json EiService::resolve_input(const HttpRequest& request) const {
 }
 
 HttpResponse EiService::handle_algorithm(const HttpRequest& request,
-                                         const std::vector<std::string>& segments) {
+                                         const std::vector<std::string>& segments,
+                                         obs::Span& trace_root) {
   if (request.method != "GET" && request.method != "POST") {
     return HttpResponse::json(405, R"({"error":"use GET or POST"})");
   }
@@ -269,14 +366,16 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   }
   const std::string& scenario = segments[1];
   const std::string& algorithm = segments[2];
+  common::Stopwatch request_timer;
 
   auto candidates = registry_.find(scenario, algorithm);
   if (candidates.empty()) {
     throw NotFound("no model deployed for " + scenario + "/" + algorithm);
   }
 
-  // Build the capability slice for this device and run the selecting
-  // algorithm (Sec. III-E processing flow).
+  // Stage 1 (ei.select): build the capability slice for this device and run
+  // the selecting algorithm (Sec. III-E processing flow).
+  obs::Span select_span = trace_root.child("ei.select");
   selector::CapabilityDatabase db;
   for (const runtime::ModelEntry& entry : candidates) {
     selector::CapabilityEntry cap;
@@ -294,31 +393,86 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   }
 
   selector::SelectionRequest selection = parse_selection(request.query);
-  auto chosen = selector::select(db, selection);
+  selector::SelectionStats selection_stats;
+  auto chosen = selector::select(db, selection, &selection_stats);
+  if (select_span.active()) {
+    select_span.set_attribute("candidates",
+                              static_cast<double>(selection_stats.evaluated));
+    select_span.set_attribute(
+        "eligible", static_cast<double>(selection_stats.eligible));
+    select_span.set_attribute(
+        "constraint_rejections",
+        static_cast<double>(selection_stats.rejected_constraints));
+    select_span.set_attribute(
+        "not_deployable",
+        static_cast<double>(selection_stats.rejected_not_deployable));
+    select_span.set_attribute("model",
+                              chosen.has_value() ? chosen->model_name : "");
+  }
+  select_span.finish();
   if (!chosen.has_value()) {
     return HttpResponse::json(
         400,
         R"({"error":"no deployed model satisfies the ALEM requirements"})");
   }
+  const std::string& model_name = chosen->model_name;
 
-  std::shared_ptr<runtime::InferenceSession> session =
-      session_for(chosen->model_name);
+  // Stage 2 (ei.parse): resolve the input rows into a batch tensor.
+  obs::Span parse_span = trace_root.child("ei.parse");
+  std::shared_ptr<runtime::InferenceSession> session = session_for(model_name);
   nn::Tensor batch = runtime::rows_to_batch(resolve_input(request),
                                             session->model().input_shape());
+  double rows = static_cast<double>(batch.shape().dim(0));
+  if (parse_span.active()) {
+    parse_span.set_attribute("rows", rows);
+    parse_span.set_attribute("input_bytes",
+                             static_cast<double>(batch.size_bytes()));
+  }
+  parse_span.finish();
+
+  // Stage 3 (ei.infer): the forward pass, direct or coalesced.
+  obs::Span infer_span = trace_root.child("ei.infer");
   runtime::InferenceResult result;
+  tensor::AllocationStats allocation;
   if (options_.coalesce_inference) {
     // Concurrent connection threads funnel into the per-model micro-batch
     // queue; this request's rows ride a fused forward pass (bit-identical
-    // to a solo run) instead of serializing behind other requests.
-    result = batcher_for(chosen->model_name)->submit(std::move(batch)).get();
+    // to a solo run) instead of serializing behind other requests.  The
+    // ei.batch child span finishes on the flush thread with queue-wait vs
+    // fused-forward attribution (and peak tensor bytes seen there).
+    result = batcher_for(model_name)
+                 ->submit(std::move(batch), infer_span.child("ei.batch"))
+                 .get();
   } else {
+    tensor::AllocationTrackingScope scope;
     result = session->run(batch);
+    allocation = scope.stats();
   }
+  if (infer_span.active()) {
+    infer_span.set_attribute("model", model_name);
+    infer_span.set_attribute("rows", rows);
+    infer_span.set_attribute("coalesced",
+                             options_.coalesce_inference ? 1.0 : 0.0);
+    // Simulated ALEM attribution from the hwsim cost model.
+    infer_span.set_attribute("sim_latency_us", result.batch_latency_s * 1e6);
+    infer_span.set_attribute("sim_energy_mj", result.batch_energy_j * 1e3);
+    infer_span.set_attribute(
+        "sim_memory_bytes",
+        static_cast<double>(result.per_sample.memory_bytes));
+    if (!options_.coalesce_inference) {
+      infer_span.set_attribute(
+          "peak_tensor_bytes",
+          static_cast<double>(allocation.peak_live_bytes));
+    }
+  }
+  infer_span.finish();
 
+  // Stage 4 (ei.serialize): build the JSON response.
+  obs::Span serialize_span = trace_root.child("ei.serialize");
   Json out{JsonObject{}};
   out.set("scenario", scenario);
   out.set("algorithm", algorithm);
-  out.set("model", chosen->model_name);
+  out.set("model", model_name);
   out.set("package", package_.name);
   out.set("device", device_.name);
   out.set("alem", chosen->alem.to_json());
@@ -327,7 +481,24 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   out.set("predictions", Json(std::move(predictions)));
   out.set("batch_latency_s", result.batch_latency_s);
   out.set("batch_energy_j", result.batch_energy_j);
-  return HttpResponse::json(200, out.dump());
+  if (trace_root.active()) {
+    // 64-bit id as a string (JSON numbers are doubles); the caller can
+    // follow up with GET /ei_trace/{trace_id}.
+    out.set("trace_id", std::to_string(trace_root.trace_id()));
+  }
+  HttpResponse response = HttpResponse::json(200, out.dump());
+  serialize_span.finish();
+
+  // ALEM metric families behind /ei_metrics — always on, tracing or not.
+  obs::LabelSet by_model{{"model", model_name}};
+  meter_.histogram("ei_request_latency_seconds", by_model)
+      .record(request_timer.elapsed_seconds());
+  meter_.counter("ei_model_sim_energy_mj_total", by_model)
+      .add(result.batch_energy_j * 1e3);
+  meter_.counter("ei_model_rows_total", by_model).add(rows);
+  meter_.gauge("ei_model_sim_memory_bytes", by_model)
+      .set(static_cast<double>(result.per_sample.memory_bytes));
+  return response;
 }
 
 HttpResponse EiService::handle_models(const HttpRequest& request,

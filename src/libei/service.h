@@ -13,7 +13,14 @@
 //   POST /ei_models?scenario=S&algorithm=A&accuracy=x  (body: model JSON)
 //          — model download from the cloud (Fig. 3 dataflow 2)
 //   GET  /ei_status                      — node health: device profile,
-//          package, deployed models, registered sensors
+//          package, deployed models, registered sensors, request counters,
+//          per-model latency percentiles (p50/p95/p99)
+//   GET  /ei_metrics                     — Prometheus text exposition:
+//          per-model latency histograms, energy/memory gauges, route
+//          counters (scrape me)
+//   GET  /ei_trace                       — ids of retained finished traces
+//   GET  /ei_trace/{id}                  — one request's span tree with
+//          per-stage ALEM attribution (requires Options.tracing.enabled)
 //
 // An algorithm call runs the full OpenEI flow of Sec. III-E: the model
 // selector picks the best deployed variant for this device under the
@@ -27,6 +34,8 @@
 #include <mutex>
 
 #include "datastore/timeseries.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "runtime/batcher.h"
 #include "runtime/inference.h"
 #include "hwsim/device.h"
@@ -46,6 +55,11 @@ class EiService {
     /// passes.  Results are bit-identical either way.
     bool coalesce_inference = true;
     runtime::MicroBatcher::Options batching;
+    /// Per-request tracing (GET /ei_trace/{id}).  Off by default: disabled
+    /// tracing costs one branch per instrumentation site.  The ALEM metric
+    /// histograms behind GET /ei_metrics are always on (a handful of relaxed
+    /// atomic ops per request).
+    obs::Tracer::Options tracing;
   };
 
   /// Borrows the registry and store (the owning EdgeNode outlives the
@@ -91,13 +105,22 @@ class EiService {
     return resilience_;
   }
 
+  /// The request tracer behind GET /ei_trace/{id} (inert unless
+  /// Options.tracing.enabled).
+  obs::Tracer& tracer() { return tracer_; }
+  /// The ALEM metric families behind GET /ei_metrics.
+  obs::MetricsRegistry& meter() { return meter_; }
+
  private:
   net::HttpResponse handle_data(const net::HttpRequest& request,
                                 const std::vector<std::string>& segments);
   net::HttpResponse handle_algorithm(const net::HttpRequest& request,
-                                     const std::vector<std::string>& segments);
+                                     const std::vector<std::string>& segments,
+                                     obs::Span& trace_root);
   net::HttpResponse handle_models(const net::HttpRequest& request,
                                   const std::vector<std::string>& segments);
+  net::HttpResponse handle_status();
+  net::HttpResponse handle_trace(const std::vector<std::string>& segments);
 
   /// Parses ALEM requirements/objective from query parameters; defaults to
   /// the paper's accuracy-oriented selection.
@@ -142,6 +165,8 @@ class EiService {
   mutable std::atomic<std::uint64_t> errors_{0};
   std::shared_ptr<net::ResilienceMetrics> resilience_ =
       std::make_shared<net::ResilienceMetrics>();
+  obs::Tracer tracer_;
+  obs::MetricsRegistry meter_;
 };
 
 }  // namespace openei::libei

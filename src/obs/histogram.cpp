@@ -1,0 +1,113 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace openei::obs {
+
+Histogram::Histogram(double min_bound, double growth, std::size_t bucket_count) {
+  OPENEI_CHECK(min_bound > 0.0, "histogram min bound must be positive, got ",
+               min_bound);
+  OPENEI_CHECK(growth > 1.0, "histogram growth must exceed 1, got ", growth);
+  OPENEI_CHECK(bucket_count >= 1, "histogram needs at least one bucket");
+  upper_bounds_.reserve(bucket_count);
+  double bound = min_bound;
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    upper_bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bucket_count + 1);
+  for (std::size_t i = 0; i <= bucket_count; ++i) buckets_[i].store(0);
+}
+
+void Histogram::record(double value) {
+  // First bucket whose upper bound is >= value; past the last finite bound
+  // the value lands in the +Inf overflow slot.
+  std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  add(value);
+}
+
+void Histogram::add(double value) {
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.counts.resize(upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    snap.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  OPENEI_CHECK(same_layout(other),
+               "cannot merge histograms with different bucket layouts");
+  Snapshot theirs = other.snapshot();
+  for (std::size_t i = 0; i < theirs.counts.size(); ++i) {
+    buckets_[i].fetch_add(theirs.counts[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(theirs.count, std::memory_order_relaxed);
+  add(theirs.sum);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, rounded up).
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    std::uint64_t next = cumulative + counts[i];
+    if (rank <= next) {
+      if (i >= upper_bounds.size()) {
+        // Overflow bucket: best estimate is its lower bound.
+        return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+      }
+      double lower = i == 0 ? 0.0 : upper_bounds[i - 1];
+      double upper = upper_bounds[i];
+      double within = counts[i] == 0
+                          ? 0.0
+                          : static_cast<double>(rank - cumulative) /
+                                static_cast<double>(counts[i]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative = next;
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+common::Json Histogram::Snapshot::to_json() const {
+  common::Json out{common::JsonObject{}};
+  common::JsonArray buckets;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    common::Json row{common::JsonObject{}};
+    if (i < upper_bounds.size()) {
+      row.set("le", upper_bounds[i]);
+    } else {
+      row.set("le", "+Inf");
+    }
+    row.set("count", cumulative);
+    buckets.push_back(std::move(row));
+  }
+  out.set("buckets", common::Json(std::move(buckets)));
+  out.set("count", count);
+  out.set("sum", sum);
+  return out;
+}
+
+}  // namespace openei::obs

@@ -1,0 +1,80 @@
+// Fixed log-spaced histogram for ALEM observability (the measurement layer
+// the paper's Eq. 1 tuple rests on — see DESIGN.md "Observability").
+//
+// Design constraints, in priority order:
+//   - record() must be safe from any thread with no lock (connection
+//     workers, batcher flush threads, and the /ei_metrics reader all race);
+//   - bucket layout is fixed at construction so two histograms with the
+//     same layout merge by plain bucket-wise addition (per-thread shards,
+//     fleet roll-ups);
+//   - exposition needs cumulative Prometheus-style buckets and cheap
+//     quantile estimates, both served from an immutable Snapshot so readers
+//     never see a torn view mid-scan.
+//
+// Buckets are geometric: finite upper bounds min_bound * growth^i for
+// i in [0, bucket_count), plus an implicit +Inf overflow bucket.  Values
+// <= 0 land in the first bucket (latencies/energies are non-negative;
+// zero is a legitimate "too fast to measure" reading).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/json.h"
+
+namespace openei::obs {
+
+class Histogram {
+ public:
+  /// Latency-oriented default layout: 1 µs .. ~34 s in x2 steps.
+  Histogram() : Histogram(1e-6, 2.0, 25) {}
+
+  /// `min_bound` > 0, `growth` > 1, `bucket_count` >= 1.
+  Histogram(double min_bound, double growth, std::size_t bucket_count);
+
+  /// Lock-free (relaxed atomics); safe from any thread.
+  void record(double value);
+
+  /// Immutable copy of the counters for exposition and quantiles.
+  struct Snapshot {
+    /// Finite upper bounds, strictly increasing; counts has one extra
+    /// trailing slot for the +Inf overflow bucket.
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+    /// owning bucket; the overflow bucket reports its lower bound.  Returns
+    /// 0 when empty.
+    double quantile(double q) const;
+
+    /// {"buckets":[{"le":b,"count":cumulative}...],"count":n,"sum":s}
+    common::Json to_json() const;
+  };
+  Snapshot snapshot() const;
+
+  /// Adds `other`'s counters into this histogram bucket-wise.  Layouts must
+  /// match exactly (same min bound, growth, bucket count).
+  void merge_from(const Histogram& other);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  bool same_layout(const Histogram& other) const {
+    return upper_bounds_ == other.upper_bounds_;
+  }
+
+ private:
+  void add(double value);  // CAS accumulate into sum_
+
+  std::vector<double> upper_bounds_;
+  /// upper_bounds_.size() + 1 slots; last is the +Inf overflow bucket.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace openei::obs

@@ -1,0 +1,267 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace openei::obs {
+
+std::uint64_t mix_id(std::uint64_t x) {
+  // splitmix64 finalizer: bijective, so distinct inputs stay distinct.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const AttributeValue* SpanRecord::find_attribute(const std::string& key) const {
+  for (const auto& [name, value] : attributes) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const SpanRecord* TraceRecord::find_span(const std::string& name) const {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const SpanRecord*> TraceRecord::children_of(
+    std::uint64_t span_id) const {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id == span_id && span.id != span_id) out.push_back(&span);
+  }
+  return out;
+}
+
+namespace {
+
+common::Json span_to_json(const TraceRecord& trace, const SpanRecord& span,
+                          std::int64_t trace_start_ns) {
+  common::Json out{common::JsonObject{}};
+  // Ids are full-width 64-bit values; JSON numbers are doubles (53-bit
+  // mantissa), so ids travel as decimal strings to stay exact.
+  out.set("id", std::to_string(span.id));
+  out.set("name", span.name);
+  out.set("start_us",
+          static_cast<double>(span.start_ns - trace_start_ns) * 1e-3);
+  out.set("duration_us", span.duration_us());
+  common::Json attributes{common::JsonObject{}};
+  for (const auto& [key, value] : span.attributes) {
+    attributes.set(key, value.to_json());
+  }
+  out.set("attributes", std::move(attributes));
+  common::JsonArray children;
+  for (const SpanRecord* child : trace.children_of(span.id)) {
+    children.push_back(span_to_json(trace, *child, trace_start_ns));
+  }
+  out.set("children", common::Json(std::move(children)));
+  return out;
+}
+
+}  // namespace
+
+common::Json TraceRecord::to_json() const {
+  common::Json out{common::JsonObject{}};
+  out.set("trace_id", std::to_string(trace_id));
+  out.set("span_count", spans.size());
+  if (!spans.empty()) {
+    out.set("root", span_to_json(*this, spans.front(), spans.front().start_ns));
+  }
+  return out;
+}
+
+namespace detail {
+
+TraceState::TraceState(Tracer* tracer, std::uint64_t trace_id)
+    : tracer_(tracer), trace_id_(trace_id) {}
+
+TraceState::~TraceState() {
+  // Last guard released: the trace is complete.  Slots were appended in
+  // creation order, so the records are already ordered.  A single-chunk
+  // trace (the common case) moves wholesale into the ring; a ladder that
+  // grew concatenates once.
+  std::vector<SpanRecord> spans;
+  if (chunk_count_ == 1) {
+    spans = std::move(chunks_[0]);
+  } else {
+    spans.reserve(static_cast<std::size_t>(span_count_));
+    for (std::size_t c = 0; c < chunk_count_; ++c) {
+      std::move(chunks_[c].begin(), chunks_[c].end(),
+                std::back_inserter(spans));
+    }
+  }
+  tracer_->commit(TraceRecord{trace_id_, std::move(spans)});
+}
+
+SpanRecord* TraceState::open(std::string_view name, std::uint64_t parent_id) {
+  SpanRecord* slot;
+  std::uint64_t ordinal;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunk_count_ == 0) {
+      chunks_[0] = tracer_->take_span_storage();
+      chunk_count_ = 1;
+    } else if (chunks_[chunk_count_ - 1].size() ==
+               chunks_[chunk_count_ - 1].capacity()) {
+      OPENEI_CHECK(chunk_count_ < kMaxChunks,
+                   "trace exceeds the span-storage ladder");
+      chunks_[chunk_count_].reserve(kFirstChunkCapacity << chunk_count_);
+      ++chunk_count_;
+    }
+    slot = &chunks_[chunk_count_ - 1].emplace_back();
+    ordinal = ++span_count_;
+  }
+  slot->ordinal = ordinal;
+  slot->id = mix_id(trace_id_ + ordinal);
+  slot->parent_id = parent_id;
+  slot->name = name;
+  slot->start_ns = common::wall_now_ns();
+  return slot;
+}
+
+AttributeVec TraceState::take_attribute_storage() {
+  return tracer_->take_attribute_storage();
+}
+
+}  // namespace detail
+
+Span Span::child(std::string_view name) const {
+  if (!state_) return Span{};
+  return Span{state_, state_->open(name, slot_->id)};
+}
+
+void Span::append_attribute(std::string_view key, AttributeValue value) {
+  auto& attributes = slot_->attributes;
+  for (auto& [name, existing] : attributes) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  if (attributes.capacity() == 0) attributes = state_->take_attribute_storage();
+  attributes.emplace_back(key, std::move(value));
+}
+
+void Span::set_attribute(std::string_view key, double value) {
+  if (!state_) return;
+  AttributeValue attribute;
+  attribute.kind = AttributeValue::Kind::kNumber;
+  attribute.number = value;
+  append_attribute(key, std::move(attribute));
+}
+
+void Span::set_attribute(std::string_view key, std::string value) {
+  if (!state_) return;
+  AttributeValue attribute;
+  attribute.kind = AttributeValue::Kind::kString;
+  attribute.text = std::move(value);
+  append_attribute(key, std::move(attribute));
+}
+
+void Span::finish() {
+  if (!state_) return;
+  slot_->end_ns = common::wall_now_ns();
+  slot_ = nullptr;
+  state_.reset();
+}
+
+Tracer::Tracer(Options options) : options_(options) {
+  OPENEI_CHECK(options_.ring_capacity >= 1, "trace ring needs capacity >= 1");
+}
+
+Span Tracer::begin_trace(std::string_view name) {
+  if (!options_.enabled) return Span{};
+  std::uint64_t ordinal = next_trace_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t trace_id = mix_id(options_.seed ^ mix_id(ordinal));
+  if (trace_id == 0) trace_id = 1;  // 0 is the "no parent" sentinel
+  auto state = std::make_shared<detail::TraceState>(this, trace_id);
+  SpanRecord* root = state->open(name, /*parent_id=*/0);
+  return Span{std::move(state), root};
+}
+
+void Tracer::commit(TraceRecord record) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  TraceRecord evicted;  // destroyed after the lock is released
+  {
+    std::lock_guard<std::mutex> lock(ring_mutex_);
+    ring_.push_back(std::move(record));
+    if (ring_.size() > options_.ring_capacity) {
+      evicted = std::move(ring_.front());
+      ring_.pop_front();
+    }
+  }
+  if (!evicted.spans.empty()) recycle(std::move(evicted));
+}
+
+std::vector<SpanRecord> Tracer::take_span_storage() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!span_pool_.empty()) {
+      std::vector<SpanRecord> recycled = std::move(span_pool_.back());
+      span_pool_.pop_back();
+      return recycled;
+    }
+  }
+  std::vector<SpanRecord> fresh;
+  fresh.reserve(detail::TraceState::kFirstChunkCapacity);
+  return fresh;
+}
+
+AttributeVec Tracer::take_attribute_storage() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!attr_pool_.empty()) {
+      AttributeVec recycled = std::move(attr_pool_.back());
+      attr_pool_.pop_back();
+      return recycled;
+    }
+  }
+  AttributeVec fresh;
+  fresh.reserve(8);
+  return fresh;
+}
+
+void Tracer::recycle(TraceRecord evicted) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    for (SpanRecord& span : evicted.spans) {
+      if (span.attributes.capacity() == 0 ||
+          span.attributes.capacity() > kMaxRecycledAttrCapacity) {
+        continue;
+      }
+      if (attr_pool_.size() >= kAttrPoolCapacity) break;
+      span.attributes.clear();  // keeps the buffer, frees the contents
+      attr_pool_.push_back(std::move(span.attributes));
+    }
+    if (span_pool_.size() < kSpanPoolCapacity &&
+        evicted.spans.capacity() >= detail::TraceState::kFirstChunkCapacity &&
+        evicted.spans.capacity() <= kMaxRecycledSpanCapacity) {
+      evicted.spans.clear();  // destroys records; harvested buffers survived
+      span_pool_.push_back(std::move(evicted.spans));
+    }
+  }
+}
+
+std::optional<TraceRecord> Tracer::find(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  for (const TraceRecord& record : ring_) {
+    if (record.trace_id == trace_id) return record;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> Tracer::recent_trace_ids() const {
+  std::lock_guard<std::mutex> lock(ring_mutex_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(ring_.size());
+  for (const TraceRecord& record : ring_) ids.push_back(record.trace_id);
+  return ids;
+}
+
+}  // namespace openei::obs

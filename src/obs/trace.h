@@ -1,0 +1,253 @@
+// Per-request tracing: the observability layer that attributes the paper's
+// ALEM tuple (Eq. 1) to individual requests, models, and pipeline stages
+// instead of the coarse aggregate counters /ei_status started with.
+//
+// Model: a Tracer mints traces; a trace is a tree of spans; a Span is a
+// move-only RAII guard that stamps start/end from the wall clock and carries
+// string/number attributes (simulated latency/energy/memory from hwsim, peak
+// tensor bytes from tensor::AllocationTrackingScope, batch shapes...).
+// Finished traces land in a bounded in-memory ring served by
+// GET /ei_trace/{id}.
+//
+// Determinism: trace and span ids derive from a seed and creation ordinals
+// via splitmix64 — no wall-clock bits — so a fixed seed plus a fixed request
+// order reproduces the exact same ids (timestamps still vary; ids never do).
+//
+// Disabled mode: a disabled Tracer returns inert Spans that hold no state
+// and allocate nothing; every operation on them is a cheap branch.  This is
+// what `EiService::Options.tracing.enabled = false` (the default) buys.
+//
+// Threading: Spans of one trace may live on different threads (a request's
+// queue-wait span finishes on the micro-batcher's flush thread).  Span
+// records live in per-trace chunked storage that never invalidates slot
+// addresses: each guard holds a stable pointer to its own slot, so opening a
+// span takes the trace mutex once and everything after — attribute writes,
+// the end-time stamp in finish() — is a plain unshared write with no lock
+// and no record moves.  Slots are appended in creation order, so the
+// committed trace needs no sort; the final hand-off to the ring synchronises
+// through the guards' shared_ptr release.  A trace commits to the ring when
+// its last Span guard is released; children must therefore not outlive the
+// work the root span brackets (they never do: request handlers join all
+// futures before returning).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace openei::obs {
+
+/// One attribute on a span: a number or a string.
+struct AttributeValue {
+  enum class Kind { kNumber, kString };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+
+  common::Json to_json() const {
+    return kind == Kind::kNumber ? common::Json(number) : common::Json(text);
+  }
+};
+
+/// Span attributes, in insertion order.
+using AttributeVec = std::vector<std::pair<std::string, AttributeValue>>;
+
+/// A finished span, as stored in the trace ring.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  /// Creation order within the trace (root = 1); slots are allocated in this
+  /// order, so a committed trace's spans are already creation-ordered.
+  std::uint64_t ordinal = 0;
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  AttributeVec attributes;
+
+  double duration_us() const {
+    return static_cast<double>(end_ns - start_ns) * 1e-3;
+  }
+  const AttributeValue* find_attribute(const std::string& key) const;
+};
+
+/// A finished trace: spans in creation order, spans[0] is the root.
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+
+  const SpanRecord& root() const { return spans.front(); }
+  const SpanRecord* find_span(const std::string& name) const;
+  std::vector<const SpanRecord*> children_of(std::uint64_t span_id) const;
+
+  /// Nested span-tree JSON: {"trace_id":..,"span_count":..,"root":{
+  ///   "id","name","start_us" (relative to root start),"duration_us",
+  ///   "attributes":{...},"children":[...]}}.
+  common::Json to_json() const;
+};
+
+class Tracer;
+
+namespace detail {
+/// Shared mutable state of one in-flight trace.  Span guards co-own it; the
+/// last release commits the finished records to the tracer's ring.  open()
+/// is the only locked operation: it appends a slot (stable address) that the
+/// owning Span then mutates without synchronisation.
+///
+/// Slot storage is a ladder of doubling-capacity chunks: a chunk never
+/// reallocates once opened, so slot pointers stay valid, and a typical
+/// 6-span request trace costs exactly one chunk allocation that commit then
+/// moves straight into the ring with zero record copies.
+class TraceState {
+ public:
+  TraceState(Tracer* tracer, std::uint64_t trace_id);
+  ~TraceState();
+
+  /// Appends a creation-ordered slot with a deterministic id and a fresh
+  /// start timestamp; the returned pointer stays valid for the trace's life.
+  SpanRecord* open(std::string_view name, std::uint64_t parent_id);
+  /// A recycled (or fresh) attribute buffer from the tracer's pool.
+  AttributeVec take_attribute_storage();
+  std::uint64_t trace_id() const { return trace_id_; }
+
+  /// 8 * 2^23 ≈ 67M spans before the ladder runs out — far past OOM.
+  static constexpr std::size_t kMaxChunks = 24;
+  static constexpr std::size_t kFirstChunkCapacity = 8;
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t trace_id_;
+  std::mutex mutex_;
+  std::array<std::vector<SpanRecord>, kMaxChunks> chunks_;
+  std::size_t chunk_count_ = 0;
+  std::uint64_t span_count_ = 0;
+};
+}  // namespace detail
+
+/// Move-only RAII span guard.  A default-constructed Span is inert: every
+/// member function is a no-op branch, which is what instrumented code holds
+/// when tracing is disabled.  An active Span exclusively owns its record
+/// slot — attribute writes are plain appends, safe from whichever single
+/// thread currently holds the guard.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept
+      : state_(std::move(other.state_)), slot_(other.slot_) {
+    other.state_.reset();
+    other.slot_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      finish();
+      state_ = std::move(other.state_);
+      slot_ = other.slot_;
+      other.state_.reset();
+      other.slot_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { finish(); }
+
+  bool active() const { return state_ != nullptr; }
+  std::uint64_t id() const { return state_ ? slot_->id : 0; }
+  std::uint64_t trace_id() const { return state_ ? state_->trace_id() : 0; }
+
+  /// Opens a child span under this one (inert if this span is inert).
+  Span child(std::string_view name) const;
+
+  void set_attribute(std::string_view key, double value);
+  void set_attribute(std::string_view key, std::string value);
+
+  /// Stamps the end time and releases this guard's hold on the trace
+  /// (idempotent; the destructor calls it).
+  void finish();
+
+ private:
+  friend class Tracer;
+  Span(std::shared_ptr<detail::TraceState> state, SpanRecord* slot)
+      : state_(std::move(state)), slot_(slot) {}
+
+  void append_attribute(std::string_view key, AttributeValue value);
+
+  std::shared_ptr<detail::TraceState> state_;
+  SpanRecord* slot_ = nullptr;
+};
+
+/// Mints traces and keeps the bounded ring of finished ones.
+class Tracer {
+ public:
+  struct Options {
+    bool enabled = false;
+    /// Seed for deterministic trace/span ids (never wall-clock derived).
+    std::uint64_t seed = 42;
+    /// Finished traces retained; older ones are evicted FIFO.
+    std::size_t ring_capacity = 128;
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options options);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  const Options& options() const { return options_; }
+
+  /// Starts a trace and returns its root span; inert when disabled.
+  Span begin_trace(std::string_view name);
+
+  /// Looks a finished trace up by id.
+  std::optional<TraceRecord> find(std::uint64_t trace_id) const;
+
+  /// Ids of retained finished traces, oldest first.
+  std::vector<std::uint64_t> recent_trace_ids() const;
+
+  /// Total traces committed since construction (evicted ones included).
+  std::uint64_t completed_traces() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class detail::TraceState;
+  void commit(TraceRecord record);
+
+  // Buffer recycling: ring eviction donates its span-storage vector and
+  // emptied attribute vectors (capacities intact) back to these freelists,
+  // so steady-state tracing reuses warm buffers instead of round-tripping
+  // malloc — which matters doubly under the thread-per-connection HTTP
+  // server, where per-request threads would otherwise free another thread's
+  // allocations against a contended arena.  Oversized buffers (a huge trace)
+  // are dropped rather than pinned.
+  static constexpr std::size_t kSpanPoolCapacity = 16;
+  static constexpr std::size_t kAttrPoolCapacity = 64;
+  static constexpr std::size_t kMaxRecycledSpanCapacity = 1024;
+  static constexpr std::size_t kMaxRecycledAttrCapacity = 64;
+  std::vector<SpanRecord> take_span_storage();
+  AttributeVec take_attribute_storage();
+  void recycle(TraceRecord evicted);
+
+  Options options_;
+  std::atomic<std::uint64_t> next_trace_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  mutable std::mutex ring_mutex_;
+  std::deque<TraceRecord> ring_;
+  std::mutex pool_mutex_;
+  std::vector<std::vector<SpanRecord>> span_pool_;
+  std::vector<AttributeVec> attr_pool_;
+};
+
+/// splitmix64 — the id mixer (public for determinism tests).
+std::uint64_t mix_id(std::uint64_t x);
+
+}  // namespace openei::obs

@@ -29,9 +29,10 @@ MicroBatcher::~MicroBatcher() {
   flusher_.join();
 }
 
-std::future<InferenceResult> MicroBatcher::submit(nn::Tensor rows) {
+std::future<InferenceResult> MicroBatcher::submit(nn::Tensor rows,
+                                                  obs::Span span) {
   Pending pending{std::move(rows), std::promise<InferenceResult>{},
-                  common::wall_now_ns()};
+                  common::wall_now_ns(), std::move(span)};
   std::future<InferenceResult> future = pending.promise.get_future();
   std::size_t row_count =
       pending.rows.shape().rank() >= 1 ? pending.rows.shape().dim(0) : 0;
@@ -106,16 +107,50 @@ void MicroBatcher::flush_loop() {
 void MicroBatcher::run_flush(std::deque<Pending> batch) {
   std::vector<nn::Tensor> requests;
   requests.reserve(batch.size());
-  for (Pending& pending : batch) requests.push_back(std::move(pending.rows));
+  std::size_t flush_rows = 0;
+  for (Pending& pending : batch) {
+    flush_rows += pending.rows.shape().rank() >= 1 ? pending.rows.shape().dim(0)
+                                                   : 0;
+    requests.push_back(std::move(pending.rows));
+  }
+
+  // Queue-wait attribution happens before the forward pass so the span
+  // cleanly splits "waited in queue" from "rode a fused forward".
+  std::int64_t flush_start_ns = common::wall_now_ns();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch[i].span.active()) continue;
+    batch[i].span.set_attribute(
+        "queue_wait_us",
+        static_cast<double>(flush_start_ns - batch[i].enqueued_ns) * 1e-3);
+    batch[i].span.set_attribute(
+        "batch_rows", static_cast<double>(requests[i].shape().dim(0)));
+    batch[i].span.set_attribute("flush_rows",
+                                static_cast<double>(flush_rows));
+    batch[i].span.set_attribute("flush_requests",
+                                static_cast<double>(batch.size()));
+  }
 
   std::vector<InferenceResult> results;
+  tensor::AllocationStats allocation;
   try {
+    tensor::AllocationTrackingScope scope;
     results = session_->predict_batch(requests);
+    allocation = scope.stats();
   } catch (...) {
     // A malformed request poisons the whole flush; every caller learns why.
     std::exception_ptr error = std::current_exception();
     for (Pending& pending : batch) pending.promise.set_exception(error);
     return;
+  }
+
+  double forward_us =
+      static_cast<double>(common::wall_now_ns() - flush_start_ns) * 1e-3;
+  for (Pending& pending : batch) {
+    if (!pending.span.active()) continue;
+    pending.span.set_attribute("forward_us", forward_us);
+    pending.span.set_attribute(
+        "peak_tensor_bytes", static_cast<double>(allocation.peak_live_bytes));
+    pending.span.finish();
   }
 
   if (metrics_) {

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
 #include "runtime/inference.h"
 
 namespace openei::runtime {
@@ -63,7 +64,12 @@ class MicroBatcher {
   /// Enqueues a row batch ([rows, ...sample_shape]); the future completes
   /// with this request's slice of a fused forward pass.  Shape errors are
   /// reported through the future.
-  std::future<InferenceResult> submit(nn::Tensor rows);
+  ///
+  /// `span` (optional) is the caller's trace span for this request's ride
+  /// through the queue: the flush thread stamps queue wait, fused batch
+  /// shape, forward time, and peak tensor bytes on it, then finishes it
+  /// when the flush completes.  An inert span (tracing off) costs a branch.
+  std::future<InferenceResult> submit(nn::Tensor rows, obs::Span span = {});
 
   const Options& options() const { return options_; }
 
@@ -72,6 +78,7 @@ class MicroBatcher {
     nn::Tensor rows;
     std::promise<InferenceResult> promise;
     std::int64_t enqueued_ns;
+    obs::Span span;
   };
 
   void flush_loop();

@@ -6,21 +6,34 @@ namespace openei::selector {
 
 namespace {
 
-bool eligible(const CapabilityEntry& entry, const SelectionRequest& request) {
-  if (!entry.deployable) return false;
-  if (!request.device_name.empty() && entry.device_name != request.device_name) {
+bool eligible(const CapabilityEntry& entry, const SelectionRequest& request,
+              SelectionStats* stats = nullptr) {
+  if (stats != nullptr) ++stats->evaluated;
+  if (!entry.deployable) {
+    if (stats != nullptr) ++stats->rejected_not_deployable;
     return false;
   }
-  return satisfies(entry.alem, request.requirements, request.objective);
+  if (!request.device_name.empty() && entry.device_name != request.device_name) {
+    if (stats != nullptr) ++stats->rejected_device;
+    return false;
+  }
+  if (!satisfies(entry.alem, request.requirements, request.objective)) {
+    if (stats != nullptr) ++stats->rejected_constraints;
+    return false;
+  }
+  if (stats != nullptr) ++stats->eligible;
+  return true;
 }
 
 }  // namespace
 
 std::optional<CapabilityEntry> select(const CapabilityDatabase& db,
-                                      const SelectionRequest& request) {
+                                      const SelectionRequest& request,
+                                      SelectionStats* stats) {
+  if (stats != nullptr) *stats = SelectionStats{};
   const CapabilityEntry* best = nullptr;
   for (const CapabilityEntry& entry : db.entries()) {
-    if (!eligible(entry, request)) continue;
+    if (!eligible(entry, request, stats)) continue;
     if (best == nullptr || better(entry.alem, best->alem, request.objective)) {
       best = &entry;
     }

@@ -23,10 +23,23 @@ struct SelectionRequest {
   std::string device_name;
 };
 
+/// Why each scanned entry was kept or dropped — the per-request attribution
+/// the ei.select trace span reports (candidates evaluated, Eq. 1 constraint
+/// rejections).
+struct SelectionStats {
+  std::size_t evaluated = 0;               // entries scanned
+  std::size_t eligible = 0;                // survived every filter
+  std::size_t rejected_not_deployable = 0; // does not fit the device at all
+  std::size_t rejected_device = 0;         // other device's cube slice
+  std::size_t rejected_constraints = 0;    // failed an Eq. 1 constraint
+};
+
 /// Best feasible combination, or nullopt when no deployable entry satisfies
 /// the constraints (the caller then relaxes requirements or offloads).
+/// `stats`, when non-null, receives the scan breakdown.
 std::optional<CapabilityEntry> select(const CapabilityDatabase& db,
-                                      const SelectionRequest& request);
+                                      const SelectionRequest& request,
+                                      SelectionStats* stats = nullptr);
 
 /// All feasible entries sorted best-first under the objective (for
 /// inspection and the Fig. 5 bench).

@@ -5,6 +5,27 @@
 
 namespace openei::tensor {
 
+namespace detail {
+
+thread_local AllocationTrackingScope* active_allocation_scope = nullptr;
+
+void on_tensor_alloc(std::size_t bytes) {
+  AllocationStats& stats = active_allocation_scope->stats_;
+  stats.allocations += 1;
+  stats.allocated_bytes += bytes;
+  stats.live_bytes += static_cast<std::int64_t>(bytes);
+  if (stats.live_bytes > stats.peak_live_bytes) {
+    stats.peak_live_bytes = stats.live_bytes;
+  }
+}
+
+void on_tensor_free(std::size_t bytes) {
+  active_allocation_scope->stats_.live_bytes -=
+      static_cast<std::int64_t>(bytes);
+}
+
+}  // namespace detail
+
 Tensor Tensor::full(Shape shape, float value) {
   Tensor out(std::move(shape));
   std::fill(out.data_.begin(), out.data_.end(), value);

@@ -18,22 +18,104 @@
 
 namespace openei::tensor {
 
+/// Tensor-buffer accounting for one tracking scope (see
+/// AllocationTrackingScope).  peak_live_bytes is the high-water mark of
+/// live_bytes within the scope — the "peak tensor bytes" a traced span
+/// attributes to a forward pass.
+struct AllocationStats {
+  std::uint64_t allocations = 0;     // tensor buffers brought to life
+  std::uint64_t allocated_bytes = 0; // cumulative bytes across them
+  std::int64_t live_bytes = 0;       // currently live (may dip negative when
+                                     // tensors born before the scope die
+                                     // inside it; peak still means peak)
+  std::int64_t peak_live_bytes = 0;
+};
+
+class AllocationTrackingScope;
+
+namespace detail {
+/// Innermost active scope on this thread (nullptr = tracking off, the normal
+/// case — every Tensor ctor/dtor pays exactly one thread-local load+branch).
+extern thread_local AllocationTrackingScope* active_allocation_scope;
+void on_tensor_alloc(std::size_t bytes);
+void on_tensor_free(std::size_t bytes);
+inline void track_alloc(std::size_t bytes) {
+  if (active_allocation_scope != nullptr) on_tensor_alloc(bytes);
+}
+inline void track_free(std::size_t bytes) {
+  if (active_allocation_scope != nullptr) on_tensor_free(bytes);
+}
+}  // namespace detail
+
+/// RAII window during which this thread's tensor buffer traffic is counted.
+/// Scopes nest; the innermost one observes (profiling a forward pass inside
+/// an already-profiled request attributes bytes to the inner stage).
+class AllocationTrackingScope {
+ public:
+  AllocationTrackingScope() : previous_(detail::active_allocation_scope) {
+    detail::active_allocation_scope = this;
+  }
+  ~AllocationTrackingScope() { detail::active_allocation_scope = previous_; }
+  AllocationTrackingScope(const AllocationTrackingScope&) = delete;
+  AllocationTrackingScope& operator=(const AllocationTrackingScope&) = delete;
+
+  const AllocationStats& stats() const { return stats_; }
+
+ private:
+  friend void detail::on_tensor_alloc(std::size_t);
+  friend void detail::on_tensor_free(std::size_t);
+  AllocationStats stats_;
+  AllocationTrackingScope* previous_;
+};
+
 /// Dense row-major float32 tensor.
 class Tensor {
  public:
   /// Scalar zero tensor.
-  Tensor() : shape_({1}), data_(1, 0.0F) {}
+  Tensor() : shape_({1}), data_(1, 0.0F) { detail::track_alloc(size_bytes()); }
 
   /// Zero-initialized tensor of the given shape.
   explicit Tensor(Shape shape)
-      : shape_(std::move(shape)), data_(shape_.elements(), 0.0F) {}
+      : shape_(std::move(shape)), data_(shape_.elements(), 0.0F) {
+    detail::track_alloc(size_bytes());
+  }
 
   /// Tensor with explicit contents (size must match the shape).
   Tensor(Shape shape, std::vector<float> data)
       : shape_(std::move(shape)), data_(std::move(data)) {
     OPENEI_CHECK(data_.size() == shape_.elements(), "data size ", data_.size(),
                  " does not match shape ", shape_.to_string());
+    detail::track_alloc(size_bytes());
   }
+
+  Tensor(const Tensor& other) : shape_(other.shape_), data_(other.data_) {
+    detail::track_alloc(size_bytes());
+  }
+  /// Moves transfer buffer ownership: no bytes are born or die.  The source
+  /// is left empty so its destructor reports zero.
+  Tensor(Tensor&& other) noexcept
+      : shape_(std::move(other.shape_)), data_(std::move(other.data_)) {
+    other.data_.clear();
+  }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      detail::track_free(size_bytes());
+      shape_ = other.shape_;
+      data_ = other.data_;
+      detail::track_alloc(size_bytes());
+    }
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      detail::track_free(size_bytes());
+      shape_ = std::move(other.shape_);
+      data_ = std::move(other.data_);
+      other.data_.clear();
+    }
+    return *this;
+  }
+  ~Tensor() { detail::track_free(size_bytes()); }
 
   /// Filled tensor.
   static Tensor full(Shape shape, float value);

@@ -1,0 +1,434 @@
+// Unit + concurrency tests for the observability layer: obs::Tracer span
+// trees with deterministic seeded ids, the bounded trace ring, the atomic
+// log-spaced obs::Histogram, the MetricsRegistry's Prometheus exposition,
+// and the tensor allocation-tracking hook.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "tensor/tensor.h"
+
+namespace openei {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::Span;
+using obs::TraceRecord;
+using obs::Tracer;
+
+Tracer::Options enabled_tracer(std::uint64_t seed = 7,
+                               std::size_t capacity = 128) {
+  Tracer::Options options;
+  options.enabled = true;
+  options.seed = seed;
+  options.ring_capacity = capacity;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundsAreStrictlyIncreasing) {
+  Histogram h(1e-6, 2.0, 25);
+  const auto& bounds = h.upper_bounds();
+  ASSERT_EQ(bounds.size(), 25u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(ObsHistogram, RecordsIntoCorrectBuckets) {
+  Histogram h(1.0, 10.0, 3);  // bounds 1, 10, 100, then +Inf
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (inclusive upper bound)
+  h.record(5.0);    // <= 10
+  h.record(99.0);   // <= 100
+  h.record(5000.0); // overflow
+  auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 5.0 + 99.0 + 5000.0);
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneAndBracketed) {
+  Histogram h(1e-3, 2.0, 20);
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  auto snap = h.snapshot();
+  double p50 = snap.quantile(0.50);
+  double p95 = snap.quantile(0.95);
+  double p99 = snap.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // True p50 is ~0.5; log buckets are coarse, so only sanity-bracket it.
+  EXPECT_GT(p50, 0.25);
+  EXPECT_LT(p50, 1.1);
+  EXPECT_EQ(snap.quantile(0.0), snap.quantile(0.0));  // no NaN
+}
+
+TEST(ObsHistogram, EmptyHistogramQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsHistogram, MergeMatchesSequentialRecording) {
+  Histogram a(1e-6, 2.0, 25);
+  Histogram b(1e-6, 2.0, 25);
+  Histogram combined(1e-6, 2.0, 25);
+  for (int i = 1; i <= 100; ++i) {
+    double v = i * 1e-5;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge_from(b);
+  auto merged = a.snapshot();
+  auto expected = combined.snapshot();
+  EXPECT_EQ(merged.counts, expected.counts);
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_NEAR(merged.sum, expected.sum, 1e-9);
+}
+
+TEST(ObsHistogram, MergeRejectsMismatchedLayouts) {
+  Histogram a(1e-6, 2.0, 25);
+  Histogram b(1e-6, 2.0, 10);
+  EXPECT_THROW(a.merge_from(b), InvalidArgument);
+}
+
+TEST(ObsHistogram, ConcurrentRecordingLosesNothing) {
+  // Hammer one shared histogram from parallel_for lanes AND merge per-thread
+  // shards into it concurrently; every observation must be accounted for.
+  Histogram shared(1e-6, 2.0, 25);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      Histogram local(1e-6, 2.0, 25);
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        double v = static_cast<double>((t * kPerThread + i) % 977 + 1) * 1e-5;
+        if (i % 2 == 0) {
+          shared.record(v);
+        } else {
+          local.record(v);
+        }
+      }
+      shared.merge_from(local);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.count(), kThreads * kPerThread);
+  auto snap = shared.snapshot();
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(ObsHistogram, ParallelForHammering) {
+  // The project's own parallel_for is the fan-out the /ei_metrics histograms
+  // see in production (parallel kernels recording from pool threads).
+  Histogram h(1e-6, 2.0, 25);
+  constexpr std::size_t kItems = 20000;
+  common::parallel_for(0, kItems, [&h](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      h.record(static_cast<double>(i % 1009 + 1) * 1e-6);
+    }
+  });
+  EXPECT_EQ(h.count(), kItems);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer / Span
+// ---------------------------------------------------------------------------
+
+TEST(ObsTracer, DisabledTracerProducesNothing) {
+  Tracer tracer;  // default options: disabled
+  EXPECT_FALSE(tracer.enabled());
+  Span root = tracer.begin_trace("request");
+  EXPECT_FALSE(root.active());
+  EXPECT_EQ(root.id(), 0u);
+  EXPECT_EQ(root.trace_id(), 0u);
+  Span child = root.child("stage");
+  EXPECT_FALSE(child.active());
+  child.set_attribute("k", 1.0);  // all no-ops
+  child.finish();
+  root.finish();
+  EXPECT_EQ(tracer.completed_traces(), 0u);
+  EXPECT_TRUE(tracer.recent_trace_ids().empty());
+}
+
+TEST(ObsTracer, DeterministicIdsUnderFixedSeed) {
+  auto run = [](std::uint64_t seed) {
+    Tracer tracer(enabled_tracer(seed));
+    std::vector<std::uint64_t> ids;
+    for (int t = 0; t < 3; ++t) {
+      Span root = tracer.begin_trace("request");
+      ids.push_back(root.trace_id());
+      ids.push_back(root.id());
+      Span child = root.child("stage");
+      ids.push_back(child.id());
+    }
+    return ids;
+  };
+  EXPECT_EQ(run(7), run(7));       // same seed, same order -> same ids
+  EXPECT_NE(run(7), run(8));       // different seed -> different ids
+}
+
+TEST(ObsTracer, SpanTreeShapeAndAttributes) {
+  Tracer tracer(enabled_tracer());
+  std::uint64_t trace_id = 0;
+  {
+    Span root = tracer.begin_trace("request");
+    trace_id = root.trace_id();
+    root.set_attribute("path", std::string("/x"));
+    Span first = root.child("first");
+    first.set_attribute("rows", 4.0);
+    first.finish();
+    Span second = root.child("second");
+    Span grandchild = second.child("inner");
+  }
+  ASSERT_EQ(tracer.completed_traces(), 1u);
+  auto record = tracer.find(trace_id);
+  ASSERT_TRUE(record.has_value());
+  ASSERT_EQ(record->spans.size(), 4u);
+  const auto& root_span = record->root();
+  EXPECT_EQ(root_span.name, "request");
+  EXPECT_EQ(root_span.parent_id, 0u);
+  ASSERT_NE(root_span.find_attribute("path"), nullptr);
+  EXPECT_EQ(root_span.find_attribute("path")->text, "/x");
+
+  auto top_children = record->children_of(root_span.id);
+  ASSERT_EQ(top_children.size(), 2u);
+  EXPECT_EQ(top_children[0]->name, "first");
+  EXPECT_EQ(top_children[1]->name, "second");
+  ASSERT_NE(top_children[0]->find_attribute("rows"), nullptr);
+  EXPECT_DOUBLE_EQ(top_children[0]->find_attribute("rows")->number, 4.0);
+
+  auto inner = record->children_of(top_children[1]->id);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner[0]->name, "inner");
+
+  // Every span finished with a non-negative duration; the root brackets all.
+  for (const auto& span : record->spans) {
+    EXPECT_GE(span.end_ns, span.start_ns);
+    EXPECT_GE(span.start_ns, root_span.start_ns);
+    EXPECT_LE(span.end_ns, root_span.end_ns);
+  }
+}
+
+TEST(ObsTracer, RingEvictsOldestTraces) {
+  Tracer tracer(enabled_tracer(7, /*capacity=*/4));
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    Span root = tracer.begin_trace("t");
+    ids.push_back(root.trace_id());
+  }
+  EXPECT_EQ(tracer.completed_traces(), 10u);
+  auto retained = tracer.recent_trace_ids();
+  ASSERT_EQ(retained.size(), 4u);
+  // Oldest six evicted, newest four retained in commit order.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(tracer.find(ids[i]).has_value());
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_TRUE(tracer.find(ids[i]).has_value());
+    EXPECT_EQ(retained[i - 6], ids[i]);
+  }
+}
+
+TEST(ObsTracer, EarlyFinishIsIdempotentAndMoveSafe) {
+  Tracer tracer(enabled_tracer());
+  Span root = tracer.begin_trace("r");
+  std::uint64_t trace_id = root.trace_id();
+  Span child = root.child("c");
+  child.finish();
+  child.finish();              // idempotent
+  Span moved = std::move(root);
+  EXPECT_FALSE(root.active());  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  EXPECT_TRUE(moved.active());
+  moved.finish();
+  ASSERT_TRUE(tracer.find(trace_id).has_value());
+  EXPECT_EQ(tracer.find(trace_id)->spans.size(), 2u);
+}
+
+TEST(ObsTracer, ConcurrentChildSpansAreAllRecorded) {
+  // Children of one trace opened/closed from many threads (the batcher flush
+  // thread does exactly this) — every span lands, ids stay unique.
+  Tracer tracer(enabled_tracer());
+  std::uint64_t trace_id = 0;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kSpansPerThread = 200;
+  {
+    Span root = tracer.begin_trace("r");
+    trace_id = root.trace_id();
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&root, t] {
+        for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+          Span span = root.child("worker");
+          span.set_attribute("thread", static_cast<double>(t));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  auto record = tracer.find(trace_id);
+  ASSERT_TRUE(record.has_value());
+  ASSERT_EQ(record->spans.size(), 1 + kThreads * kSpansPerThread);
+  std::set<std::uint64_t> ids;
+  for (const auto& span : record->spans) ids.insert(span.id);
+  EXPECT_EQ(ids.size(), record->spans.size());
+}
+
+TEST(ObsTracer, ConcurrentTracesCommitIndependently) {
+  Tracer tracer(enabled_tracer(7, 1024));
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kTracesPerThread = 50;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (std::size_t i = 0; i < kTracesPerThread; ++i) {
+        Span root = tracer.begin_trace("r");
+        Span child = root.child("c");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(tracer.completed_traces(), kThreads * kTracesPerThread);
+  EXPECT_EQ(tracer.recent_trace_ids().size(), kThreads * kTracesPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry / Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetricsRegistry, CountersGaugesAndSeriesIdentity) {
+  MetricsRegistry registry;
+  auto& requests = registry.counter("requests_total", {{"route", "a"}});
+  requests.increment();
+  requests.add(2.0);
+  // Same (name, labels) -> same series.
+  EXPECT_EQ(&registry.counter("requests_total", {{"route", "a"}}), &requests);
+  EXPECT_DOUBLE_EQ(requests.value(), 3.0);
+  registry.gauge("ram_bytes").set(123.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("ram_bytes").value(), 123.0);
+}
+
+TEST(ObsMetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x_total");
+  EXPECT_THROW(registry.gauge("x_total"), InvalidArgument);
+}
+
+TEST(ObsMetricsRegistry, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.describe("latency_seconds", "request latency");
+  auto& h = registry.histogram("latency_seconds", {{"model", "m1"}}, 1e-3,
+                               10.0, 3);
+  h.record(0.0005);
+  h.record(0.05);
+  h.record(500.0);
+  registry.counter("requests_total", {{"route", "algo"}}).add(7.0);
+  registry.gauge("up").set(1.0);
+
+  std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# HELP latency_seconds request latency"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{model=\"m1\",le=\"0.001\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{model=\"m1\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count{model=\"m1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{route=\"algo\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE up gauge"), std::string::npos);
+  EXPECT_NE(text.find("up 1"), std::string::npos);
+  // Cumulative bucket lines must be monotone.
+  EXPECT_NE(text.find("latency_seconds_bucket{model=\"m1\",le=\"0.01\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{model=\"m1\",le=\"0.1\"} 2"),
+            std::string::npos);
+}
+
+TEST(ObsMetricsRegistry, LabelEscaping) {
+  obs::LabelSet labels{{"path", "a\"b\\c\nd"}};
+  EXPECT_EQ(obs::render_labels(labels), "{path=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(ObsMetricsRegistry, HistogramSnapshotsByName) {
+  MetricsRegistry registry;
+  registry.histogram("lat", {{"model", "a"}}).record(0.001);
+  registry.histogram("lat", {{"model", "b"}}).record(0.002);
+  auto snaps = registry.histogram_snapshots("lat");
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].first, (obs::LabelSet{{"model", "a"}}));
+  EXPECT_EQ(snaps[1].first, (obs::LabelSet{{"model", "b"}}));
+  EXPECT_EQ(snaps[0].second.count, 1u);
+  EXPECT_TRUE(registry.histogram_snapshots("missing").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tensor allocation tracking
+// ---------------------------------------------------------------------------
+
+TEST(ObsAllocationTracking, CountsLiveAndPeakBytes) {
+  tensor::AllocationTrackingScope scope;
+  {
+    tensor::Tensor a{tensor::Shape{64}};          // 256 bytes
+    EXPECT_EQ(scope.stats().live_bytes, 256);
+    {
+      tensor::Tensor b{tensor::Shape{128}};       // +512 = 768 live
+      EXPECT_EQ(scope.stats().live_bytes, 768);
+    }
+    EXPECT_EQ(scope.stats().live_bytes, 256);     // b died
+  }
+  EXPECT_EQ(scope.stats().live_bytes, 0);
+  EXPECT_EQ(scope.stats().peak_live_bytes, 768);
+  EXPECT_EQ(scope.stats().allocations, 2u);
+  EXPECT_EQ(scope.stats().allocated_bytes, 768u);
+}
+
+TEST(ObsAllocationTracking, MovesTransferOwnershipWithoutCounting) {
+  tensor::AllocationTrackingScope scope;
+  tensor::Tensor a{tensor::Shape{64}};
+  auto after_alloc = scope.stats().allocated_bytes;
+  tensor::Tensor b = std::move(a);
+  EXPECT_EQ(scope.stats().allocated_bytes, after_alloc);  // no new bytes
+  EXPECT_EQ(scope.stats().live_bytes, 256);
+  tensor::Tensor c = b;  // copy allocates
+  EXPECT_EQ(scope.stats().allocated_bytes, after_alloc + 256);
+  EXPECT_EQ(scope.stats().live_bytes, 512);
+}
+
+TEST(ObsAllocationTracking, InnermostScopeWins) {
+  tensor::AllocationTrackingScope outer;
+  {
+    tensor::AllocationTrackingScope inner;
+    tensor::Tensor t{tensor::Shape{8}};
+    EXPECT_EQ(inner.stats().allocations, 1u);
+  }
+  EXPECT_EQ(outer.stats().allocations, 0u);
+  tensor::Tensor t{tensor::Shape{8}};
+  EXPECT_EQ(outer.stats().allocations, 1u);
+}
+
+TEST(ObsAllocationTracking, NoScopeIsANoOp) {
+  // Nothing to assert beyond "does not crash": the hook is a single branch.
+  tensor::Tensor t{tensor::Shape{1024}};
+  EXPECT_EQ(t.elements(), 1024u);
+}
+
+}  // namespace
+}  // namespace openei

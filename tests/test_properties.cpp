@@ -3,9 +3,13 @@
 // just the curated cases in the per-module suites.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 
 #include "common/rng.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "data/synthetic.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
@@ -175,7 +179,9 @@ TEST_P(SelectorProperty, DatabaseJsonRoundTrip) {
   auto original = selector::select(db, request);
   auto from_copy = selector::select(rebuilt, request);
   ASSERT_EQ(original.has_value(), from_copy.has_value());
-  if (original) EXPECT_EQ(original->model_name, from_copy->model_name);
+  if (original) {
+    EXPECT_EQ(original->model_name, from_copy->model_name);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectorProperty,
@@ -279,6 +285,236 @@ TEST(CostModelProperty, LatencyMonotoneInModelSizeAcrossFleet) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// JSON round-trip over randomized documents (the wire format under every
+// libei route, including the new /ei_trace and /ei_status payloads).
+// ---------------------------------------------------------------------------
+
+std::string random_string(Rng& rng) {
+  // A palette that stresses the writer's escaping and the parser's UTF-8
+  // pass-through: quotes, backslashes, control characters, multi-byte
+  // code points, and \u-escapable BMP characters.
+  static const std::vector<std::string> atoms = {
+      "a", "Z", "0", " ", "\"", "\\", "\n", "\t", "\r", "\x01", "\x1f",
+      "/", "{", "}", "[", "]", ":", ",", "é", "λ", "☃", "日本", "ÿ"};
+  std::string out;
+  std::size_t length = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  for (std::size_t i = 0; i < length; ++i) {
+    out += atoms[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(atoms.size()) - 1))];
+  }
+  return out;
+}
+
+double random_number(Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0: return 0.0;
+    case 1: return static_cast<double>(rng.uniform_int(-1000000, 1000000));
+    case 2: return rng.uniform(-1.0, 1.0);
+    case 3: return rng.uniform(0.0, 1.0) * 1e300;   // huge magnitude
+    case 4: return rng.uniform(0.0, 1.0) * 1e-300;  // tiny magnitude
+    default: return 9007199254740991.0;             // 2^53 - 1, max exact int
+  }
+}
+
+common::Json random_json(Rng& rng, int depth) {
+  // Leaves dominate as depth grows; depth 0 forces a leaf.
+  int kind = depth <= 0 ? rng.uniform_int(0, 3) : rng.uniform_int(0, 5);
+  switch (kind) {
+    case 0: return common::Json();  // null
+    case 1: return common::Json(rng.flip(0.5));
+    case 2: return common::Json(random_number(rng));
+    case 3: return common::Json(random_string(rng));
+    case 4: {
+      common::JsonArray array;
+      std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t i = 0; i < n; ++i) {
+        array.push_back(random_json(rng, depth - 1));
+      }
+      return common::Json(std::move(array));
+    }
+    default: {
+      common::Json object{common::JsonObject{}};
+      std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t i = 0; i < n; ++i) {
+        // Unique keys (set() replaces duplicates, which would change size).
+        object.set(std::to_string(i) + random_string(rng),
+                   random_json(rng, depth - 1));
+      }
+      return object;
+    }
+  }
+}
+
+class JsonProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonProperty, RandomDocumentsSurviveRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    common::Json document = random_json(rng, 5);
+    std::string text = document.dump();
+    common::Json reparsed = common::Json::parse(text);
+    EXPECT_EQ(reparsed, document) << text;
+    // Serialization is a fixed point: dump(parse(dump(x))) == dump(x).
+    EXPECT_EQ(reparsed.dump(), text);
+    // pretty() renders the same value.
+    EXPECT_EQ(common::Json::parse(document.pretty()), document);
+  }
+}
+
+TEST_P(JsonProperty, DeeplyNestedDocumentsRoundTrip) {
+  Rng rng(GetParam() + 31);
+  common::Json document(random_string(rng));
+  for (int level = 0; level < 64; ++level) {
+    if (rng.flip(0.5)) {
+      common::JsonArray wrap;
+      wrap.push_back(std::move(document));
+      document = common::Json(std::move(wrap));
+    } else {
+      common::Json wrap{common::JsonObject{}};
+      wrap.set("k", std::move(document));
+      document = std::move(wrap);
+    }
+  }
+  EXPECT_EQ(common::Json::parse(document.dump()), document);
+}
+
+TEST_P(JsonProperty, TracePayloadsSurviveRoundTrip) {
+  // The /ei_trace/{id} JSON: build a real trace with randomized span names
+  // and attribute values, serialize, reparse, and re-check the tree.
+  Rng rng(GetParam() + 62);
+  obs::Tracer::Options options;
+  options.enabled = true;
+  options.seed = GetParam();
+  obs::Tracer tracer(options);
+  std::uint64_t trace_id = 0;
+  std::size_t span_count = 1;
+  {
+    obs::Span root = tracer.begin_trace("root" + random_string(rng));
+    trace_id = root.trace_id();
+    std::size_t children = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t c = 0; c < children; ++c) {
+      obs::Span child = root.child("c" + std::to_string(c));
+      ++span_count;
+      child.set_attribute("text" + random_string(rng), random_string(rng));
+      child.set_attribute("num", random_number(rng));
+    }
+  }
+  auto record = tracer.find(trace_id);
+  ASSERT_TRUE(record.has_value());
+  common::Json document = record->to_json();
+  common::Json reparsed = common::Json::parse(document.dump());
+  EXPECT_EQ(reparsed, document);
+  EXPECT_EQ(reparsed.at("trace_id").as_string(), std::to_string(trace_id));
+  EXPECT_EQ(reparsed.at("span_count").as_number(),
+            static_cast<double>(span_count));
+  EXPECT_EQ(reparsed.at("root").at("children").as_array().size(),
+            span_count - 1);
+}
+
+TEST_P(JsonProperty, MetricsJsonMatchesRecordedSeries) {
+  Rng rng(GetParam() + 93);
+  obs::MetricsRegistry registry;
+  double total = 0.0;
+  int samples = rng.uniform_int(1, 200);
+  auto& histogram = registry.histogram("lat", {{"model", random_string(rng)}});
+  for (int i = 0; i < samples; ++i) {
+    double v = rng.uniform(0.0, 10.0);
+    total += v;
+    histogram.record(v);
+  }
+  registry.counter("events_total").add(total);
+  common::Json document = registry.to_json();
+  common::Json reparsed = common::Json::parse(document.dump());
+  EXPECT_EQ(reparsed, document);
+  // And the Prometheus text stays parseable line-wise: every non-comment
+  // line is "<name_or_labels> <value>".
+  std::string text = registry.render_prometheus();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+    }
+    start = end + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------------------------------
+// Histogram invariants over random inputs.
+// ---------------------------------------------------------------------------
+
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramProperty, CountsPartitionAndQuantilesAreMonotone) {
+  Rng rng(GetParam());
+  obs::Histogram histogram(1e-6, rng.uniform(1.5, 4.0),
+                           static_cast<std::size_t>(rng.uniform_int(4, 40)));
+  std::size_t samples = static_cast<std::size_t>(rng.uniform_int(1, 3000));
+  double sum = 0.0;
+  double max_value = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Log-uniform spread so every bucket regime (underflow, middle,
+    // overflow) gets traffic across seeds.
+    double v = std::pow(10.0, rng.uniform(-8.0, 3.0));
+    sum += v;
+    max_value = std::max(max_value, v);
+    histogram.record(v);
+  }
+  auto snapshot = histogram.snapshot();
+
+  // Bucket counts partition the observations.
+  std::uint64_t partition = 0;
+  for (std::uint64_t c : snapshot.counts) partition += c;
+  EXPECT_EQ(partition, samples);
+  EXPECT_EQ(snapshot.count, samples);
+  EXPECT_NEAR(snapshot.sum, sum, 1e-9 * std::max(1.0, sum));
+
+  // Quantiles are monotone in q and never exceed the data's reachable range.
+  double previous = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double value = snapshot.quantile(q);
+    EXPECT_GE(value + 1e-12, previous) << "q=" << q;
+    previous = value;
+  }
+  // p0..p100 all land within [0, max bucket bound hit by the data].
+  EXPECT_GE(snapshot.quantile(0.0), 0.0);
+}
+
+TEST_P(HistogramProperty, MergeIsAdditive) {
+  Rng rng(GetParam() + 17);
+  double growth = rng.uniform(1.5, 3.0);
+  std::size_t buckets = static_cast<std::size_t>(rng.uniform_int(5, 30));
+  obs::Histogram a(1e-6, growth, buckets);
+  obs::Histogram b(1e-6, growth, buckets);
+  obs::Histogram reference(1e-6, growth, buckets);
+  int samples = rng.uniform_int(10, 500);
+  for (int i = 0; i < samples; ++i) {
+    double v = std::pow(10.0, rng.uniform(-7.0, 2.0));
+    (rng.flip(0.5) ? a : b).record(v);
+    reference.record(v);
+  }
+  a.merge_from(b);
+  auto merged = a.snapshot();
+  auto expected = reference.snapshot();
+  EXPECT_EQ(merged.counts, expected.counts);
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_NEAR(merged.sum, expected.sum, 1e-9 * std::max(1.0, expected.sum));
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), expected.quantile(q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Values(9, 18, 27, 36, 45, 54, 63));
 
 TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {
   Rng rng(6);
