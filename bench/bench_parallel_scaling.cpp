@@ -217,10 +217,19 @@ int run(const Config& config) {
   std::size_t host_cpus = std::thread::hardware_concurrency();
   std::printf("host CPUs: %zu  (speedups are bounded by this)\n", host_cpus);
 
+  if (host_cpus <= 1) {
+    std::printf("WARNING: single-core host — speedup columns are not "
+                "meaningful (every sweep legitimately reports ~1.0x).\n");
+  }
+
   Json report(JsonObject{
       {"bench", Json("parallel_scaling")},
       {"quick", Json(config.quick)},
       {"host_cpus", Json(host_cpus)},
+      // Downstream tooling must not grade speedup_vs_1_thread on a
+      // single-core host; the flag makes that machine-checkable instead of
+      // a comment in the header.
+      {"speedup_valid", Json(host_cpus > 1)},
       {"gemm", run_gemm_sweep(config)},
       {"conv2d", run_conv_sweep(config)},
       {"batched_inference", run_batch_sweep(config)},

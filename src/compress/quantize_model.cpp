@@ -1,11 +1,32 @@
 #include "compress/quantize_model.h"
 
+#include <algorithm>
+
 #include "compress/pruning.h"
 #include "nn/conv.h"
 #include "nn/dense.h"
 #include "tensor/quantize.h"
 
 namespace openei::compress {
+
+void MinMaxObserver::observe(const nn::Tensor& t) {
+  if (t.elements() == 0) return;
+  float lo = t.min();
+  float hi = t.max();
+  if (!seen_) {
+    min_ = lo;
+    max_ = hi;
+    seen_ = true;
+    return;
+  }
+  min_ = std::min(min_, lo);
+  max_ = std::max(max_, hi);
+}
+
+tensor::QuantParams MinMaxObserver::params() const {
+  OPENEI_CHECK(seen_, "observer has no samples");
+  return tensor::QuantParams::choose(min_, max_);
+}
 
 CompressedModel quantize_int8(const nn::Model& model) {
   CompressedModel out{model.clone(), 0, "int8_quantization"};
@@ -18,9 +39,16 @@ CompressedModel quantize_int8(const nn::Model& model) {
       out.model.replace_layer(i, std::move(quantized));
       continue;
     }
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&out.model.layer(i))) {
+      auto quantized = nn::QuantizedConv2d::from_conv(*conv);
+      bytes += quantized->storage_bytes();
+      out.model.replace_layer(i, std::move(quantized));
+      continue;
+    }
     nn::Layer& layer = out.model.layer(i);
-    // Fake-quantize remaining weight tensors (conv, depthwise, factored):
-    // values are snapped to the int8 grid; storage counts 1 byte per weight.
+    // Fake-quantize remaining weight tensors (depthwise, factored, residual
+    // bodies): values are snapped to the int8 grid; storage counts 1 byte
+    // per weight.
     for (nn::Tensor* p : layer.parameters()) {
       if (is_weight_tensor(*p)) {
         *p = tensor::QuantizedTensor::quantize(*p).dequantize();
@@ -32,6 +60,33 @@ CompressedModel quantize_int8(const nn::Model& model) {
   }
 
   out.storage_bytes = bytes;
+  return out;
+}
+
+CompressedModel quantize_int8(const nn::Model& model,
+                              const nn::Tensor& calibration) {
+  CompressedModel out = quantize_int8(model);
+
+  // Record the float activation range entering each layer over the
+  // calibration batch (inference mode, so dropout is identity and batchnorm
+  // uses running statistics — the same distribution inference sees).
+  nn::Model float_model = model.clone();
+  std::vector<MinMaxObserver> observers(float_model.layer_count());
+  nn::Tensor x = calibration;
+  for (std::size_t i = 0; i < float_model.layer_count(); ++i) {
+    observers[i].observe(x);
+    x = float_model.layer(i).forward(x, /*training=*/false);
+  }
+
+  for (std::size_t i = 0; i < out.model.layer_count(); ++i) {
+    if (!observers[i].seen()) continue;
+    if (auto* qd = dynamic_cast<nn::QuantizedDense*>(&out.model.layer(i))) {
+      qd->set_input_params(observers[i].params());
+    } else if (auto* qc =
+                   dynamic_cast<nn::QuantizedConv2d*>(&out.model.layer(i))) {
+      qc->set_input_params(observers[i].params());
+    }
+  }
   return out;
 }
 

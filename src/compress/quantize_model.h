@@ -1,15 +1,41 @@
 // Post-training int8 quantization — the optimization TensorFlow Lite /
-// QNNPACK apply (paper Sec. IV-B "quantized kernels").  Dense layers are
-// replaced by QuantizedDense (true int8 storage + int8 matmul); conv weights
-// are fake-quantized in place (quantize→dequantize), modelling weight-only
+// QNNPACK apply (paper Sec. IV-B "quantized kernels").  Dense and Conv2d
+// layers are replaced by QuantizedDense / QuantizedConv2d (true int8 storage
+// + int8 GEMM execution); remaining weight tensors (depthwise, factored,
+// residual bodies) are fake-quantized in place, modelling weight-only
 // quantization with int8 storage accounting.
 #pragma once
 
 #include "compress/compressed_model.h"
+#include "tensor/quantize.h"
 
 namespace openei::compress {
 
-/// Quantizes every dense and conv weight tensor to int8.
+/// Running min/max over observed activations; drives post-training
+/// calibration (fixed QuantParams per layer boundary instead of per-call
+/// dynamic ranges).
+class MinMaxObserver {
+ public:
+  void observe(const nn::Tensor& t);
+  bool seen() const { return seen_; }
+  /// Parameters covering everything observed so far (zero-extended range).
+  tensor::QuantParams params() const;
+
+ private:
+  float min_ = 0.0F;
+  float max_ = 0.0F;
+  bool seen_ = false;
+};
+
+/// Quantizes every dense and conv weight tensor to int8.  Activation ranges
+/// stay dynamic (chosen per call from each batch's min/max).
 CompressedModel quantize_int8(const nn::Model& model);
+
+/// Same, then calibrates: runs the float model over `calibration` batch by
+/// layer, records each quantized layer's input range with a MinMaxObserver,
+/// and pins the resulting QuantParams so inference uses fixed activation
+/// scales (deterministic and cheaper than per-call range scans).
+CompressedModel quantize_int8(const nn::Model& model,
+                              const nn::Tensor& calibration);
 
 }  // namespace openei::compress

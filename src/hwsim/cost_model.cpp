@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "nn/conv.h"
 #include "nn/dense.h"
 
 namespace openei::hwsim {
@@ -23,28 +24,29 @@ double model_zero_fraction(const nn::Model& model) {
   return total == 0 ? 0.0 : static_cast<double>(zeros) / static_cast<double>(total);
 }
 
-/// Fraction of the model's parameters living in int8-quantized layers.
+}  // namespace
+
 double model_int8_fraction(const nn::Model& model) {
   std::size_t int8_params = 0;
   std::size_t total = 0;
   for (std::size_t i = 0; i < model.layer_count(); ++i) {
     auto& layer = const_cast<nn::Layer&>(model.layer(i));
-    std::size_t count = layer.param_count();
-    total += count;
-    if (dynamic_cast<const nn::QuantizedDense*>(&model.layer(i)) != nullptr) {
-      // QuantizedDense exposes no float parameters; count its weights.
-      const auto& qd = dynamic_cast<const nn::QuantizedDense&>(model.layer(i));
-      std::size_t qcount = qd.quantized_weights().shape().elements();
-      int8_params += qcount;
-      total += qcount;
+    total += layer.param_count();
+    // Quantized layers expose no float parameters; count their int8 weights.
+    std::size_t qcount = 0;
+    if (const auto* qd = dynamic_cast<const nn::QuantizedDense*>(&model.layer(i))) {
+      qcount = qd->weight_count();
+    } else if (const auto* qc =
+                   dynamic_cast<const nn::QuantizedConv2d*>(&model.layer(i))) {
+      qcount = qc->weight_count();
     }
+    int8_params += qcount;
+    total += qcount;
   }
   return total == 0 ? 0.0
                     : static_cast<double>(int8_params) /
                           static_cast<double>(total);
 }
-
-}  // namespace
 
 std::size_t peak_activation_bytes(const nn::Model& model) {
   std::size_t peak = model.input_shape().elements();

@@ -23,6 +23,11 @@ struct InferenceCost {
 /// pair across layers (a two-buffer executor).
 std::size_t peak_activation_bytes(const nn::Model& model);
 
+/// Fraction of the model's parameters living in int8-quantized layers
+/// (QuantizedDense / QuantizedConv2d).  Drives the int8-datapath roofline
+/// speedup and is surfaced per model by the EI service.
+double model_int8_fraction(const nn::Model& model);
+
 /// Roofline inference cost.  Latency = per-op dispatch + max(compute, memory
 /// traffic) scaled by package efficiency; energy = device inference power x
 /// latency; memory = model storage + activations + package runtime.

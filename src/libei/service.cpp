@@ -208,6 +208,16 @@ HttpResponse EiService::handle_status() {
   tracing.set("completed_traces", tracer_.completed_traces());
   tracing.set("ring_capacity", tracer_.options().ring_capacity);
   out.set("tracing", std::move(tracing));
+  // Which cached sessions run on the zero-alloc arena (plans exist for all
+  // supported layer types; absent models just have no warm session yet).
+  Json arenas{JsonObject{}};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (const auto& [name, session] : session_cache_) {
+      arenas.set(name, session->arena_active());
+    }
+  }
+  out.set("forward_arena", std::move(arenas));
   return HttpResponse::json(200, out.dump());
 }
 
@@ -463,6 +473,9 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
       infer_span.set_attribute(
           "peak_tensor_bytes",
           static_cast<double>(allocation.peak_live_bytes));
+      // Zero peak_tensor_bytes means the zero-alloc arena served the forward;
+      // the flag lets trace consumers tell that apart from a broken tracker.
+      infer_span.set_attribute("arena", session->arena_active() ? 1.0 : 0.0);
     }
   }
   infer_span.finish();
@@ -514,6 +527,7 @@ HttpResponse EiService::handle_models(const HttpRequest& request,
       row.set("accuracy", entry.accuracy);
       row.set("params", entry.model.param_count());
       row.set("storage_bytes", entry.model.storage_bytes());
+      row.set("int8_fraction", hwsim::model_int8_fraction(entry.model));
       models.push_back(std::move(row));
     }
     Json out{JsonObject{}};

@@ -26,8 +26,11 @@ class BatchNorm : public Layer {
   common::Json config() const override;
 
   std::size_t features() const { return features_; }
+  float epsilon() const { return epsilon_; }
   Tensor& running_mean() { return running_mean_; }
   Tensor& running_var() { return running_var_; }
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
 
  private:
   /// Maps a flat element index to its feature/channel index for the cached

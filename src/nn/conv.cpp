@@ -1,6 +1,8 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/parallel.h"
 
@@ -161,6 +163,149 @@ common::Json Conv2d::config() const {
   cfg.set("kernel", spec_.kernel);
   cfg.set("stride", spec_.stride);
   cfg.set("padding", spec_.padding);
+  return cfg;
+}
+
+QuantizedConv2d::QuantizedConv2d(Conv2dSpec spec,
+                                 tensor::PackedQuantMatrix packed, Tensor bias)
+    : spec_(spec), packed_(std::move(packed)), bias_(std::move(bias)) {
+  OPENEI_CHECK(packed_.rows() == spec_.out_channels &&
+                   packed_.cols() ==
+                       spec_.in_channels * spec_.kernel * spec_.kernel,
+               "quantized conv packed weight shape mismatch");
+  OPENEI_CHECK(bias_.elements() == spec_.out_channels,
+               "quantized conv bias size mismatch");
+}
+
+std::unique_ptr<QuantizedConv2d> QuantizedConv2d::from_conv(const Conv2d& conv) {
+  const Conv2dSpec& spec = conv.spec();
+  std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  return std::make_unique<QuantizedConv2d>(
+      spec,
+      tensor::PackedQuantMatrix::pack_rows(
+          conv.weights().reshaped(Shape{spec.out_channels, patch}),
+          /*per_channel=*/true),
+      conv.bias());
+}
+
+tensor::QuantParams QuantizedConv2d::effective_input_params(
+    const float* input, std::size_t n) const {
+  if (input_params_) return *input_params_;
+  float min_v = 0.0F;
+  float max_v = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_v = std::min(min_v, input[i]);
+    max_v = std::max(max_v, input[i]);
+  }
+  return tensor::QuantParams::choose(min_v, max_v);
+}
+
+void QuantizedConv2d::forward_into(const float* input, std::size_t n,
+                                   std::size_t in_h, std::size_t in_w,
+                                   std::int8_t* input_staging,
+                                   std::int8_t* patch_staging,
+                                   float* gemm_scratch, bool fuse_relu,
+                                   float* out) const {
+  std::size_t out_h = spec_.out_size(in_h);
+  std::size_t out_w = spec_.out_size(in_w);
+  std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  std::size_t gemm_rows = n * out_h * out_w;
+  std::size_t input_elems = n * spec_.in_channels * in_h * in_w;
+
+  tensor::QuantParams params = effective_input_params(input, input_elems);
+  // Quantize the NCHW input once (each pixel rounds once, not k^2 times),
+  // then gather patches in int8 — transposed [patch, rows], so the gather is
+  // contiguous memcpy/memset runs and the GEMM stages its lane tiles with
+  // in-register byte transposes.  The zero point encodes 0.0 exactly, so
+  // padding matches the float path.
+  tensor::quantize_to_int8(input, input_elems, params, input_staging);
+  tensor::im2col_q8t(input_staging, n, in_h, in_w, spec_,
+                     static_cast<std::int8_t>(params.zero_point),
+                     patch_staging);
+  tensor::qgemm_t(patch_staging, gemm_rows, patch, params, packed_,
+                  bias_.data().data(), fuse_relu, gemm_scratch);
+
+  // Scatter [N*oh*ow, oc] back to NCHW; images write disjoint slices (same
+  // decomposition as the float conv2d_im2col path).
+  std::size_t rows_per_image = out_h * out_w;
+  std::size_t image_out = spec_.out_channels * rows_per_image;
+  common::parallel_for(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          const float* src = gemm_scratch + b * rows_per_image * spec_.out_channels;
+          float* dst = out + b * image_out;
+          for (std::size_t pix = 0; pix < rows_per_image; ++pix) {
+            for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+              dst[oc * rows_per_image + pix] = src[pix * spec_.out_channels + oc];
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+Tensor QuantizedConv2d::forward(const Tensor& input, bool training) {
+  OPENEI_CHECK(!training, "QuantizedConv2d is inference-only");
+  OPENEI_CHECK(input.shape().rank() == 4 &&
+                   input.shape().dim(1) == spec_.in_channels,
+               "quantized conv input must be NCHW with C=", spec_.in_channels);
+  std::size_t n = input.shape().dim(0);
+  std::size_t in_h = input.shape().dim(2);
+  std::size_t in_w = input.shape().dim(3);
+  std::size_t out_h = spec_.out_size(in_h);
+  std::size_t out_w = spec_.out_size(in_w);
+  std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+
+  std::vector<std::int8_t> input_staging(input.elements());
+  std::vector<std::int8_t> patch_staging(n * out_h * out_w * patch);
+  std::vector<float> gemm_scratch(n * out_h * out_w * spec_.out_channels);
+  Tensor out(Shape{n, spec_.out_channels, out_h, out_w});
+  forward_into(input.data().data(), n, in_h, in_w, input_staging.data(),
+               patch_staging.data(), gemm_scratch.data(), /*fuse_relu=*/false,
+               out.data().data());
+  return out;
+}
+
+Tensor QuantizedConv2d::backward(const Tensor&) {
+  throw openei::InvalidArgument("QuantizedConv2d does not support training");
+}
+
+Shape QuantizedConv2d::output_shape(const Shape& input) const {
+  OPENEI_CHECK(input.rank() == 3 && input.dim(0) == spec_.in_channels,
+               "quantized conv expects sample shape [C,H,W] with C=",
+               spec_.in_channels, ", got ", input.to_string());
+  return Shape{spec_.out_channels, spec_.out_size(input.dim(1)),
+               spec_.out_size(input.dim(2))};
+}
+
+std::size_t QuantizedConv2d::flops(const Shape& input) const {
+  Shape out = output_shape(input);
+  return 2 * out.elements() * spec_.kernel * spec_.kernel * spec_.in_channels;
+}
+
+std::unique_ptr<Layer> QuantizedConv2d::clone() const {
+  auto copy = std::make_unique<QuantizedConv2d>(spec_, packed_, bias_);
+  copy->input_params_ = input_params_;
+  return copy;
+}
+
+common::Json QuantizedConv2d::config() const {
+  common::Json cfg{common::JsonObject{}};
+  cfg.set("in_channels", spec_.in_channels);
+  cfg.set("out_channels", spec_.out_channels);
+  cfg.set("kernel", spec_.kernel);
+  cfg.set("stride", spec_.stride);
+  cfg.set("padding", spec_.padding);
+  cfg.set("per_channel", packed_.per_channel());
+  cfg.set("weight_zero_point", packed_.weight_zero_point());
+  common::JsonArray scales;
+  for (float s : packed_.scales()) scales.push_back(common::Json{static_cast<double>(s)});
+  cfg.set("scales", common::Json{std::move(scales)});
+  if (input_params_) {
+    cfg.set("input_scale", static_cast<double>(input_params_->scale));
+    cfg.set("input_zero_point", input_params_->zero_point);
+  }
   return cfg;
 }
 

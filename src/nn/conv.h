@@ -2,8 +2,11 @@
 // depthwise variant underlying MobileNet-style EI models (paper Sec. IV-A2).
 #pragma once
 
+#include <optional>
+
 #include "nn/layer.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 
 namespace openei::nn {
 
@@ -37,6 +40,62 @@ class Conv2d : public Layer {
   Tensor grad_bias_;
   Tensor cached_patches_;     // im2col of the last training input
   Shape cached_input_shape_;  // NCHW of the last training input
+};
+
+/// Convolution whose weights are stored int8-packed; inference-only.  The
+/// forward path is genuinely quantized (unlike the old fake-quantize
+/// round-trip): the input is quantized to int8 NCHW once, patches are
+/// gathered in int8 (padding gathers the activation zero point — the exact
+/// encoding of 0.0), and the packed [oc, ic*k*k] weights run through the
+/// int8 GEMM with a fused requantize(+bias)(+ReLU) epilogue.
+class QuantizedConv2d : public Layer {
+ public:
+  QuantizedConv2d(tensor::Conv2dSpec spec, tensor::PackedQuantMatrix packed,
+                  Tensor bias);
+  /// Quantizes an existing Conv2d's weights per-output-channel.
+  static std::unique_ptr<QuantizedConv2d> from_conv(const Conv2d& conv);
+
+  std::string type() const override { return "quantized_conv2d"; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t flops(const Shape& input) const override;
+  std::unique_ptr<Layer> clone() const override;
+  common::Json config() const override;
+
+  /// int8 weights + per-row scales + float bias storage footprint.
+  std::size_t storage_bytes() const {
+    return packed_.storage_bytes() + bias_.size_bytes();
+  }
+  std::size_t weight_count() const { return packed_.rows() * packed_.cols(); }
+  const tensor::Conv2dSpec& spec() const { return spec_; }
+  const tensor::PackedQuantMatrix& packed_weights() const { return packed_; }
+  const Tensor& bias() const { return bias_; }
+
+  /// Calibrated input quantization parameters; unset means dynamic.
+  const std::optional<tensor::QuantParams>& input_params() const {
+    return input_params_;
+  }
+  void set_input_params(tensor::QuantParams params) { input_params_ = params; }
+
+  /// Raw-buffer forward shared by forward() and the zero-alloc arena.
+  /// Caller provides int8 staging for the quantized input
+  /// (n*in_c*in_h*in_w), int8 staging for the gathered patches
+  /// (n*out_h*out_w * in_c*k*k), float scratch for the GEMM result
+  /// ([n*out_h*out_w, out_c]), and the NCHW output buffer.
+  void forward_into(const float* input, std::size_t n, std::size_t in_h,
+                    std::size_t in_w, std::int8_t* input_staging,
+                    std::int8_t* patch_staging, float* gemm_scratch,
+                    bool fuse_relu, float* out) const;
+
+ private:
+  tensor::QuantParams effective_input_params(const float* input,
+                                             std::size_t n) const;
+
+  tensor::Conv2dSpec spec_;
+  tensor::PackedQuantMatrix packed_;  // [oc, ic*k*k] int8, row-major
+  Tensor bias_;                       // [oc]
+  std::optional<tensor::QuantParams> input_params_;
 };
 
 /// Trainable depthwise 2-D convolution (one filter per channel).
@@ -82,6 +141,8 @@ class MaxPool2d : public Layer {
   std::unique_ptr<Layer> clone() const override;
   common::Json config() const override;
 
+  std::size_t window() const { return window_; }
+
  private:
   std::size_t window_;
   Shape cached_input_shape_;
@@ -100,6 +161,8 @@ class AvgPool2d : public Layer {
   std::size_t flops(const Shape& input) const override { return input.elements(); }
   std::unique_ptr<Layer> clone() const override;
   common::Json config() const override;
+
+  std::size_t window() const { return window_; }
 
  private:
   std::size_t window_;

@@ -1,6 +1,8 @@
 #include "nn/dense.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/parallel.h"
 #include "tensor/ops.h"
@@ -79,25 +81,56 @@ common::Json Dense::config() const {
   return cfg;
 }
 
-QuantizedDense::QuantizedDense(tensor::QuantizedTensor weights, Tensor bias)
-    : weights_(std::move(weights)), bias_(std::move(bias)) {
-  OPENEI_CHECK(weights_.shape().rank() == 2, "quantized dense weights must be rank 2");
-  OPENEI_CHECK(bias_.elements() == weights_.shape().dim(1),
+QuantizedDense::QuantizedDense(tensor::PackedQuantMatrix packed, Tensor bias)
+    : packed_(std::move(packed)), bias_(std::move(bias)) {
+  OPENEI_CHECK(bias_.elements() == packed_.rows(),
                "quantized dense bias size mismatch");
 }
 
+QuantizedDense::QuantizedDense(tensor::QuantizedTensor weights, Tensor bias)
+    : QuantizedDense(tensor::PackedQuantMatrix::from_per_tensor(weights),
+                     std::move(bias)) {}
+
 std::unique_ptr<QuantizedDense> QuantizedDense::from_dense(const Dense& dense) {
   return std::make_unique<QuantizedDense>(
-      tensor::QuantizedTensor::quantize(dense.weights()), dense.bias());
+      tensor::PackedQuantMatrix::pack_transposed(dense.weights(),
+                                                 /*per_channel=*/true),
+      dense.bias());
+}
+
+tensor::QuantParams QuantizedDense::effective_input_params(const float* input,
+                                                           std::size_t n) const {
+  if (input_params_) return *input_params_;
+  float min_v = 0.0F;
+  float max_v = 0.0F;
+  for (std::size_t i = 0; i < n; ++i) {
+    min_v = std::min(min_v, input[i]);
+    max_v = std::max(max_v, input[i]);
+  }
+  return tensor::QuantParams::choose(min_v, max_v);
+}
+
+void QuantizedDense::forward_into(const float* input, std::size_t rows,
+                                  std::int8_t* staging, bool fuse_relu,
+                                  float* out) const {
+  std::size_t n = rows * in_features();
+  tensor::QuantParams params = effective_input_params(input, n);
+  tensor::quantize_to_int8(input, n, params, staging);
+  tensor::qgemm(staging, rows, in_features(), params, packed_,
+                bias_.data().data(), fuse_relu, out);
 }
 
 Tensor QuantizedDense::forward(const Tensor& input, bool training) {
   OPENEI_CHECK(!training, "QuantizedDense is inference-only");
   OPENEI_CHECK(input.shape().rank() == 2 &&
-                   input.shape().dim(1) == weights_.shape().dim(0),
+                   input.shape().dim(1) == in_features(),
                "quantized dense input shape mismatch");
-  tensor::QuantizedTensor q_input = tensor::QuantizedTensor::quantize(input);
-  return tensor::add_row_bias(tensor::quantized_matmul(q_input, weights_), bias_);
+  std::size_t rows = input.shape().dim(0);
+  std::vector<std::int8_t> staging(rows * in_features());
+  Tensor out(Shape{rows, out_features()});
+  forward_into(input.data().data(), rows, staging.data(), /*fuse_relu=*/false,
+               out.data().data());
+  return out;
 }
 
 Tensor QuantizedDense::backward(const Tensor&) {
@@ -105,26 +138,35 @@ Tensor QuantizedDense::backward(const Tensor&) {
 }
 
 Shape QuantizedDense::output_shape(const Shape& input) const {
-  OPENEI_CHECK(input.rank() == 1 && input.dim(0) == weights_.shape().dim(0),
+  OPENEI_CHECK(input.rank() == 1 && input.dim(0) == in_features(),
                "quantized dense sample shape mismatch");
-  return Shape{weights_.shape().dim(1)};
+  return Shape{out_features()};
 }
 
 std::size_t QuantizedDense::flops(const Shape& input) const {
   (void)output_shape(input);
-  return 2 * weights_.shape().dim(0) * weights_.shape().dim(1);
+  return 2 * in_features() * out_features();
 }
 
 std::unique_ptr<Layer> QuantizedDense::clone() const {
-  return std::make_unique<QuantizedDense>(weights_, bias_);
+  auto copy = std::make_unique<QuantizedDense>(packed_, bias_);
+  copy->input_params_ = input_params_;
+  return copy;
 }
 
 common::Json QuantizedDense::config() const {
   common::Json cfg{common::JsonObject{}};
-  cfg.set("in", weights_.shape().dim(0));
-  cfg.set("out", weights_.shape().dim(1));
-  cfg.set("scale", static_cast<double>(weights_.params().scale));
-  cfg.set("zero_point", weights_.params().zero_point);
+  cfg.set("in", in_features());
+  cfg.set("out", out_features());
+  cfg.set("per_channel", packed_.per_channel());
+  cfg.set("weight_zero_point", packed_.weight_zero_point());
+  common::JsonArray scales;
+  for (float s : packed_.scales()) scales.push_back(common::Json{static_cast<double>(s)});
+  cfg.set("scales", common::Json{std::move(scales)});
+  if (input_params_) {
+    cfg.set("input_scale", static_cast<double>(input_params_->scale));
+    cfg.set("input_zero_point", input_params_->zero_point);
+  }
   return cfg;
 }
 

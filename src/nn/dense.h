@@ -2,6 +2,8 @@
 // a low-rank factored pair and an int8 weight-quantized dense layer.
 #pragma once
 
+#include <optional>
+
 #include "nn/layer.h"
 #include "tensor/quantize.h"
 
@@ -41,12 +43,19 @@ class Dense : public Layer {
 };
 
 /// Dense layer whose weights are stored int8-quantized; inference-only.
-/// Storage is ~4x smaller; forward uses the quantized matmul kernel
-/// (the paper's "quantized kernels" latency optimization, Sec. IV-B).
+/// Weights are packed once at construction (per-output-channel symmetric by
+/// default) and forward runs the real int8 GEMM — the paper's "quantized
+/// kernels" latency optimization, Sec. IV-B, not just the storage win.
+/// Activation parameters are either calibrated (set_input_params from a
+/// min/max observer pass) or chosen dynamically per call.
 class QuantizedDense : public Layer {
  public:
+  /// Packed per-channel weights + float bias (the build-time cached form).
+  QuantizedDense(tensor::PackedQuantMatrix packed, Tensor bias);
+  /// Legacy per-tensor affine weights stored [in, out]; the exact int8
+  /// values are adopted (pre-per-channel serialized models).
   QuantizedDense(tensor::QuantizedTensor weights, Tensor bias);
-  /// Quantizes an existing Dense layer's weights.
+  /// Quantizes an existing Dense layer's weights (per-channel).
   static std::unique_ptr<QuantizedDense> from_dense(const Dense& dense);
 
   std::string type() const override { return "quantized_dense"; }
@@ -57,16 +66,39 @@ class QuantizedDense : public Layer {
   std::unique_ptr<Layer> clone() const override;
   common::Json config() const override;
 
-  /// int8 weights + float bias storage footprint.
+  /// int8 weights + per-row scales + float bias storage footprint.
   std::size_t storage_bytes() const {
-    return weights_.size_bytes() + bias_.size_bytes();
+    return packed_.storage_bytes() + bias_.size_bytes();
   }
-  const tensor::QuantizedTensor& quantized_weights() const { return weights_; }
+  std::size_t in_features() const { return packed_.cols(); }
+  std::size_t out_features() const { return packed_.rows(); }
+  std::size_t weight_count() const { return packed_.rows() * packed_.cols(); }
+  const tensor::PackedQuantMatrix& packed_weights() const { return packed_; }
   const Tensor& bias() const { return bias_; }
 
+  /// Calibrated input quantization parameters; unset means dynamic (per-call
+  /// min/max) quantization.
+  const std::optional<tensor::QuantParams>& input_params() const {
+    return input_params_;
+  }
+  void set_input_params(tensor::QuantParams params) { input_params_ = params; }
+
+  /// Parameters actually used to quantize `input` this call (calibrated when
+  /// set, else fit to the batch range).
+  tensor::QuantParams effective_input_params(const float* input,
+                                             std::size_t n) const;
+
+  /// Raw-buffer forward shared by forward() and the zero-alloc arena:
+  /// quantizes `rows * in_features()` floats into `staging` (caller-provided,
+  /// same element count) and runs the int8 GEMM (+bias, optional fused ReLU)
+  /// into `out` ([rows, out_features()]).
+  void forward_into(const float* input, std::size_t rows, std::int8_t* staging,
+                    bool fuse_relu, float* out) const;
+
  private:
-  tensor::QuantizedTensor weights_;  // [in, out] int8
+  tensor::PackedQuantMatrix packed_;  // [out, in] int8, row-major
   Tensor bias_;
+  std::optional<tensor::QuantParams> input_params_;
 };
 
 /// Low-rank factored dense layer: y = (x U) V + b with U: [in, r], V: [r, out].

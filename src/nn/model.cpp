@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "nn/conv.h"
 #include "nn/dense.h"
 
 namespace openei::nn {
@@ -174,6 +175,9 @@ std::size_t Model::storage_bytes() const {
   for (const auto& layer : layers_) {
     if (const auto* quantized = dynamic_cast<const QuantizedDense*>(layer.get())) {
       total += quantized->storage_bytes();
+    } else if (const auto* qconv =
+                   dynamic_cast<const QuantizedConv2d*>(layer.get())) {
+      total += qconv->storage_bytes();
     } else {
       total += const_cast<Layer&>(*layer).param_count() * sizeof(float);
     }

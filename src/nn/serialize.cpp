@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iterator>
+#include <optional>
 
 #include "nn/activations.h"
 #include "nn/batchnorm.h"
@@ -43,6 +44,54 @@ Tensor tensor_from_json(const Json& doc) {
   return Tensor(tensor::Shape(std::move(dims)), std::move(data));
 }
 
+/// int8 payload of a packed weight matrix; the per-row scales / zero point /
+/// layout flag travel in the layer config.
+Json packed_to_json(const tensor::PackedQuantMatrix& packed) {
+  JsonArray shape;
+  shape.emplace_back(packed.rows());
+  shape.emplace_back(packed.cols());
+  JsonArray values;
+  values.reserve(packed.data().size());
+  for (std::int8_t v : packed.data()) values.emplace_back(static_cast<int>(v));
+  Json out{JsonObject{}};
+  out.set("shape", Json(std::move(shape)));
+  out.set("values", Json(std::move(values)));
+  return out;
+}
+
+tensor::PackedQuantMatrix packed_from_json(const Json& weights, const Json& cfg) {
+  const JsonArray& shape = weights.at("shape").as_array();
+  OPENEI_CHECK(shape.size() == 2, "packed weights must be rank 2");
+  auto rows = static_cast<std::size_t>(shape[0].as_int());
+  auto cols = static_cast<std::size_t>(shape[1].as_int());
+  std::vector<std::int8_t> values;
+  values.reserve(rows * cols);
+  for (const Json& v : weights.at("values").as_array()) {
+    values.push_back(static_cast<std::int8_t>(v.as_int()));
+  }
+  std::vector<float> scales;
+  for (const Json& s : cfg.at("scales").as_array()) {
+    scales.push_back(static_cast<float>(s.as_number()));
+  }
+  auto weight_zero_point =
+      cfg.contains("weight_zero_point")
+          ? static_cast<std::int32_t>(cfg.at("weight_zero_point").as_int())
+          : 0;
+  bool per_channel =
+      cfg.contains("per_channel") ? cfg.at("per_channel").as_bool() : true;
+  return {rows, cols, std::move(values), std::move(scales), weight_zero_point,
+          per_channel};
+}
+
+std::optional<tensor::QuantParams> input_params_from_config(const Json& cfg) {
+  if (!cfg.contains("input_scale")) return std::nullopt;
+  tensor::QuantParams params;
+  params.scale = static_cast<float>(cfg.at("input_scale").as_number());
+  params.zero_point =
+      static_cast<std::int32_t>(cfg.at("input_zero_point").as_int());
+  return params;
+}
+
 tensor::Conv2dSpec spec_from_config(const Json& cfg, bool depthwise) {
   tensor::Conv2dSpec spec;
   if (depthwise) {
@@ -79,17 +128,12 @@ Json layer_to_json(const Layer& layer) {
     doc.set("bias", tensor_to_json(dense.bias()));
   } else if (type == "quantized_dense") {
     const auto& qd = dynamic_cast<const QuantizedDense&>(layer);
-    const auto& qw = qd.quantized_weights();
-    JsonArray q_values;
-    q_values.reserve(qw.data().size());
-    for (std::int8_t v : qw.data()) q_values.emplace_back(static_cast<int>(v));
-    JsonArray shape;
-    for (std::size_t d : qw.shape().dims()) shape.emplace_back(d);
-    Json weights{JsonObject{}};
-    weights.set("shape", Json(std::move(shape)));
-    weights.set("values", Json(std::move(q_values)));
-    doc.set("weights", std::move(weights));
+    doc.set("weights", packed_to_json(qd.packed_weights()));
     doc.set("bias", tensor_to_json(qd.bias()));
+  } else if (type == "quantized_conv2d") {
+    const auto& qc = dynamic_cast<const QuantizedConv2d&>(layer);
+    doc.set("weights", packed_to_json(qc.packed_weights()));
+    doc.set("bias", tensor_to_json(qc.bias()));
   } else if (type == "factored_dense") {
     const auto& fd = dynamic_cast<const FactoredDense&>(layer);
     doc.set("u", tensor_to_json(fd.u()));
@@ -143,6 +187,16 @@ LayerPtr layer_from_json(const Json& doc) {
   }
   if (type == "quantized_dense") {
     const Json& weights = doc.at("weights");
+    if (cfg.contains("scales")) {
+      auto layer = std::make_unique<QuantizedDense>(
+          packed_from_json(weights, cfg), tensor_from_json(doc.at("bias")));
+      if (auto params = input_params_from_config(cfg)) {
+        layer->set_input_params(*params);
+      }
+      return layer;
+    }
+    // Legacy per-tensor affine format: weights stored [in, out] with one
+    // scale/zero_point pair in the config.
     std::vector<std::size_t> dims;
     for (const Json& d : weights.at("shape").as_array()) {
       dims.push_back(static_cast<std::size_t>(d.as_int()));
@@ -158,6 +212,15 @@ LayerPtr layer_from_json(const Json& doc) {
         tensor::QuantizedTensor(tensor::Shape(std::move(dims)), std::move(values),
                                 params),
         tensor_from_json(doc.at("bias")));
+  }
+  if (type == "quantized_conv2d") {
+    auto layer = std::make_unique<QuantizedConv2d>(
+        spec_from_config(cfg, false), packed_from_json(doc.at("weights"), cfg),
+        tensor_from_json(doc.at("bias")));
+    if (auto params = input_params_from_config(cfg)) {
+      layer->set_input_params(*params);
+    }
+    return layer;
   }
   if (type == "factored_dense") {
     return std::make_unique<FactoredDense>(tensor_from_json(doc.at("u")),

@@ -18,11 +18,28 @@ InferenceSession::InferenceSession(nn::Model model, hwsim::PackageSpec package,
         "model '", model_.name(), "' needs ", per_sample_.memory_bytes,
         " bytes but device '", device_.name, "' has ", device_.ram_bytes));
   }
+  // Pre-plan the zero-alloc forward arena; single-sample buffers are grown
+  // here so a steady-state run(1-row batch) never touches the heap.
+  arena_ = ForwardArena::plan(model_);
+  if (arena_ != nullptr) {
+    arena_->reserve(1);
+    arena_mutex_ = std::make_unique<std::mutex>();
+  }
 }
 
 InferenceResult InferenceSession::run(const nn::Tensor& batch) {
   InferenceResult result;
-  result.predictions = model_.predict(batch);
+  std::size_t rows = batch.shape().dim(0);
+  bool done = false;
+  if (arena_ != nullptr && batch.elements() == rows * arena_->input_elems()) {
+    std::unique_lock<std::mutex> lock(*arena_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      result.predictions.resize(rows);
+      arena_->predict(batch.data().data(), rows, result.predictions.data());
+      done = true;
+    }
+  }
+  if (!done) result.predictions = model_.predict(batch);
   result.per_sample = per_sample_;
   auto n = static_cast<double>(batch.shape().dim(0));
   result.batch_latency_s = per_sample_.latency_s * n;
@@ -43,18 +60,44 @@ std::vector<InferenceResult> InferenceSession::predict_batch(
     total_rows += request.shape().dim(0);
   }
 
-  std::vector<std::size_t> dims{total_rows};
-  for (std::size_t d : model_.input_shape().dims()) dims.push_back(d);
-  nn::Tensor fused{tensor::Shape(dims)};
-  auto out = fused.data();
-  std::size_t offset = 0;
-  for (const nn::Tensor& request : requests) {
-    auto in = request.data();
-    std::copy(in.begin(), in.end(), out.begin() + offset);
-    offset += in.size();
+  // Arena path: stage fused rows into a grow-only scratch vector and run the
+  // pre-planned executor — no Tensor construction, so steady-state batched
+  // inference stays allocation-free.  Values are bit-identical to the Tensor
+  // path (the arena replicates every layer's arithmetic exactly).
+  std::vector<std::size_t> fused_predictions;
+  bool done = false;
+  if (arena_ != nullptr) {
+    std::unique_lock<std::mutex> lock(*arena_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      if (fused_staging_.size() < total_rows * sample_elems) {
+        fused_staging_.resize(total_rows * sample_elems);
+      }
+      std::size_t offset = 0;
+      for (const nn::Tensor& request : requests) {
+        auto in = request.data();
+        std::copy(in.begin(), in.end(), fused_staging_.begin() + offset);
+        offset += in.size();
+      }
+      if (pred_staging_.size() < total_rows) pred_staging_.resize(total_rows);
+      arena_->predict(fused_staging_.data(), total_rows, pred_staging_.data());
+      fused_predictions.assign(pred_staging_.begin(),
+                               pred_staging_.begin() + total_rows);
+      done = true;
+    }
   }
-
-  InferenceResult fused_result = run(fused);
+  if (!done) {
+    std::vector<std::size_t> dims{total_rows};
+    for (std::size_t d : model_.input_shape().dims()) dims.push_back(d);
+    nn::Tensor fused{tensor::Shape(dims)};
+    auto out = fused.data();
+    std::size_t offset = 0;
+    for (const nn::Tensor& request : requests) {
+      auto in = request.data();
+      std::copy(in.begin(), in.end(), out.begin() + offset);
+      offset += in.size();
+    }
+    fused_predictions = model_.predict(fused);
+  }
 
   std::vector<InferenceResult> results;
   results.reserve(requests.size());
@@ -62,8 +105,8 @@ std::vector<InferenceResult> InferenceSession::predict_batch(
   for (const nn::Tensor& request : requests) {
     std::size_t rows = request.shape().dim(0);
     InferenceResult slice;
-    slice.predictions.assign(fused_result.predictions.begin() + row,
-                             fused_result.predictions.begin() + row + rows);
+    slice.predictions.assign(fused_predictions.begin() + row,
+                             fused_predictions.begin() + row + rows);
     slice.per_sample = per_sample_;
     slice.batch_latency_s = per_sample_.latency_s * static_cast<double>(rows);
     slice.batch_energy_j = per_sample_.energy_j * static_cast<double>(rows);

@@ -4,10 +4,14 @@
 // engine plus simulated ALEM costs from the hardware model.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
 #include "common/json.h"
 #include "data/dataset.h"
 #include "hwsim/cost_model.h"
 #include "nn/train.h"
+#include "runtime/arena.h"
 
 namespace openei::runtime {
 
@@ -48,11 +52,23 @@ class InferenceSession {
   const hwsim::DeviceProfile& device() const { return device_; }
   const hwsim::InferenceCost& per_sample_cost() const { return per_sample_; }
 
+  /// True when the session pre-planned a zero-allocation forward arena for
+  /// this model (all layer types supported).  Steady-state run/predict_batch
+  /// calls then allocate no tensor memory.
+  bool arena_active() const { return arena_ != nullptr; }
+
  private:
   nn::Model model_;
   hwsim::PackageSpec package_;
   hwsim::DeviceProfile device_;
   hwsim::InferenceCost per_sample_;
+  // Arena state is behind unique_ptrs so the session stays movable (mutexes
+  // are not); concurrent callers that miss the try_lock fall back to the
+  // Tensor path, which computes bit-identical values.
+  std::unique_ptr<ForwardArena> arena_;
+  std::unique_ptr<std::mutex> arena_mutex_;
+  std::vector<float> fused_staging_;
+  std::vector<std::size_t> pred_staging_;
 };
 
 /// On-device transfer learning: retrains the model's final dense head (all

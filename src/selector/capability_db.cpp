@@ -1,12 +1,53 @@
 #include "selector/capability_db.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "nn/train.h"
+#include "runtime/inference.h"
 
 namespace openei::selector {
 
+namespace {
+
+/// Median wall-clock latency of `reps` single-sample inferences through a
+/// real InferenceSession (first sample of `test` as the probe input).  One
+/// warmup call grows the session's arena buffers so the measured loop runs
+/// at steady state.
+double measure_latency_s(const nn::Model& model,
+                         const hwsim::PackageSpec& package,
+                         const hwsim::DeviceProfile& device,
+                         const data::Dataset& test, std::size_t reps) {
+  std::vector<std::size_t> dims{1};
+  for (std::size_t d : model.input_shape().dims()) dims.push_back(d);
+  nn::Tensor sample{tensor::Shape(dims)};
+  auto src = test.features.data();
+  auto dst = sample.data();
+  std::copy(src.begin(), src.begin() + static_cast<long>(dst.size()),
+            dst.begin());
+
+  runtime::InferenceSession session(model.clone(), package, device);
+  session.run(sample);  // warmup: plans/grows buffers outside the timed loop
+
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    session.run(sample);
+    auto stop = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
 CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& package,
                         const hwsim::DeviceProfile& device,
-                        const data::Dataset& test) {
+                        const data::Dataset& test,
+                        const ProfileOptions& options) {
   test.check();
   CapabilityEntry entry;
   entry.model_name = model.name();
@@ -21,6 +62,12 @@ CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& packag
 
   nn::Model copy = model.clone();
   entry.alem.accuracy = nn::evaluate_accuracy(copy, test);
+
+  if (options.measure_latency && entry.deployable && options.reps > 0) {
+    entry.measured_latency_s =
+        measure_latency_s(model, package, device, test, options.reps);
+    entry.alem.latency_s = entry.measured_latency_s;
+  }
   return entry;
 }
 
@@ -71,6 +118,9 @@ common::Json CapabilityDatabase::to_json() const {
     row.set("device", entry.device_name);
     row.set("alem", entry.alem.to_json());
     row.set("deployable", entry.deployable);
+    if (entry.measured_latency_s > 0.0) {
+      row.set("measured_latency_s", entry.measured_latency_s);
+    }
     rows.push_back(std::move(row));
   }
   return common::Json(std::move(rows));
@@ -90,6 +140,9 @@ CapabilityDatabase CapabilityDatabase::from_json(const common::Json& doc) {
     entry.alem.memory_bytes =
         static_cast<std::size_t>(alem.at("memory_bytes").as_int());
     entry.deployable = row.at("deployable").as_bool();
+    if (row.contains("measured_latency_s")) {
+      entry.measured_latency_s = row.at("measured_latency_s").as_number();
+    }
     db.add(std::move(entry));
   }
   return db;

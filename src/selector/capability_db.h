@@ -21,14 +21,30 @@ struct CapabilityEntry {
   /// False when the combination cannot deploy at all (does not fit RAM, or
   /// the package lacks a capability the model needs).
   bool deployable = true;
+  /// Wall-clock single-sample latency measured through a real
+  /// InferenceSession (median over ProfileOptions::reps); 0 when the entry
+  /// was profiled cost-model-only.  When measured, alem.latency_s holds this
+  /// value, so Eq. 1 selection sees real quantized-kernel speedups instead
+  /// of roofline guesses.
+  double measured_latency_s = 0.0;
+};
+
+/// Knobs for profile(): cost-model-only by default; measure_latency runs a
+/// real InferenceSession and replaces the ALEM latency with the measured
+/// median over `reps` single-sample inferences.
+struct ProfileOptions {
+  bool measure_latency = false;
+  std::size_t reps = 32;
 };
 
 /// Profiles one combination: accuracy by really running the model on `test`,
-/// latency/energy/memory from the hardware cost model.  Non-deployable
-/// combinations come back with deployable=false and cost-only ALEM.
+/// latency/energy/memory from the hardware cost model (or measured — see
+/// ProfileOptions).  Non-deployable combinations come back with
+/// deployable=false and cost-only ALEM.
 CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& package,
                         const hwsim::DeviceProfile& device,
-                        const data::Dataset& test);
+                        const data::Dataset& test,
+                        const ProfileOptions& options = {});
 
 class CapabilityDatabase {
  public:

@@ -132,14 +132,13 @@ Tensor conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
   return out;
 }
 
-Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
-  OPENEI_CHECK(input.shape().rank() == 4, "im2col input must be NCHW");
-  std::size_t n = input.shape().dim(0);
-  std::size_t out_h = spec.out_size(input.shape().dim(2));
-  std::size_t out_w = spec.out_size(input.shape().dim(3));
+void im2col_into(const float* input, std::size_t n, std::size_t in_h,
+                 std::size_t in_w, const Conv2dSpec& spec, float* out) {
+  std::size_t out_h = spec.out_size(in_h);
+  std::size_t out_w = spec.out_size(in_w);
   std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  std::size_t image_elems = spec.in_channels * in_h * in_w;
 
-  Tensor out(Shape{n * out_h * out_w, patch});
   // Each (image, output row) pair fills a disjoint block of patch rows, so
   // the gather parallelizes over the fused n*out_h index without races.
   common::parallel_for(
@@ -148,17 +147,24 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
         for (std::size_t slab = lo; slab < hi; ++slab) {
           std::size_t b = slab / out_h;
           std::size_t oh = slab % out_h;
-          std::size_t row = slab * out_w;
-          for (std::size_t ow = 0; ow < out_w; ++ow, ++row) {
-            std::size_t col = 0;
+          const float* image = input + b * image_elems;
+          float* row_out = out + slab * out_w * patch;
+          for (std::size_t ow = 0; ow < out_w; ++ow) {
             for (std::size_t ic = 0; ic < spec.in_channels; ++ic) {
+              const float* plane = image + ic * in_h * in_w;
               for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
+                long ih = static_cast<long>(oh * spec.stride + kh) -
+                          static_cast<long>(spec.padding);
                 for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
-                  long ih = static_cast<long>(oh * spec.stride + kh) -
-                            static_cast<long>(spec.padding);
                   long iw = static_cast<long>(ow * spec.stride + kw) -
                             static_cast<long>(spec.padding);
-                  out.at2(row, col++) = input_at_or_zero(input, b, ic, ih, iw);
+                  bool inside = ih >= 0 && iw >= 0 &&
+                                static_cast<std::size_t>(ih) < in_h &&
+                                static_cast<std::size_t>(iw) < in_w;
+                  *row_out++ = inside
+                                   ? plane[static_cast<std::size_t>(ih) * in_w +
+                                           static_cast<std::size_t>(iw)]
+                                   : 0.0F;
                 }
               }
             }
@@ -167,6 +173,17 @@ Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
       },
       /*grain=*/std::max<std::size_t>(
           1, 4096 / std::max<std::size_t>(1, out_w * patch)));
+}
+
+Tensor im2col(const Tensor& input, const Conv2dSpec& spec) {
+  OPENEI_CHECK(input.shape().rank() == 4, "im2col input must be NCHW");
+  std::size_t n = input.shape().dim(0);
+  std::size_t in_h = input.shape().dim(2);
+  std::size_t in_w = input.shape().dim(3);
+  std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+
+  Tensor out(Shape{n * spec.out_size(in_h) * spec.out_size(in_w), patch});
+  im2col_into(input.data().data(), n, in_h, in_w, spec, out.data().data());
   return out;
 }
 

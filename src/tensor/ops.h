@@ -41,6 +41,12 @@ Tensor conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
 /// im2col patch extraction: input NCHW -> [N*out_h*out_w, in_c*k*k].
 Tensor im2col(const Tensor& input, const Conv2dSpec& spec);
 
+/// Raw-buffer im2col into a caller-provided [n*out_h*out_w, in_c*k*k] buffer
+/// (no allocation — the form the forward arena uses; `im2col` delegates
+/// here, so the two produce identical values).
+void im2col_into(const float* input, std::size_t n, std::size_t in_h,
+                 std::size_t in_w, const Conv2dSpec& spec, float* out);
+
 /// Convolution via im2col + matmul; numerically equivalent to conv2d().
 Tensor conv2d_im2col(const Tensor& input, const Tensor& weights, const Tensor& bias,
                      const Conv2dSpec& spec);

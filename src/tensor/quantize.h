@@ -1,15 +1,22 @@
-// Affine int8 quantization.
+// Affine int8 quantization and the int8 execution kernels under the real
+// quantized inference path.
 //
 // The paper (Sec. IV-B) credits TensorFlow Lite's latency wins partly to
 // "quantized kernels"; QNNPACK is an int8 inference library.  This module
-// provides the same primitive: symmetric/affine per-tensor quantization of
-// float32 tensors to int8 plus a quantized matmul used by the post-training-
-// quantization compressor (src/compress) and measured in the E1/E10 benches.
+// provides the same primitives: symmetric/affine quantization of float32
+// tensors to int8 (per-tensor, plus per-output-channel for weights), an int8
+// GEMM with int32 accumulation and a fused requantize(+ReLU) epilogue, and
+// int8 im2col so convolution executes genuinely quantized.  Integer
+// accumulation is exact, so the GEMM is bit-identical at any OPENEI_THREADS
+// setting by construction.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace openei::tensor {
@@ -19,9 +26,33 @@ struct QuantParams {
   float scale = 1.0F;
   std::int32_t zero_point = 0;
 
-  /// Chooses parameters covering [min_v, max_v] over the int8 range.
+  /// Chooses parameters covering [min_v, max_v] over the int8 range.  The
+  /// range is widened to include zero (so padding/ReLU zeros quantize
+  /// exactly), the zero point is always exactly representable in int8, and
+  /// the scale is floored at the smallest normal float so degenerate ranges
+  /// (constant tensors, denormal spans) never produce a zero or non-finite
+  /// scale.
   static QuantParams choose(float min_v, float max_v);
 };
+
+/// Quantizes one value: round-to-nearest (half away from zero), saturating
+/// to [-128, 127].  Written branch-free-convertible (add-half + truncate
+/// instead of std::round, clamps before every float->int conversion) so the
+/// bulk activation-quantization loops auto-vectorize; this form is the
+/// single definition of the quantization rounding — every bulk path must
+/// produce exactly these values.
+inline std::int8_t quantize_one(float v, const QuantParams& p) {
+  float t = v / p.scale;
+  t = (t >= 0.0F) ? t + 0.5F : t - 0.5F;  // truncation rounds half away from 0
+  t = std::clamp(t, -512.0F, 512.0F);     // keeps the int conversion defined
+  std::int32_t q = static_cast<std::int32_t>(t) + p.zero_point;
+  return static_cast<std::int8_t>(std::clamp(q, -128, 127));
+}
+
+/// Quantizes `n` floats into `dst` with shared parameters (activation
+/// quantization; the raw-buffer form the forward arena uses).
+void quantize_to_int8(const float* src, std::size_t n, const QuantParams& p,
+                      std::int8_t* dst);
 
 /// A tensor stored as int8 with affine parameters.
 class QuantizedTensor {
@@ -48,8 +79,122 @@ class QuantizedTensor {
   QuantParams params_;
 };
 
+/// Weight matrix packed for the int8 GEMM: row r holds output channel r's
+/// weights contiguously ([rows, cols] row-major int8), quantized either
+/// per-output-channel (symmetric: one scale per row, zero point 0 — the
+/// scheme QNNPACK/TFLite use for weights) or per-tensor.  Per-row sums are
+/// precomputed so the activation-zero-point correction costs O(rows) instead
+/// of O(rows*cols) per GEMM call.
+class PackedQuantMatrix {
+ public:
+  /// Packs weights stored [cols, rows] (the Dense layout [in, out]) by
+  /// transposing so each output channel's weights become contiguous.
+  static PackedQuantMatrix pack_transposed(const Tensor& weights,
+                                           bool per_channel);
+  /// Packs weights already stored [rows, cols] (the conv layout
+  /// [out_channels, in_channels*k*k] after reshaping).
+  static PackedQuantMatrix pack_rows(const Tensor& weights, bool per_channel);
+  /// Adopts legacy per-tensor affine int8 weights stored [cols, rows]
+  /// (pre-per-channel serialized models); the exact int8 values are kept.
+  static PackedQuantMatrix from_per_tensor(const QuantizedTensor& weights);
+  /// Reassembles a matrix from serialized parts (scales size must be 1 — a
+  /// per-tensor scale broadcast to every row — or `rows`).
+  PackedQuantMatrix(std::size_t rows, std::size_t cols,
+                    std::vector<std::int8_t> data, std::vector<float> scales,
+                    std::int32_t weight_zero_point, bool per_channel);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const std::vector<std::int8_t>& data() const { return data_; }
+  /// Kernel view of the rows: identical int8 values, each row zero-padded to
+  /// a multiple of 16 columns so the GEMM reduction never has a ragged SIMD
+  /// tail.  Zero-padded weights contribute exactly nothing to the affine sum
+  /// (the correction terms all run over the real `cols()`), so kernels may
+  /// blindly iterate `kernel_cols()` lanes.  Derived cache like `row_sums`;
+  /// not serialized, not counted in `storage_bytes`.
+  const std::int8_t* kernel_data() const {
+    return kernel_cols_ == cols_ ? data_.data() : kernel_data_.data();
+  }
+  std::size_t kernel_cols() const { return kernel_cols_; }
+  const std::vector<float>& scales() const { return scales_; }
+  const std::vector<std::int32_t>& row_sums() const { return row_sums_; }
+  std::int32_t weight_zero_point() const { return weight_zero_point_; }
+  bool per_channel() const { return per_channel_; }
+
+  /// int8 payload plus per-row scales (row sums are a derived cache).
+  std::size_t storage_bytes() const {
+    return data_.size() + scales_.size() * sizeof(float);
+  }
+
+  /// Reconstructs the float weights in [rows, cols] layout (lossy; used by
+  /// error analysis and tests).
+  Tensor dequantize() const;
+
+ private:
+  PackedQuantMatrix() = default;
+  void finalize();
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t kernel_cols_ = 0;          // cols rounded up to a multiple of 16
+  std::vector<std::int8_t> data_;        // [rows, cols]
+  std::vector<std::int8_t> kernel_data_; // [rows, kernel_cols], empty if equal
+  std::vector<float> scales_;            // [rows]
+  std::vector<std::int32_t> row_sums_;   // [rows], sum of row r's int8 values
+  std::int32_t weight_zero_point_ = 0;   // 0 for symmetric per-channel packs
+  bool per_channel_ = true;
+};
+
+/// int8 GEMM with int32 accumulation and fused requantize(+bias)(+ReLU)
+/// epilogue, returning float:
+///   out[i, r] = relu?( a.scale * w.scale[r] * (sum_p (a[i,p]-a_zp) *
+///               (w[r,p]-w_zp)) + bias[r] )
+/// `a` is [m, k] row-major int8 (quantized activations), `out` is
+/// [m, w.rows()].  `bias` may be null.  Parallelized over row panels of A
+/// (or over weight rows when m == 1) via the PR-2 substrate; integer
+/// accumulation is exact, so results are bit-identical at any thread count.
+void qgemm(const std::int8_t* a, std::size_t m, std::size_t k,
+           const QuantParams& a_params, const PackedQuantMatrix& w,
+           const float* bias, bool fuse_relu, float* out);
+
+/// Same kernel, but the epilogue requantizes the (bias-added, optionally
+/// ReLU-clamped) float value straight to int8 with `out_params` — the form
+/// used when the next consumer is itself an int8 kernel.
+void qgemm(const std::int8_t* a, std::size_t m, std::size_t k,
+           const QuantParams& a_params, const PackedQuantMatrix& w,
+           const float* bias, bool fuse_relu, const QuantParams& out_params,
+           std::int8_t* out);
+
+/// Transposed-activation GEMM: identical math and bit-identical results to
+/// `qgemm`, but `at` holds A transposed — [k, m] row-major, i.e. activation
+/// column p is contiguous over the m samples.  This is the layout
+/// `im2col_q8t` produces (contiguous writes), and the batched kernel stages
+/// its lane tiles from it with aligned 4x16 byte transposes.
+void qgemm_t(const std::int8_t* at, std::size_t m, std::size_t k,
+             const QuantParams& a_params, const PackedQuantMatrix& w,
+             const float* bias, bool fuse_relu, float* out);
+
+/// int8 im2col: gathers conv patches from an int8 NCHW buffer into
+/// [n*out_h*out_w, in_c*k*k] row-major int8.  Padding positions gather
+/// `pad_value` (the activation zero point — the exact int8 encoding of 0.0),
+/// so quantized convolution pads identically to the float path.
+void im2col_q8(const std::int8_t* input, std::size_t n, std::size_t in_h,
+               std::size_t in_w, const Conv2dSpec& spec, std::int8_t pad_value,
+               std::int8_t* out);
+
+/// Transposed int8 im2col: same patch values as `im2col_q8` laid out
+/// [in_c*k*k, n*out_h*out_w] (patch-position-major).  Every inner run over
+/// output columns is a contiguous memcpy/memset instead of a strided byte
+/// scatter, which is what makes the quantized conv path's patch gather
+/// cheap; feed the result to `qgemm_t`.
+void im2col_q8t(const std::int8_t* input, std::size_t n, std::size_t in_h,
+                std::size_t in_w, const Conv2dSpec& spec,
+                std::int8_t pad_value, std::int8_t* out);
+
 /// Quantized matmul: accumulates in int32, returns dequantized float result.
-/// Inputs must be rank 2 with compatible inner dimensions.
+/// Inputs must be rank 2 with compatible inner dimensions.  (Legacy
+/// per-tensor kernel kept for the compression benches; the layer path uses
+/// qgemm on packed weights.)
 Tensor quantized_matmul(const QuantizedTensor& a, const QuantizedTensor& b);
 
 /// Worst-case absolute reconstruction error for parameters `p` (half a step).

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <thread>
 
 #include "common/rng.h"
@@ -22,6 +23,7 @@
 #include "selector/rl_selector.h"
 #include "selector/selecting_algorithm.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 
 namespace openei {
 namespace {
@@ -515,6 +517,107 @@ TEST_P(HistogramProperty, MergeIsAdditive) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
                          ::testing::Values(9, 18, 27, 36, 45, 54, 63));
+
+// ---------------------------------------------------------------------------
+// int8 quantization invariants: reconstruction error bounds, the int8 GEMM's
+// analytic error envelope vs float GEMM, per-channel vs per-tensor fidelity.
+// ---------------------------------------------------------------------------
+
+class QuantProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantProperty, QuantizeDequantizeErrorBoundedByHalfStep) {
+  Rng rng(GetParam());
+  float lo = rng.uniform_float(-50.0F, 0.0F);
+  float hi = rng.uniform_float(0.0F, 50.0F);
+  tensor::Tensor t =
+      tensor::Tensor::random_uniform(tensor::Shape{7, 13}, rng, lo, hi);
+  tensor::QuantizedTensor q = tensor::QuantizedTensor::quantize(t);
+  tensor::Tensor back = q.dequantize();
+  // Half a quantization step, plus a whisker for the float divide/round.
+  float bound = tensor::quantization_step_error(q.params()) * 1.001F + 1e-6F;
+  for (std::size_t i = 0; i < t.elements(); ++i) {
+    EXPECT_LE(std::abs(back.data()[i] - t.data()[i]), bound) << i;
+  }
+}
+
+TEST_P(QuantProperty, QgemmWithinAnalyticBoundOfFloatGemm) {
+  Rng rng(GetParam() * 31 + 5);
+  std::size_t m = 3 + GetParam() % 5;
+  std::size_t k = 8 + GetParam() % 57;
+  std::size_t rows = 4 + GetParam() % 13;
+  tensor::Tensor a =
+      tensor::Tensor::random_uniform(tensor::Shape{m, k}, rng, -2.0F, 2.0F);
+  tensor::Tensor w =
+      tensor::Tensor::random_uniform(tensor::Shape{rows, k}, rng, -1.0F, 1.0F);
+
+  tensor::QuantParams a_params = tensor::QuantParams::choose(a.min(), a.max());
+  std::vector<std::int8_t> qa(m * k);
+  tensor::quantize_to_int8(a.data().data(), qa.size(), a_params, qa.data());
+  tensor::PackedQuantMatrix packed =
+      tensor::PackedQuantMatrix::pack_rows(w, /*per_channel=*/true);
+
+  std::vector<float> out(m * rows);
+  tensor::qgemm(qa.data(), m, k, a_params, packed, nullptr,
+                /*fuse_relu=*/false, out.data());
+
+  float a_step = tensor::quantization_step_error(a_params);
+  float a_max = std::max(std::abs(a.min()), std::abs(a.max()));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double exact = 0.0;
+      float w_max = 0.0F;
+      for (std::size_t p = 0; p < k; ++p) {
+        exact += static_cast<double>(a.data()[i * k + p]) *
+                 static_cast<double>(w.data()[r * k + p]);
+        w_max = std::max(w_max, std::abs(w.data()[r * k + p]));
+      }
+      // Per product term: |da*w| + |dw*a| + |da*dw| with da <= a_step and
+      // dw <= half the row's weight step; accumulate over k terms.
+      float w_step = packed.scales()[r] * 0.5F;
+      double bound = static_cast<double>(k) *
+                         (a_step * w_max + w_step * a_max + a_step * w_step) *
+                         1.05 +
+                     1e-4;
+      EXPECT_NEAR(out[i * rows + r], exact, bound)
+          << "m=" << m << " k=" << k << " i=" << i << " r=" << r;
+    }
+  }
+}
+
+TEST_P(QuantProperty, PerChannelReconstructionBeatsPerTensor) {
+  Rng rng(GetParam() * 17 + 3);
+  // Rows with deliberately spread magnitudes — the regime per-channel
+  // quantization exists for (a shared scale wastes range on small rows).
+  std::size_t rows = 6;
+  std::size_t cols = 32;
+  tensor::Tensor w(tensor::Shape{rows, cols});
+  auto d = w.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float magnitude = std::pow(3.0F, static_cast<float>(r));
+    for (std::size_t c = 0; c < cols; ++c) {
+      d[r * cols + c] = rng.uniform_float(-1.0F, 1.0F) * magnitude;
+    }
+  }
+  auto squared_error = [&](const tensor::PackedQuantMatrix& packed) {
+    tensor::Tensor back = packed.dequantize();
+    double total = 0.0;
+    for (std::size_t i = 0; i < w.elements(); ++i) {
+      double e = static_cast<double>(back.data()[i]) - w.data()[i];
+      total += e * e;
+    }
+    return total;
+  };
+  double per_channel =
+      squared_error(tensor::PackedQuantMatrix::pack_rows(w, true));
+  double per_tensor =
+      squared_error(tensor::PackedQuantMatrix::pack_rows(w, false));
+  EXPECT_LE(per_channel, per_tensor);
+  // And not marginally: spread rows should reconstruct much better.
+  EXPECT_LT(per_channel, per_tensor * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantProperty,
+                         ::testing::Values(2, 11, 23, 47, 92));
 
 TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {
   Rng rng(6);

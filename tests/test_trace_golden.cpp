@@ -119,7 +119,11 @@ TEST(TraceGolden, CoalescedRequestEmitsTheCanonicalSpanTree) {
   EXPECT_GE(batch_attrs.at("batch_rows").as_number(), 1.0);
   EXPECT_GE(batch_attrs.at("flush_rows").as_number(), 1.0);
   EXPECT_EQ(batch_attrs.at("flush_requests").as_number(), 1.0);
-  EXPECT_GT(batch_attrs.at("peak_tensor_bytes").as_number(), 0.0);
+  // The MLP plans onto the zero-alloc forward arena, so the fused forward
+  // allocates no tensors; the `arena` flag distinguishes this from a broken
+  // allocation tracker.
+  EXPECT_EQ(batch_attrs.at("arena").as_number(), 1.0);
+  EXPECT_EQ(batch_attrs.at("peak_tensor_bytes").as_number(), 0.0);
 
   EXPECT_TRUE(child_names(child_named(root, "ei.serialize")).empty());
 
@@ -133,7 +137,7 @@ TEST(TraceGolden, CoalescedRequestEmitsTheCanonicalSpanTree) {
   EXPECT_GE(root.at("duration_us").as_number(), stage_total * 0.99);
 }
 
-TEST(TraceGolden, DirectPathHasNoBatchSpanButTracksPeakTensorBytes) {
+TEST(TraceGolden, DirectPathHasNoBatchSpanAndArenaForwardIsZeroAlloc) {
   auto node = make_traced_node(/*coalesce=*/false);
   Json trace = fetch_trace(*node);
   const Json& root = trace.at("root");
@@ -144,9 +148,10 @@ TEST(TraceGolden, DirectPathHasNoBatchSpanButTracksPeakTensorBytes) {
   const Json& infer = child_named(root, "ei.infer");
   EXPECT_TRUE(child_names(infer).empty());
   EXPECT_EQ(infer.at("attributes").at("coalesced").as_number(), 0.0);
-  // The direct path wraps the forward in an AllocationTrackingScope, so the
-  // peak rides on ei.infer itself (the forward allocates activations).
-  EXPECT_GT(infer.at("attributes").at("peak_tensor_bytes").as_number(), 0.0);
+  // The direct path wraps the forward in an AllocationTrackingScope; the MLP
+  // plans onto the zero-alloc arena, so the peak on ei.infer must be zero.
+  EXPECT_EQ(infer.at("attributes").at("arena").as_number(), 1.0);
+  EXPECT_EQ(infer.at("attributes").at("peak_tensor_bytes").as_number(), 0.0);
 }
 
 TEST(TraceGolden, TraceIdsAreDeterministicAcrossIdenticalNodes) {
