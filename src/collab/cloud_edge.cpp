@@ -155,10 +155,21 @@ ResilientCloudEdge::ResilientCloudEdge(std::uint16_t cloud_port,
                                        const hwsim::PackageSpec& edge_package,
                                        const hwsim::DeviceProfile& edge_device,
                                        net::ResilientClient::Options options)
+    : ResilientCloudEdge(cloud_port, std::move(cloud_target_prefix),
+                         std::make_shared<runtime::InferenceSession>(
+                             std::move(local_fallback), edge_package,
+                             edge_device),
+                         options) {}
+
+ResilientCloudEdge::ResilientCloudEdge(
+    std::uint16_t cloud_port, std::string cloud_target_prefix,
+    std::shared_ptr<runtime::InferenceSession> local_fallback,
+    net::ResilientClient::Options options)
     : cloud_(cloud_port, options),
       target_prefix_(std::move(cloud_target_prefix)),
-      local_(std::move(local_fallback), edge_package, edge_device),
+      local_(std::move(local_fallback)),
       metrics_(options.metrics) {
+  OPENEI_CHECK(local_ != nullptr, "local fallback session must not be null");
   OPENEI_CHECK(!target_prefix_.empty() && target_prefix_.front() == '/',
                "cloud target prefix must be an absolute path");
 }
@@ -217,10 +228,10 @@ ResilientCloudEdge::ServeOutcome ResilientCloudEdge::classify(
   obs::Span fallback_span = root.child("collab.local_fallback");
   common::Json rows = common::Json::parse(input_rows);
   nn::Tensor batch =
-      runtime::rows_to_batch(rows, local_.model().input_shape());
-  runtime::InferenceResult result = local_.run(batch);
+      runtime::rows_to_batch(rows, local_->model().input_shape());
+  runtime::InferenceResult result = local_->run(batch);
   if (fallback_span.active()) {
-    fallback_span.set_attribute("model", local_.model().name());
+    fallback_span.set_attribute("model", local_->model().name());
     fallback_span.set_attribute("rows",
                                 static_cast<double>(batch.shape().dim(0)));
     fallback_span.set_attribute("sim_latency_us",

@@ -104,6 +104,14 @@ class ResilientCloudEdge {
                      const hwsim::DeviceProfile& edge_device,
                      net::ResilientClient::Options options = {});
 
+  /// Shares an already-materialized fallback session — typically a lease
+  /// from the node's runtime::SessionCache, so the degraded path reuses the
+  /// warm resident session instead of cloning the model into a private one
+  /// (and the lifecycle budget keeps governing its memory).
+  ResilientCloudEdge(std::uint16_t cloud_port, std::string cloud_target_prefix,
+                     std::shared_ptr<runtime::InferenceSession> local_fallback,
+                     net::ResilientClient::Options options = {});
+
   struct ServeOutcome {
     /// "cloud" or "local_fallback".
     std::string served_by;
@@ -133,7 +141,7 @@ class ResilientCloudEdge {
  private:
   net::ResilientClient cloud_;
   std::string target_prefix_;
-  runtime::InferenceSession local_;
+  std::shared_ptr<runtime::InferenceSession> local_;
   std::shared_ptr<net::ResilienceMetrics> metrics_;
   obs::Tracer* tracer_ = nullptr;
   std::uint64_t cloud_served_ = 0;

@@ -20,6 +20,14 @@ void EdgeNode::deploy_model(const std::string& scenario,
                                     accuracy});
 }
 
+bool EdgeNode::undeploy_model(const std::string& name) {
+  return registry_.erase(name);
+}
+
+bool EdgeNode::rollback_model(const std::string& name) {
+  return registry_.rollback(name);
+}
+
 void EdgeNode::ingest(const std::string& sensor_id, double timestamp,
                       common::Json payload) {
   store_.append(sensor_id, datastore::Record{timestamp, std::move(payload)});

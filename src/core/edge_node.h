@@ -41,6 +41,13 @@ class EdgeNode {
   /// pair feed the model selector.
   void deploy_model(const std::string& scenario, const std::string& algorithm,
                     nn::Model model, double accuracy);
+  /// Removes a deployed model (and its retained prior version); returns
+  /// false when no such model exists.  Same semantics as DELETE /ei_models.
+  bool undeploy_model(const std::string& name);
+  /// Restores the version the last hot-swap of `name` replaced; returns
+  /// false when no prior version is retained.  Same semantics as
+  /// DELETE /ei_models/{name}?rollback=1.
+  bool rollback_model(const std::string& name);
   runtime::ModelRegistry& registry() { return registry_; }
 
   // --- Data (edge data sharing) ----------------------------------------

@@ -4,8 +4,18 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "hwsim/package.h"
 
 namespace openei::hwsim {
+
+std::size_t DeviceProfile::model_memory_budget(const PackageSpec& package,
+                                               double fraction) const {
+  OPENEI_CHECK(fraction > 0.0 && fraction <= 1.0,
+               "budget fraction must be in (0, 1]; got ", fraction);
+  std::size_t runtime = std::min(package.runtime_memory_bytes, ram_bytes);
+  auto available = static_cast<double>(ram_bytes - runtime) * fraction;
+  return static_cast<std::size_t>(available);
+}
 
 DeviceProfile DeviceProfile::with_power_cap(double watts) const {
   OPENEI_CHECK(watts > idle_power_w, "power cap ", watts, " W at or below '",

@@ -14,6 +14,8 @@
 
 namespace openei::hwsim {
 
+struct PackageSpec;
+
 /// Device classes the paper names, ordered roughly by capability.
 enum class DeviceClass { kMicrocontroller, kSingleBoard, kMobile, kEdgeServer, kCloud };
 
@@ -45,6 +47,14 @@ struct DeviceProfile {
   double inference_energy_j(double seconds) const {
     return (active_power_w - idle_power_w) * seconds;
   }
+
+  /// Byte budget for resident inference sessions (model weights +
+  /// activation arenas) on this device: the RAM left after the package's
+  /// resident runtime, scaled by `fraction` — the rest is headroom for the
+  /// datastore, transport buffers, and the OS.  This is the M_pro of Eq. 1
+  /// as a *runtime* limit: the session cache evicts to stay under it.
+  std::size_t model_memory_budget(const PackageSpec& package,
+                                  double fraction = 0.5) const;
 
   /// DVFS power capping — the Sec. IV-D open problem: "if the processing
   /// power is limited, we need to know how to calculate the maximum speed

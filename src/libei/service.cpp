@@ -1,5 +1,7 @@
 #include "libei/service.h"
 
+#include <optional>
+
 #include "common/clock.h"
 #include "common/strings.h"
 #include "hwsim/cost_model.h"
@@ -29,8 +31,36 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
       device_(std::move(device)),
       package_(std::move(package)),
       options_(options),
-      tracer_(options.tracing) {
+      tracer_(options.tracing),
+      lifecycle_(registry_, package_, device_,
+                 [&] {
+                   // One batching knob: the service-level options win.
+                   runtime::SessionCache::Options lifecycle = options.lifecycle;
+                   lifecycle.batching = options.batching;
+                   lifecycle.batcher_metrics = batcher_metrics_;
+                   return lifecycle;
+                 }(),
+                 &meter_) {
   meter_.describe("ei_requests_total", "Requests served, by route and status class");
+  meter_.describe("ei_session_cache_hits_total",
+                  "Warm inference-session cache hits");
+  meter_.describe("ei_session_cache_misses_total",
+                  "Session cache misses (lazy materializations)");
+  meter_.describe("ei_session_cache_evictions_total",
+                  "Sessions evicted (LRU) to stay under the memory budget");
+  meter_.describe("ei_session_cache_invalidations_total",
+                  "Stale sessions retired after a model hot-swap/rollback");
+  meter_.describe("ei_admission_rejections_total",
+                  "Requests answered 503 memory_pressure by admission control");
+  meter_.describe("ei_session_resident_bytes",
+                  "Bytes of resident inference sessions (ALEM memory)");
+  meter_.describe("ei_session_resident_count", "Resident inference sessions");
+  meter_.describe("ei_session_budget_bytes",
+                  "Resident-session byte budget derived from device RAM");
+  meter_.describe("ei_model_swaps_total",
+                  "Model hot-swaps (POST over an existing name)");
+  meter_.describe("ei_model_rollbacks_total",
+                  "Rollbacks restoring the prior model version");
   meter_.describe("ei_request_latency_seconds",
                   "Wall-clock /ei_algorithms latency, by model");
   meter_.describe("ei_model_sim_energy_mj_total",
@@ -57,37 +87,32 @@ EiService::Metrics EiService::metrics() const {
                  batcher_metrics_->max_fused_rows.load()};
 }
 
-std::shared_ptr<runtime::InferenceSession> EiService::session_for(
-    const std::string& model_name) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+std::shared_ptr<const selector::CapabilityDatabase> EiService::capabilities_for(
+    const std::string& scenario, const std::string& algorithm) {
+  // Version first, candidates second: the cached rows can only be *newer*
+  // than their recorded version, so a concurrent deploy at worst triggers
+  // one redundant rebuild — never a stale serve past the version bump.
   std::uint64_t version = registry_.version();
-  if (version != cached_registry_version_) {
-    // Retire batchers before their sessions: each destructor drains its
-    // queue, so in-flight requests still complete against the old model.
-    batcher_cache_.clear();
-    session_cache_.clear();
-    cached_registry_version_ = version;
+  std::string key = scenario + "/" + algorithm;
+  {
+    std::lock_guard<std::mutex> lock(capability_mutex_);
+    auto it = capability_cache_.find(key);
+    if (it != capability_cache_.end() && it->second.version == version) {
+      return it->second.db;
+    }
   }
-  auto it = session_cache_.find(model_name);
-  if (it != session_cache_.end()) return it->second;
-
-  runtime::ModelEntry entry = registry_.get(model_name);
-  auto session = std::make_shared<runtime::InferenceSession>(
-      std::move(entry.model), package_, device_);
-  session_cache_.emplace(model_name, session);
-  return session;
-}
-
-std::shared_ptr<runtime::MicroBatcher> EiService::batcher_for(
-    const std::string& model_name) {
-  std::shared_ptr<runtime::InferenceSession> session = session_for(model_name);
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = batcher_cache_.find(model_name);
-  if (it != batcher_cache_.end()) return it->second;
-  auto batcher = std::make_shared<runtime::MicroBatcher>(
-      std::move(session), options_.batching, batcher_metrics_);
-  batcher_cache_.emplace(model_name, batcher);
-  return batcher;
+  auto candidates = registry_.find(scenario, algorithm);
+  if (candidates.empty()) return nullptr;  // caller 404s; nothing to cache
+  auto db = std::make_shared<selector::CapabilityDatabase>();
+  for (const runtime::ModelEntryPtr& entry : candidates) {
+    db->add(selector::estimate_capability(entry->model, entry->accuracy,
+                                          package_, device_));
+  }
+  std::lock_guard<std::mutex> lock(capability_mutex_);
+  CapabilitySlice& slot = capability_cache_[key];
+  slot.version = version;
+  slot.db = db;
+  return db;
 }
 
 HttpResponse EiService::handle(const HttpRequest& request) {
@@ -208,16 +233,31 @@ HttpResponse EiService::handle_status() {
   tracing.set("completed_traces", tracer_.completed_traces());
   tracing.set("ring_capacity", tracer_.options().ring_capacity);
   out.set("tracing", std::move(tracing));
-  // Which cached sessions run on the zero-alloc arena (plans exist for all
-  // supported layer types; absent models just have no warm session yet).
-  Json arenas{JsonObject{}};
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    for (const auto& [name, session] : session_cache_) {
-      arenas.set(name, session->arena_active());
-    }
+  // Memory-governed lifecycle: budget, residency (coldest first — the
+  // eviction order), and cache counters.  `arena` marks sessions running on
+  // the zero-alloc forward arena.
+  runtime::SessionCache::Stats cache = lifecycle_.stats();
+  Json lifecycle{JsonObject{}};
+  lifecycle.set("budget_bytes", cache.budget_bytes);
+  lifecycle.set("resident_bytes", cache.resident_bytes);
+  lifecycle.set("resident_sessions", cache.resident_sessions);
+  lifecycle.set("hits", cache.hits);
+  lifecycle.set("misses", cache.misses);
+  lifecycle.set("evictions", cache.evictions);
+  lifecycle.set("invalidations", cache.invalidations);
+  lifecycle.set("admission_rejections", cache.admission_rejections);
+  JsonArray residents;
+  for (const runtime::SessionCache::ResidentInfo& info :
+       lifecycle_.resident_info()) {
+    Json row{JsonObject{}};
+    row.set("model", info.name);
+    row.set("bytes", info.bytes);
+    row.set("arena", info.arena_active);
+    residents.push_back(std::move(row));
   }
-  out.set("forward_arena", std::move(arenas));
+  lifecycle.set("resident", Json(std::move(residents)));
+  lifecycle.set("registry_version", registry_.version());
+  out.set("lifecycle", std::move(lifecycle));
   return HttpResponse::json(200, out.dump());
 }
 
@@ -378,33 +418,20 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   const std::string& algorithm = segments[2];
   common::Stopwatch request_timer;
 
-  auto candidates = registry_.find(scenario, algorithm);
-  if (candidates.empty()) {
-    throw NotFound("no model deployed for " + scenario + "/" + algorithm);
-  }
-
-  // Stage 1 (ei.select): build the capability slice for this device and run
-  // the selecting algorithm (Sec. III-E processing flow).
+  // Stage 1 (ei.select): capability rows for this (scenario, algorithm) on
+  // this device — cached off the registry version, so steady state runs the
+  // selecting algorithm (Sec. III-E) over prebuilt rows.
   obs::Span select_span = trace_root.child("ei.select");
-  selector::CapabilityDatabase db;
-  for (const runtime::ModelEntry& entry : candidates) {
-    selector::CapabilityEntry cap;
-    cap.model_name = entry.model.name();
-    cap.package_name = package_.name;
-    cap.device_name = device_.name;
-    hwsim::InferenceCost cost =
-        hwsim::estimate_inference(entry.model, package_, device_);
-    cap.alem.accuracy = entry.accuracy;
-    cap.alem.latency_s = cost.latency_s;
-    cap.alem.energy_j = cost.energy_j;
-    cap.alem.memory_bytes = cost.memory_bytes;
-    cap.deployable = cost.memory_bytes <= device_.ram_bytes;
-    db.add(std::move(cap));
+  std::shared_ptr<const selector::CapabilityDatabase> db =
+      capabilities_for(scenario, algorithm);
+  if (db == nullptr) {
+    select_span.finish();
+    throw NotFound("no model deployed for " + scenario + "/" + algorithm);
   }
 
   selector::SelectionRequest selection = parse_selection(request.query);
   selector::SelectionStats selection_stats;
-  auto chosen = selector::select(db, selection, &selection_stats);
+  auto chosen = selector::select(*db, selection, &selection_stats);
   if (select_span.active()) {
     select_span.set_attribute("candidates",
                               static_cast<double>(selection_stats.evaluated));
@@ -427,16 +454,47 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   }
   const std::string& model_name = chosen->model_name;
 
-  // Stage 2 (ei.parse): resolve the input rows into a batch tensor.
+  // The memory-governed session pool: warm hit shares the resident session
+  // zero-copy; cold miss materializes under admission control.  A model the
+  // budget cannot admit is the documented 503 — thrown errors would reach
+  // the generic 500 mapping, so convert here.
+  runtime::SessionCache::Lease lease;
+  try {
+    lease = lifecycle_.acquire(model_name, options_.coalesce_inference);
+  } catch (const runtime::MemoryPressureError& pressure) {
+    Json body{JsonObject{}};
+    body.set("error", "memory_pressure");
+    body.set("model", pressure.model());
+    body.set("needed_bytes", pressure.needed_bytes());
+    body.set("budget_bytes", pressure.budget_bytes());
+    body.set("resident_bytes", pressure.resident_bytes());
+    return HttpResponse::json(503, body.dump());
+  }
+  const tensor::Shape& sample_shape = lease.session->model().input_shape();
+
+  // Stage 2 (ei.parse): resolve the input rows.  The direct path decodes
+  // into a grow-only thread-local buffer (steady state: zero tensor heap
+  // allocations per request); the coalesced path needs a real Tensor to
+  // ride the micro-batch queue.
   obs::Span parse_span = trace_root.child("ei.parse");
-  std::shared_ptr<runtime::InferenceSession> session = session_for(model_name);
-  nn::Tensor batch = runtime::rows_to_batch(resolve_input(request),
-                                            session->model().input_shape());
-  double rows = static_cast<double>(batch.shape().dim(0));
+  static thread_local std::vector<float> row_staging;
+  // optional<>: even a default-constructed Tensor counts as a (tracked)
+  // tensor allocation, which the direct path's zero-alloc guarantee forbids.
+  std::optional<nn::Tensor> batch;
+  std::size_t row_count = 0;
+  if (options_.coalesce_inference) {
+    batch = runtime::rows_to_batch(resolve_input(request), sample_shape);
+    row_count = batch->shape().dim(0);
+  } else {
+    row_count =
+        runtime::rows_to_floats(resolve_input(request), sample_shape, row_staging);
+  }
+  double rows = static_cast<double>(row_count);
   if (parse_span.active()) {
     parse_span.set_attribute("rows", rows);
-    parse_span.set_attribute("input_bytes",
-                             static_cast<double>(batch.size_bytes()));
+    parse_span.set_attribute(
+        "input_bytes", static_cast<double>(row_count * sample_shape.elements() *
+                                           sizeof(float)));
   }
   parse_span.finish();
 
@@ -450,12 +508,12 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
     // to a solo run) instead of serializing behind other requests.  The
     // ei.batch child span finishes on the flush thread with queue-wait vs
     // fused-forward attribution (and peak tensor bytes seen there).
-    result = batcher_for(model_name)
-                 ->submit(std::move(batch), infer_span.child("ei.batch"))
+    result = lease.batcher
+                 ->submit(std::move(*batch), infer_span.child("ei.batch"))
                  .get();
   } else {
     tensor::AllocationTrackingScope scope;
-    result = session->run(batch);
+    result = lease.session->run_rows(row_staging.data(), row_count);
     allocation = scope.stats();
   }
   if (infer_span.active()) {
@@ -475,7 +533,8 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
           static_cast<double>(allocation.peak_live_bytes));
       // Zero peak_tensor_bytes means the zero-alloc arena served the forward;
       // the flag lets trace consumers tell that apart from a broken tracker.
-      infer_span.set_attribute("arena", session->arena_active() ? 1.0 : 0.0);
+      infer_span.set_attribute("arena",
+                               lease.session->arena_active() ? 1.0 : 0.0);
     }
   }
   infer_span.finish();
@@ -519,29 +578,32 @@ HttpResponse EiService::handle_models(const HttpRequest& request,
   if (request.method == "GET" && segments.size() == 1) {
     JsonArray models;
     for (const std::string& name : registry_.names()) {
-      runtime::ModelEntry entry = registry_.get(name);
+      runtime::ModelEntryPtr entry = registry_.get_if(name);
+      if (entry == nullptr) continue;  // undeployed between names() and here
       Json row{JsonObject{}};
       row.set("name", name);
-      row.set("scenario", entry.scenario);
-      row.set("algorithm", entry.algorithm);
-      row.set("accuracy", entry.accuracy);
-      row.set("params", entry.model.param_count());
-      row.set("storage_bytes", entry.model.storage_bytes());
-      row.set("int8_fraction", hwsim::model_int8_fraction(entry.model));
+      row.set("scenario", entry->scenario);
+      row.set("algorithm", entry->algorithm);
+      row.set("accuracy", entry->accuracy);
+      row.set("params", entry->model.param_count());
+      row.set("storage_bytes", entry->model.storage_bytes());
+      row.set("int8_fraction", hwsim::model_int8_fraction(entry->model));
+      row.set("rollback_available", registry_.has_prior(name));
       models.push_back(std::move(row));
     }
     Json out{JsonObject{}};
     out.set("models", Json(std::move(models)));
+    out.set("registry_version", registry_.version());
     return HttpResponse::json(200, out.dump());
   }
 
   if (request.method == "GET" && segments.size() == 2) {
-    runtime::ModelEntry entry = registry_.get(segments[1]);  // throws NotFound
+    runtime::ModelEntryPtr entry = registry_.get(segments[1]);  // throws NotFound
     Json out{JsonObject{}};
-    out.set("scenario", entry.scenario);
-    out.set("algorithm", entry.algorithm);
-    out.set("accuracy", entry.accuracy);
-    out.set("model", nn::model_to_json(entry.model));
+    out.set("scenario", entry->scenario);
+    out.set("algorithm", entry->algorithm);
+    out.set("accuracy", entry->accuracy);
+    out.set("model", nn::model_to_json(entry->model));
     return HttpResponse::json(200, out.dump());
   }
 
@@ -556,10 +618,42 @@ HttpResponse EiService::handle_models(const HttpRequest& request,
                               std::move(model),
                               query_double(request.query, "accuracy", 0.0)};
     std::string name = entry.model.name();
+    bool swapped = registry_.contains(name);
     registry_.put(std::move(entry));
+    if (swapped) meter_.counter("ei_model_swaps_total").increment();
     Json out{JsonObject{}};
     out.set("deployed", name);
+    out.set("swapped", swapped);
+    out.set("registry_version", registry_.version());
     return HttpResponse::json(201, out.dump());
+  }
+
+  if (request.method == "DELETE" && segments.size() == 2) {
+    const std::string& name = segments[1];
+    auto rollback = request.query.find("rollback");
+    if (rollback != request.query.end() && rollback->second != "0") {
+      // Restore the version the last hot-swap replaced.
+      if (!registry_.contains(name)) {
+        throw NotFound("no model named '" + name + "'");
+      }
+      if (!registry_.rollback(name)) {
+        return HttpResponse::json(
+            409, R"({"error":"no prior version retained for ')" + name +
+                     R"('"})");
+      }
+      meter_.counter("ei_model_rollbacks_total").increment();
+      Json out{JsonObject{}};
+      out.set("rolled_back", name);
+      out.set("registry_version", registry_.version());
+      return HttpResponse::json(200, out.dump());
+    }
+    if (!registry_.erase(name)) {
+      throw NotFound("no model named '" + name + "'");
+    }
+    Json out{JsonObject{}};
+    out.set("undeployed", name);
+    out.set("registry_version", registry_.version());
+    return HttpResponse::json(200, out.dump());
   }
 
   return HttpResponse::json(405, R"({"error":"unsupported ei_models call"})");

@@ -8,10 +8,18 @@
 //          [&min_accuracy=A][&max_latency_s=L][&max_energy_j=E]
 //          [&max_memory_bytes=M]
 //          — or &sensor=<id>[&timestamp=T] to pull the input from the store
-//   GET  /ei_models                      — deployed model index
+//   GET  /ei_models                      — deployed model index + registry
+//          version counter
 //   GET  /ei_models/{name}               — serialized model (edge-edge sharing)
 //   POST /ei_models?scenario=S&algorithm=A&accuracy=x  (body: model JSON)
-//          — model download from the cloud (Fig. 3 dataflow 2)
+//          — model download from the cloud (Fig. 3 dataflow 2).  POSTing an
+//          already-deployed name is an atomic hot-swap: in-flight inference
+//          finishes on the old version (its snapshot stays pinned until the
+//          last request drains), new requests see the new one
+//   DELETE /ei_models/{name}             — undeploy
+//   DELETE /ei_models/{name}?rollback=1  — drop the current version and
+//          restore the one the last hot-swap replaced (409 when no prior
+//          version is retained)
 //   GET  /ei_status                      — node health: device profile,
 //          package, deployed models, registered sensors, request counters,
 //          per-model latency percentiles (p50/p95/p99)
@@ -25,7 +33,11 @@
 // An algorithm call runs the full OpenEI flow of Sec. III-E: the model
 // selector picks the best deployed variant for this device under the
 // caller's ALEM requirements (accuracy-oriented by default, as the paper
-// specifies), then the package manager executes the inference.
+// specifies), then the package manager executes the inference through the
+// memory-governed session cache (runtime::SessionCache) — warm sessions are
+// shared zero-copy, cold ones materialize under the device's memory budget,
+// and a request the budget cannot admit is answered 503 with a JSON
+// {"error":"memory_pressure",...} body.
 #pragma once
 
 #include <atomic>
@@ -43,6 +55,8 @@
 #include "net/http.h"
 #include "net/resilient_client.h"
 #include "runtime/model_registry.h"
+#include "runtime/session_cache.h"
+#include "selector/capability_db.h"
 #include "selector/selecting_algorithm.h"
 
 namespace openei::libei {
@@ -55,6 +69,10 @@ class EiService {
     /// passes.  Results are bit-identical either way.
     bool coalesce_inference = true;
     runtime::MicroBatcher::Options batching;
+    /// Memory-governed model lifecycle: resident-session byte budget (0 =
+    /// derive from the device profile), LRU eviction, admission control.
+    /// `lifecycle.batching` is ignored — `batching` above wins.
+    runtime::SessionCache::Options lifecycle;
     /// Per-request tracing (GET /ei_trace/{id}).  Off by default: disabled
     /// tracing costs one branch per instrumentation site.  The ALEM metric
     /// histograms behind GET /ei_metrics are always on (a handful of relaxed
@@ -110,6 +128,10 @@ class EiService {
   obs::Tracer& tracer() { return tracer_; }
   /// The ALEM metric families behind GET /ei_metrics.
   obs::MetricsRegistry& meter() { return meter_; }
+  /// The memory-governed session pool (cache hit/miss/eviction stats are
+  /// reported under "lifecycle" by GET /ei_status and as /ei_metrics
+  /// families).
+  runtime::SessionCache& lifecycle() { return lifecycle_; }
 
  private:
   net::HttpResponse handle_data(const net::HttpRequest& request,
@@ -131,18 +153,11 @@ class EiService {
   /// sensor payload.
   common::Json resolve_input(const net::HttpRequest& request) const;
 
-  /// Warm inference-session cache: building a session clones the model, so
-  /// repeated calls to the same algorithm reuse one session.  Invalidated
-  /// wholesale whenever the registry's version changes; in-flight users hold
-  /// shared ownership, so invalidation never dangles.  Inference-mode
-  /// forward passes are read-only, making shared concurrent use safe.
-  std::shared_ptr<runtime::InferenceSession> session_for(
-      const std::string& model_name);
-
-  /// Per-model micro-batching queue over session_for's session; same
-  /// invalidation lifecycle as the session cache.
-  std::shared_ptr<runtime::MicroBatcher> batcher_for(
-      const std::string& model_name);
+  /// Capability rows for one (scenario, algorithm) pair, cached off the
+  /// registry's version counter: rows are rebuilt only when a deploy/swap/
+  /// rollback bumps the version, never per request.
+  std::shared_ptr<const selector::CapabilityDatabase> capabilities_for(
+      const std::string& scenario, const std::string& algorithm);
 
   runtime::ModelRegistry& registry_;
   datastore::SensorStore& store_;
@@ -150,12 +165,6 @@ class EiService {
   hwsim::PackageSpec package_;
   Options options_;
 
-  std::mutex cache_mutex_;
-  std::uint64_t cached_registry_version_ = ~0ULL;
-  std::map<std::string, std::shared_ptr<runtime::InferenceSession>>
-      session_cache_;
-  std::map<std::string, std::shared_ptr<runtime::MicroBatcher>>
-      batcher_cache_;
   std::shared_ptr<runtime::BatcherMetrics> batcher_metrics_ =
       std::make_shared<runtime::BatcherMetrics>();
 
@@ -167,6 +176,15 @@ class EiService {
       std::make_shared<net::ResilienceMetrics>();
   obs::Tracer tracer_;
   obs::MetricsRegistry meter_;
+  /// Declared after meter_: the cache wires its counters into it.
+  runtime::SessionCache lifecycle_;
+
+  struct CapabilitySlice {
+    std::uint64_t version = ~0ULL;
+    std::shared_ptr<const selector::CapabilityDatabase> db;
+  };
+  std::mutex capability_mutex_;
+  std::map<std::string, CapabilitySlice> capability_cache_;
 };
 
 }  // namespace openei::libei

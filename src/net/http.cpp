@@ -277,6 +277,10 @@ HttpResponse HttpClient::post(const std::string& target, const std::string& body
   return request("POST", target, body, content_type);
 }
 
+HttpResponse HttpClient::del(const std::string& target) {
+  return request("DELETE", target, "", "");
+}
+
 HttpResponse HttpClient::request(const std::string& method,
                                  const std::string& target,
                                  const std::string& body,

@@ -110,6 +110,7 @@ class HttpClient {
   HttpResponse get(const std::string& target);
   HttpResponse post(const std::string& target, const std::string& body,
                     const std::string& content_type = "application/json");
+  HttpResponse del(const std::string& target);
 
   std::uint16_t port() const { return port_; }
   double deadline_s() const { return deadline_s_; }

@@ -27,6 +27,36 @@ InferenceSession::InferenceSession(nn::Model model, hwsim::PackageSpec package,
   }
 }
 
+InferenceResult InferenceSession::run_rows(const float* rows_data,
+                                           std::size_t rows) {
+  OPENEI_CHECK(rows > 0, "run_rows of zero rows");
+  InferenceResult result;
+  bool done = false;
+  if (arena_ != nullptr) {
+    std::unique_lock<std::mutex> lock(*arena_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      result.predictions.resize(rows);
+      arena_->predict(rows_data, rows, result.predictions.data());
+      done = true;
+    }
+  }
+  if (!done) {
+    // Fallback (no arena, or another thread holds it): stage into a Tensor
+    // and run the layer path — bit-identical values, just not alloc-free.
+    std::vector<std::size_t> dims{rows};
+    for (std::size_t d : model_.input_shape().dims()) dims.push_back(d);
+    nn::Tensor batch{tensor::Shape(dims)};
+    auto out = batch.data();
+    std::copy(rows_data, rows_data + out.size(), out.begin());
+    result.predictions = model_.predict(batch);
+  }
+  result.per_sample = per_sample_;
+  auto n = static_cast<double>(rows);
+  result.batch_latency_s = per_sample_.latency_s * n;
+  result.batch_energy_j = per_sample_.energy_j * n;
+  return result;
+}
+
 InferenceResult InferenceSession::run(const nn::Tensor& batch) {
   InferenceResult result;
   std::size_t rows = batch.shape().dim(0);
@@ -161,6 +191,26 @@ LocalTrainingResult retrain_head_locally(const nn::Model& model,
   return result;
 }
 
+namespace {
+
+/// Decodes rows into `out` ([rows * sample_elems], already sized); shared
+/// by the Tensor and the allocation-free decoders.
+void decode_rows(const common::JsonArray& outer, bool nested, std::size_t rows,
+                 std::size_t sample_elems, float* out) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const common::JsonArray& row = nested ? outer[r].as_array() : outer;
+    if (row.size() != sample_elems) {
+      throw ParseError("input row has " + std::to_string(row.size()) +
+                       " values; model expects " + std::to_string(sample_elems));
+    }
+    for (std::size_t j = 0; j < sample_elems; ++j) {
+      out[r * sample_elems + j] = static_cast<float>(row[j].as_number());
+    }
+  }
+}
+
+}  // namespace
+
 nn::Tensor rows_to_batch(const common::Json& input,
                          const tensor::Shape& sample_shape) {
   const common::JsonArray& outer = input.as_array();
@@ -173,19 +223,22 @@ nn::Tensor rows_to_batch(const common::Json& input,
   std::vector<std::size_t> dims{rows};
   for (std::size_t d : sample_shape.dims()) dims.push_back(d);
   nn::Tensor batch{tensor::Shape(dims)};
-  auto out = batch.data();
-
-  for (std::size_t r = 0; r < rows; ++r) {
-    const common::JsonArray& row = nested ? outer[r].as_array() : outer;
-    if (row.size() != sample_elems) {
-      throw ParseError("input row has " + std::to_string(row.size()) +
-                       " values; model expects " + std::to_string(sample_elems));
-    }
-    for (std::size_t j = 0; j < sample_elems; ++j) {
-      out[r * sample_elems + j] = static_cast<float>(row[j].as_number());
-    }
-  }
+  decode_rows(outer, nested, rows, sample_elems, batch.data().data());
   return batch;
+}
+
+std::size_t rows_to_floats(const common::Json& input,
+                           const tensor::Shape& sample_shape,
+                           std::vector<float>& out) {
+  const common::JsonArray& outer = input.as_array();
+  if (outer.empty()) throw ParseError("empty inference input");
+
+  bool nested = outer[0].is_array();
+  std::size_t rows = nested ? outer.size() : 1;
+  std::size_t sample_elems = sample_shape.elements();
+  if (out.size() < rows * sample_elems) out.resize(rows * sample_elems);
+  decode_rows(outer, nested, rows, sample_elems, out.data());
+  return rows;
 }
 
 }  // namespace openei::runtime

@@ -36,6 +36,13 @@ class InferenceSession {
   /// Runs real inference; costs are simulated for the bound device.
   InferenceResult run(const nn::Tensor& batch);
 
+  /// Same as run() over raw row-major floats ([rows * input_elems]) — the
+  /// steady-state serving path: with the arena active, no Tensor is ever
+  /// constructed, so a warm request performs zero tensor heap allocations.
+  /// Falls back to the Tensor path (bit-identical) when the arena is absent
+  /// or contended.
+  InferenceResult run_rows(const float* rows_data, std::size_t rows);
+
   /// Batched inference: fuses independent row-batches into one forward pass
   /// and slices the results back per request.  Every layer computes each
   /// sample independently at inference time, so result i is bit-identical
@@ -93,5 +100,13 @@ LocalTrainingResult retrain_head_locally(const nn::Model& model,
 /// Throws ParseError on shape mismatch or empty input.
 nn::Tensor rows_to_batch(const common::Json& input,
                          const tensor::Shape& sample_shape);
+
+/// Allocation-free variant: decodes the same wire format into a grow-only
+/// caller buffer (resized only when it must grow) and returns the row
+/// count.  libei's hot path pairs this with InferenceSession::run_rows so a
+/// warm /ei_algorithms request touches no tensor heap at all.
+std::size_t rows_to_floats(const common::Json& input,
+                           const tensor::Shape& sample_shape,
+                           std::vector<float>& out);
 
 }  // namespace openei::runtime

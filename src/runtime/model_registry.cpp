@@ -4,69 +4,93 @@
 
 namespace openei::runtime {
 
-namespace {
-
-ModelEntry clone_entry(const ModelEntry& entry) {
-  return ModelEntry{entry.scenario, entry.algorithm, entry.model.clone(),
-                    entry.accuracy};
-}
-
-}  // namespace
-
 void ModelRegistry::put(ModelEntry entry) {
   OPENEI_CHECK(!entry.model.name().empty(), "model needs a name");
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.insert_or_assign(entry.model.name(), std::move(entry));
-  ++version_;
+  std::string name = entry.model.name();
+  auto snapshot_entry = std::make_shared<const ModelEntry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  auto next = std::make_shared<Table>(*snapshot());
+  auto it = next->current.find(name);
+  if (it != next->current.end()) {
+    next->prior[name] = std::move(it->second);  // hot-swap: retain for rollback
+    it->second = std::move(snapshot_entry);
+  } else {
+    next->prior.erase(name);  // fresh install has no prior
+    next->current.emplace(name, std::move(snapshot_entry));
+  }
+  table_.store(std::shared_ptr<const Table>(std::move(next)),
+               std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.count(name) > 0;
+  auto table = snapshot();
+  return table->current.count(name) > 0;
 }
 
-ModelEntry ModelRegistry::get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) throw NotFound("no model named '" + name + "'");
-  return clone_entry(it->second);
+ModelEntryPtr ModelRegistry::get(const std::string& name) const {
+  ModelEntryPtr entry = get_if(name);
+  if (entry == nullptr) throw NotFound("no model named '" + name + "'");
+  return entry;
 }
 
-std::vector<ModelEntry> ModelRegistry::find(const std::string& scenario,
-                                            const std::string& algorithm) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<ModelEntry> out;
-  for (const auto& [name, entry] : entries_) {
-    if (entry.scenario == scenario && entry.algorithm == algorithm) {
-      out.push_back(clone_entry(entry));
+ModelEntryPtr ModelRegistry::get_if(const std::string& name) const {
+  auto table = snapshot();
+  auto it = table->current.find(name);
+  return it == table->current.end() ? nullptr : it->second;
+}
+
+std::vector<ModelEntryPtr> ModelRegistry::find(
+    const std::string& scenario, const std::string& algorithm) const {
+  auto table = snapshot();
+  std::vector<ModelEntryPtr> out;
+  for (const auto& [name, entry] : table->current) {
+    if (entry->scenario == scenario && entry->algorithm == algorithm) {
+      out.push_back(entry);
     }
   }
   return out;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto table = snapshot();
   std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) out.push_back(name);
+  out.reserve(table->current.size());
+  for (const auto& [name, entry] : table->current) out.push_back(name);
   return out;
 }
 
-std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
-}
+std::size_t ModelRegistry::size() const { return snapshot()->current.size(); }
 
 bool ModelRegistry::erase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  bool erased = entries_.erase(name) > 0;
-  if (erased) ++version_;
-  return erased;
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  auto table = snapshot();
+  if (table->current.count(name) == 0) return false;
+  auto next = std::make_shared<Table>(*table);
+  next->current.erase(name);
+  next->prior.erase(name);
+  table_.store(std::shared_ptr<const Table>(std::move(next)),
+               std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
 }
 
-std::uint64_t ModelRegistry::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return version_;
+bool ModelRegistry::rollback(const std::string& name) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  auto table = snapshot();
+  auto it = table->prior.find(name);
+  if (it == table->prior.end()) return false;
+  auto next = std::make_shared<Table>(*table);
+  next->current[name] = it->second;
+  next->prior.erase(name);
+  table_.store(std::shared_ptr<const Table>(std::move(next)),
+               std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ModelRegistry::has_prior(const std::string& name) const {
+  return snapshot()->prior.count(name) > 0;
 }
 
 }  // namespace openei::runtime

@@ -44,6 +44,22 @@ double measure_latency_s(const nn::Model& model,
 
 }  // namespace
 
+CapabilityEntry estimate_capability(const nn::Model& model, double accuracy,
+                                    const hwsim::PackageSpec& package,
+                                    const hwsim::DeviceProfile& device) {
+  CapabilityEntry entry;
+  entry.model_name = model.name();
+  entry.package_name = package.name;
+  entry.device_name = device.name;
+  hwsim::InferenceCost cost = hwsim::estimate_inference(model, package, device);
+  entry.alem.accuracy = accuracy;
+  entry.alem.latency_s = cost.latency_s;
+  entry.alem.energy_j = cost.energy_j;
+  entry.alem.memory_bytes = cost.memory_bytes;
+  entry.deployable = cost.memory_bytes <= device.ram_bytes;
+  return entry;
+}
+
 CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& package,
                         const hwsim::DeviceProfile& device,
                         const data::Dataset& test,

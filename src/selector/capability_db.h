@@ -46,6 +46,16 @@ CapabilityEntry profile(const nn::Model& model, const hwsim::PackageSpec& packag
                         const data::Dataset& test,
                         const ProfileOptions& options = {});
 
+/// Capability row for an already-deployed model whose accuracy the registry
+/// recorded at deployment time: latency/energy/memory from the roofline
+/// cost model, no test-set run.  This is what libei caches per
+/// (scenario, algorithm) keyed by the registry's version counter — rows are
+/// rebuilt only when a deploy/swap/rollback bumps the version, never per
+/// request.
+CapabilityEntry estimate_capability(const nn::Model& model, double accuracy,
+                                    const hwsim::PackageSpec& package,
+                                    const hwsim::DeviceProfile& device);
+
 class CapabilityDatabase {
  public:
   void add(CapabilityEntry entry) { entries_.push_back(std::move(entry)); }

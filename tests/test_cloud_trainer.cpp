@@ -57,7 +57,7 @@ TEST(CloudTrainerTest, PushToEdgeDeploysOverHttp) {
   collab::CloudTrainer::push_to_edge(port, trained.model, "safety", "detection",
                                      trained.test_accuracy);
   EXPECT_TRUE(edge.registry().contains("pushed"));
-  EXPECT_NEAR(edge.registry().get("pushed").accuracy, trained.test_accuracy,
+  EXPECT_NEAR(edge.registry().get("pushed")->accuracy, trained.test_accuracy,
               1e-5);
   edge.stop_server();
 

@@ -302,9 +302,10 @@ TEST(PeerSharingTest, FetchModelFromPeerDeploysIt) {
   local.fetch_model_from_peer(peer_port, "shared_detector");
   ASSERT_TRUE(local.registry().contains("shared_detector"));
   auto entry = local.registry().get("shared_detector");
-  EXPECT_EQ(entry.scenario, "safety");
-  EXPECT_DOUBLE_EQ(entry.accuracy, 0.88);
-  EXPECT_TRUE(entry.model.forward(probe, false).all_close(expected, 1e-5F));
+  EXPECT_EQ(entry->scenario, "safety");
+  EXPECT_DOUBLE_EQ(entry->accuracy, 0.88);
+  nn::Model fetched = entry->model.clone();
+  EXPECT_TRUE(fetched.forward(probe, false).all_close(expected, 1e-5F));
 
   EXPECT_THROW(local.fetch_model_from_peer(peer_port, "ghost"), openei::NotFound);
   peer.stop_server();

@@ -80,8 +80,8 @@ TEST(MultiNode, EdgeToEdgeModelPropagationChain) {
 
   ASSERT_TRUE(c.registry().contains("tracker_v1"));
   auto entry = c.registry().get("tracker_v1");
-  EXPECT_EQ(entry.scenario, "vehicles");
-  EXPECT_DOUBLE_EQ(entry.accuracy, 0.83);
+  EXPECT_EQ(entry->scenario, "vehicles");
+  EXPECT_DOUBLE_EQ(entry->accuracy, 0.83);
 
   // All three nodes answer the same inference identically.
   std::string target = "/ei_algorithms/vehicles/tracking?input=[1,2,3,4,5,6]";
@@ -222,9 +222,10 @@ TEST(EndToEnd, FullScenarioAcrossCloudAndTwoEdges) {
   Rng split_rng(307);
   auto [local_train, local_test] = data::train_test_split(local, 0.7, split_rng);
   auto big_entry = edge_a.registry().get("det_big");
-  double degraded = nn::evaluate_accuracy(big_entry.model, local_test);
+  nn::Model big_model = big_entry->model.clone();
+  double degraded = nn::evaluate_accuracy(big_model, local_test);
   auto personalized = runtime::retrain_head_locally(
-      big_entry.model, local_train, edge_a.package(), edge_a.device(), topt);
+      big_model, local_train, edge_a.package(), edge_a.device(), topt);
   double recovered = nn::evaluate_accuracy(personalized.model, local_test);
   EXPECT_GT(recovered, degraded + 0.2);
   personalized.model.set_name("det_big_personalized");

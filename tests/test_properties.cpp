@@ -18,6 +18,7 @@
 #include "nn/train.h"
 #include "nn/zoo.h"
 #include "runtime/model_registry.h"
+#include "runtime/session_cache.h"
 #include "runtime/realtime.h"
 #include "selector/capability_db.h"
 #include "selector/rl_selector.h"
@@ -209,7 +210,7 @@ TEST(RegistryConcurrency, ParallelPutGetFindNeverCorrupts) {
           registry.put({"scenario", "algo",
                         nn::zoo::make_mlp(name, 4, 2, {4}, rng), 0.5});
           auto entry = registry.get(name);
-          if (entry.scenario != "scenario") failed = true;
+          if (entry->scenario != "scenario") failed = true;
           registry.find("scenario", "algo");
           registry.names();
           if (i % 7 == 0) registry.erase(name);
@@ -228,6 +229,97 @@ TEST(RegistryConcurrency, ParallelPutGetFindNeverCorrupts) {
     EXPECT_NO_THROW(registry.get(name));
   }
 }
+
+// ---------------------------------------------------------------------------
+// Session-cache LRU invariants under random operation sequences.
+// ---------------------------------------------------------------------------
+
+class LifecycleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifecycleProperty, LruInvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  hwsim::DeviceProfile device = hwsim::raspberry_pi_4();
+  hwsim::PackageSpec package = hwsim::openei_package();
+  const std::vector<std::string> names{"m0", "m1", "m2", "m3"};
+
+  runtime::ModelRegistry registry;
+  for (const std::string& name : names) {
+    registry.put({"s", "a", nn::zoo::make_mlp(name, 4, 2, {4}, rng), 0.5});
+  }
+  // Identical architectures -> identical session footprints; a budget of
+  // 2.5 sessions means exactly two can be resident.
+  std::size_t session_bytes =
+      hwsim::estimate_inference(registry.get("m0")->model, package, device)
+          .memory_bytes;
+  constexpr std::size_t kCapacity = 2;
+  runtime::SessionCache::Options options;
+  options.budget_bytes = kCapacity * session_bytes + session_bytes / 2;
+  runtime::SessionCache cache(registry, package, device, options);
+
+  // Reference model: MRU-at-back list of (name, stale) mirroring the cache's
+  // contract — hit moves to MRU, swap marks stale (retired on next acquire),
+  // miss evicts from the cold end until the newcomer fits.
+  std::vector<std::pair<std::string, bool>> mirror;
+  std::uint64_t hits = 0, misses = 0, evictions = 0, invalidations = 0;
+  auto in_mirror = [&](const std::string& name) {
+    return std::find_if(mirror.begin(), mirror.end(), [&](const auto& slot) {
+             return slot.first == name;
+           });
+  };
+
+  for (int op = 0; op < 200; ++op) {
+    const std::string& name =
+        names[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    double dice = rng.uniform();
+    if (dice < 0.15) {  // hot-swap: the resident session (if any) goes stale
+      registry.put({"s", "a", nn::zoo::make_mlp(name, 4, 2, {4}, rng), 0.5});
+      if (auto it = in_mirror(name); it != mirror.end()) it->second = true;
+    } else if (dice < 0.18) {  // wholesale clear
+      cache.clear();
+      mirror.clear();
+    } else {  // acquire
+      auto it = in_mirror(name);
+      if (it != mirror.end() && !it->second) {
+        ++hits;
+        std::pair<std::string, bool> slot = *it;
+        mirror.erase(it);
+        mirror.push_back(std::move(slot));  // hit -> MRU
+      } else {
+        if (it != mirror.end()) {  // stale resident retires first
+          ++invalidations;
+          mirror.erase(it);
+        }
+        ++misses;
+        while (mirror.size() >= kCapacity) {  // evict coldest first
+          ++evictions;
+          mirror.erase(mirror.begin());
+        }
+        mirror.push_back({name, false});
+      }
+      runtime::SessionCache::Lease lease = cache.acquire(name);
+      ASSERT_EQ(lease.entry.get(), registry.get(name).get());
+    }
+
+    runtime::SessionCache::Stats stats = cache.stats();
+    // Invariant 1: resident bytes never exceed the budget.
+    ASSERT_LE(stats.resident_bytes, stats.budget_bytes);
+    ASSERT_EQ(stats.resident_bytes, stats.resident_sessions * session_bytes);
+    // Invariant 2+3: residency set and eviction (recency) order match the
+    // reference LRU exactly — the MRU is never evicted while colder
+    // residents exist, and evictions happen strictly coldest-first.
+    std::vector<std::string> expected;
+    for (const auto& [slot_name, stale] : mirror) expected.push_back(slot_name);
+    ASSERT_EQ(cache.resident_by_recency(), expected) << "op " << op;
+    // Invariant 4: counters replay the reference history.
+    ASSERT_EQ(stats.hits, hits);
+    ASSERT_EQ(stats.misses, misses);
+    ASSERT_EQ(stats.evictions, evictions);
+    ASSERT_EQ(stats.invalidations, invalidations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleProperty,
+                         ::testing::Values(5, 17, 23, 61, 97));
 
 // ---------------------------------------------------------------------------
 // NN training/serialization properties over seeds.

@@ -26,10 +26,10 @@ TEST(RegistryTest, PutGetEraseRoundTrip) {
   EXPECT_TRUE(registry.contains("det_v1"));
   EXPECT_EQ(registry.size(), 1U);
 
-  ModelEntry entry = registry.get("det_v1");
-  EXPECT_EQ(entry.scenario, "safety");
-  EXPECT_EQ(entry.algorithm, "detection");
-  EXPECT_DOUBLE_EQ(entry.accuracy, 0.91);
+  ModelEntryPtr entry = registry.get("det_v1");
+  EXPECT_EQ(entry->scenario, "safety");
+  EXPECT_EQ(entry->algorithm, "detection");
+  EXPECT_DOUBLE_EQ(entry->accuracy, 0.91);
 
   EXPECT_TRUE(registry.erase("det_v1"));
   EXPECT_FALSE(registry.erase("det_v1"));
@@ -53,14 +53,43 @@ TEST(RegistryTest, FindByScenarioAlgorithmReturnsAllVariants) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
 
-TEST(RegistryTest, GetReturnsIndependentClone) {
+TEST(RegistryTest, GetReturnsSharedSnapshotNotACopy) {
   Rng rng(3);
   ModelRegistry registry;
   registry.put({"s", "a", nn::zoo::make_mlp("m", 4, 2, {4}, rng), 0.5});
-  ModelEntry copy = registry.get("m");
-  *copy.model.parameters()[0] *= 0.0F;
-  ModelEntry fresh = registry.get("m");
-  EXPECT_GT(fresh.model.parameters()[0]->norm(), 0.0F);
+  // Snapshot semantics: repeated gets share one immutable entry (zero model
+  // copies on the read path), and a snapshot taken before a hot-swap stays
+  // pinned to the version it observed.
+  ModelEntryPtr first = registry.get("m");
+  ModelEntryPtr again = registry.get("m");
+  EXPECT_EQ(first.get(), again.get());
+  std::uint64_t version_before = registry.version();
+  registry.put({"s", "a", nn::zoo::make_mlp("m", 4, 2, {8}, rng), 0.6});
+  EXPECT_GT(registry.version(), version_before);
+  ModelEntryPtr swapped = registry.get("m");
+  EXPECT_NE(first.get(), swapped.get());
+  EXPECT_DOUBLE_EQ(first->accuracy, 0.5);   // pinned old version
+  EXPECT_DOUBLE_EQ(swapped->accuracy, 0.6);
+}
+
+TEST(RegistryTest, RollbackRestoresPriorVersion) {
+  Rng rng(7);
+  ModelRegistry registry;
+  registry.put({"s", "a", nn::zoo::make_mlp("m", 4, 2, {4}, rng), 0.5});
+  EXPECT_FALSE(registry.has_prior("m"));
+  EXPECT_FALSE(registry.rollback("m"));  // nothing retained yet
+  registry.put({"s", "a", nn::zoo::make_mlp("m", 4, 2, {8}, rng), 0.6});
+  ASSERT_TRUE(registry.has_prior("m"));
+  ASSERT_TRUE(registry.rollback("m"));
+  EXPECT_DOUBLE_EQ(registry.get("m")->accuracy, 0.5);
+  // The prior slot empties: a second rollback of the same name fails.
+  EXPECT_FALSE(registry.rollback("m"));
+  // Registering a *fresh* name clears any stale prior retained under it.
+  registry.put({"s", "a", nn::zoo::make_mlp("m2", 4, 2, {4}, rng), 0.7});
+  registry.put({"s", "a", nn::zoo::make_mlp("m2", 4, 2, {8}, rng), 0.8});
+  EXPECT_TRUE(registry.erase("m2"));
+  registry.put({"s", "a", nn::zoo::make_mlp("m2", 4, 2, {4}, rng), 0.9});
+  EXPECT_FALSE(registry.has_prior("m2"));
 }
 
 TEST(SessionTest, RunsRealInferenceWithSimulatedCosts) {
