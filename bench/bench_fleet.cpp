@@ -1,0 +1,272 @@
+// Fleet routing bench: aggregate throughput of the consistent-hash router
+// as the fleet scales (N = 1/2/4/8 nodes), and tail latency across a
+// mid-run node kill + revive with replication 2 — the availability claim
+// ("a node kill costs failover hops, never failed requests") measured, not
+// asserted.  Writes BENCH_fleet.json so CI can archive the trajectory.
+//
+// Throughput here is bounded by loopback HTTP round-trips and host cores
+// (every member node is an in-process HTTP server), hence host_cpus in the
+// report; the interesting signal is the *shape* — scaling with N, and the
+// p99-vs-p50 gap across the kill window.
+//
+// Usage: bench_fleet [--quick] [--out PATH]
+//   --quick  fewer requests (CI smoke job)
+//   --out    output JSON path (default BENCH_fleet.json in the CWD)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "fleet/fleet.h"
+#include "net/http.h"
+#include "nn/zoo.h"
+
+namespace openei::bench {
+namespace {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using common::Rng;
+
+struct Config {
+  bool quick = false;
+  std::string out_path = "BENCH_fleet.json";
+};
+
+constexpr std::size_t kFeatures = 8;
+constexpr std::size_t kClasses = 3;
+constexpr std::size_t kKeys = 8;       // distinct placement keys
+constexpr std::size_t kThreads = 4;    // client threads
+constexpr const char* kInput =
+    "?input=[[1,2,3,4,5,6,7,8],[8,7,6,5,4,3,2,1]]";
+
+nn::Model make_model(const std::string& name) {
+  Rng rng(7);
+  nn::Model model = nn::zoo::make_mlp(name, kFeatures, kClasses, {4}, rng);
+  for (nn::Tensor* param : model.parameters()) *param *= 0.0F;
+  model.parameters().back()->data()[1] = 1.0F;
+  return model;
+}
+
+/// Spreads `kKeys` models across the ring so aggregate throughput can
+/// actually scale with the member count (one key would pin all traffic to a
+/// single owner set).
+void deploy_keys(fleet::Fleet& fleet) {
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    fleet.deploy("scenario" + std::to_string(k), "detect",
+                 make_model("det" + std::to_string(k)), 0.9);
+  }
+}
+
+std::string target_for(std::size_t key, std::size_t thread, std::size_t i) {
+  return "/ei_algorithms/scenario" + std::to_string(key % kKeys) + "/detect" +
+         kInput + "&session=t" + std::to_string(thread) + "r" +
+         std::to_string(i % 16);
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t requests = 0;
+  std::size_t failed = 0;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[index];
+}
+
+/// `per_thread` requests from each of kThreads client threads through the
+/// router; `mid_run` (optional) executes on the main thread once ~40% of
+/// the total has been served.
+RunResult hammer(fleet::Fleet& fleet, std::size_t per_thread,
+                 const std::function<void()>& mid_run = {}) {
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::vector<double>> latencies(kThreads);
+  common::Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      latencies[t].reserve(per_thread);
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        common::Stopwatch timer;
+        net::HttpResponse response =
+            fleet.router().route("GET", target_for(t + i, t, i));
+        latencies[t].push_back(timer.elapsed_seconds() * 1e3);
+        if (response.status != 200) ++failed;
+        ++done;
+      }
+    });
+  }
+  if (mid_run) {
+    std::size_t total = per_thread * kThreads;
+    while (done.load() < total * 2 / 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    mid_run();
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  RunResult result;
+  result.wall_s = wall.elapsed_seconds();
+  result.requests = per_thread * kThreads;
+  result.failed = failed.load();
+  result.requests_per_sec =
+      result.wall_s > 0.0 ? static_cast<double>(result.requests) / result.wall_s
+                          : 0.0;
+  std::vector<double> merged;
+  merged.reserve(result.requests);
+  for (const std::vector<double>& rows : latencies) {
+    merged.insert(merged.end(), rows.begin(), rows.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.p50_ms = percentile(merged, 0.50);
+  result.p99_ms = percentile(merged, 0.99);
+  return result;
+}
+
+Json result_to_json(const RunResult& result) {
+  return Json(JsonObject{{"requests", Json(result.requests)},
+                         {"failed_requests", Json(result.failed)},
+                         {"wall_s", Json(result.wall_s)},
+                         {"requests_per_sec", Json(result.requests_per_sec)},
+                         {"p50_ms", Json(result.p50_ms)},
+                         {"p99_ms", Json(result.p99_ms)}});
+}
+
+int run(const Config& config) {
+  banner("OpenEI fleet routing: throughput scaling + node-kill failover");
+  std::size_t host_cpus = std::thread::hardware_concurrency();
+  std::printf("host CPUs: %zu  (loopback HTTP bounds everything below)%s\n",
+              host_cpus, config.quick ? "  [quick]" : "");
+
+  const std::size_t scale_per_thread = config.quick ? 50 : 400;
+  const std::size_t kill_per_thread = config.quick ? 100 : 800;
+
+  Json report{JsonObject{}};
+  report.set("bench", "fleet");
+  report.set("quick", config.quick);
+  report.set("host_cpus", host_cpus);
+  report.set("keys", kKeys);
+  report.set("client_threads", kThreads);
+
+  section("aggregate throughput vs fleet size (replication 2)");
+  std::printf("%6s %12s %10s %10s %8s\n", "nodes", "req/s", "p50", "p99",
+              "failed");
+  JsonArray scaling;
+  for (std::size_t nodes : {1U, 2U, 4U, 8U}) {
+    fleet::FleetOptions options;
+    options.nodes = nodes;
+    options.router.replication = std::min<std::size_t>(2, nodes);
+    fleet::Fleet fleet(options);
+    deploy_keys(fleet);
+    hammer(fleet, scale_per_thread / 5);  // warm every node's session cache
+    RunResult result = hammer(fleet, scale_per_thread);
+    std::printf("%6zu %12.0f %10s %10s %8zu\n", nodes, result.requests_per_sec,
+                format_seconds(result.p50_ms / 1e3).c_str(),
+                format_seconds(result.p99_ms / 1e3).c_str(), result.failed);
+    Json row = result_to_json(result);
+    row.set("nodes", nodes);
+    scaling.push_back(std::move(row));
+  }
+  report.set("scaling", Json(std::move(scaling)));
+
+  section("mid-run node kill + revive (4 nodes, replication 2)");
+  fleet::FleetOptions options;
+  options.nodes = 4;
+  options.router.replication = 2;
+  options.router.probe_every = 32;
+  fleet::Fleet fleet(options);
+  deploy_keys(fleet);
+  hammer(fleet, kill_per_thread / 10);  // warm
+  RunResult baseline = hammer(fleet, kill_per_thread);
+
+  // Kill the primary owner of the first key mid-run; revive it shortly
+  // after, while traffic keeps flowing.  Routed traffic itself drives the
+  // probe path that fails the node back in.
+  std::size_t victim = fleet.index_of(
+      fleet.router().owners_of("scenario0/detect").front());
+  RunResult killed = hammer(fleet, kill_per_thread, [&] {
+    fleet.kill(victim);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.quick ? 20 : 60));
+    fleet.revive(victim);
+  });
+  double failovers =
+      fleet.router().meter().counter("ei_fleet_failovers_total").value();
+  std::printf("%10s %12s %10s %10s %8s\n", "phase", "req/s", "p50", "p99",
+              "failed");
+  std::printf("%10s %12.0f %10s %10s %8zu\n", "steady",
+              baseline.requests_per_sec,
+              format_seconds(baseline.p50_ms / 1e3).c_str(),
+              format_seconds(baseline.p99_ms / 1e3).c_str(), baseline.failed);
+  std::printf("%10s %12.0f %10s %10s %8zu\n", "kill+revive",
+              killed.requests_per_sec,
+              format_seconds(killed.p50_ms / 1e3).c_str(),
+              format_seconds(killed.p99_ms / 1e3).c_str(), killed.failed);
+  std::printf("failover hops: %.0f;  up nodes at end: %zu/4\n", failovers,
+              fleet.router().up_nodes().size());
+
+  section("summary");
+  if (killed.failed == 0) {
+    std::printf("node kill with replication 2: 0 failed requests "
+                "(p99 %s vs steady %s)\n",
+                format_seconds(killed.p99_ms / 1e3).c_str(),
+                format_seconds(baseline.p99_ms / 1e3).c_str());
+  } else {
+    std::printf("WARNING: %zu requests failed across the kill window\n",
+                killed.failed);
+  }
+
+  Json kill_block{JsonObject{}};
+  kill_block.set("nodes", 4);
+  kill_block.set("replication", 2);
+  kill_block.set("steady", result_to_json(baseline));
+  kill_block.set("kill_revive", result_to_json(killed));
+  kill_block.set("failover_hops", failovers);
+  kill_block.set("up_nodes_at_end", fleet.router().up_nodes().size());
+  report.set("node_kill", std::move(kill_block));
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << report.pretty() << "\n";
+  std::printf("\nwrote %s\n", config.out_path.c_str());
+  return killed.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace openei::bench
+
+int main(int argc, char** argv) {
+  openei::common::set_log_level(openei::common::LogLevel::kError);
+  openei::bench::Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_fleet [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+  return openei::bench::run(config);
+}

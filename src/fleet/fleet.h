@@ -1,0 +1,88 @@
+// fleet::Fleet — an in-process fleet of N simulated edge nodes behind a
+// fleet::Router.
+//
+// Each member is a full core::EdgeNode (model registry, session cache,
+// libei REST API) served over real loopback HTTP on its own port, with a
+// heterogeneous hwsim::DeviceProfile drawn round-robin from the edge-class
+// profiles — the paper's "edge server, mobile phone, Raspberry Pi" fleet
+// (Sec. II-B) as one process.  kill(i) stops a member's HTTP server
+// mid-flight (in-flight requests drain; new connections are refused, which
+// is exactly what the router's failover path sees from a crashed node);
+// revive(i) rebinds the same port.  Per-member net::FaultPlan hooks let
+// tests and benches inject deterministic fault schedules instead of
+// killing outright.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/edge_node.h"
+#include "fleet/router.h"
+#include "net/faults.h"
+#include "nn/model.h"
+
+namespace openei::fleet {
+
+struct FleetOptions {
+  std::size_t nodes = 4;
+  /// Router placement/failover knobs (replication factor, probes...).
+  RouterOptions router;
+  /// Device profiles assigned round-robin; empty = the built-in
+  /// heterogeneous edge set (pi4, jetson, edge server, mobile).
+  std::vector<hwsim::DeviceProfile> profiles;
+  /// Per-node libei options (tracing, batching, lifecycle budget).
+  libei::EiService::Options service;
+  /// Seed base for each node's fault plan (node i gets seed + i).
+  std::uint64_t fault_seed = 42;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options = {});
+  ~Fleet();
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  std::size_t size() const { return members_.size(); }
+  core::EdgeNode& node(std::size_t i);
+  const std::string& node_id(std::size_t i) const;
+  std::uint16_t port(std::size_t i) const;
+  /// The member's deterministic fault schedule (shared with its server).
+  const std::shared_ptr<net::FaultPlan>& faults(std::size_t i) const;
+
+  /// Index of the member with this id; throws NotFound on a bad id.
+  std::size_t index_of(const std::string& node_id) const;
+
+  /// Stops member i's HTTP server (connection-refused to the fleet).  The
+  /// node object — registry, sessions, sensors — stays warm, like a
+  /// partitioned-not-wiped edge box.
+  void kill(std::size_t i);
+  /// Rebinds member i's server on its original port.
+  void revive(std::size_t i);
+  bool alive(std::size_t i) const;
+
+  /// Deploys a model through the router: serialized once, replicated to the
+  /// owners of "scenario/algorithm".  Returns the replica count.
+  std::size_t deploy(const std::string& scenario, const std::string& algorithm,
+                     const nn::Model& model, double accuracy);
+
+  Router& router() { return *router_; }
+  const Router& router() const { return *router_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<core::EdgeNode> node;
+    std::string id;
+    std::uint16_t port = 0;
+    std::shared_ptr<net::FaultPlan> faults;
+    bool alive = false;
+  };
+
+  FleetOptions options_;
+  std::vector<Member> members_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace openei::fleet

@@ -1,0 +1,114 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace openei::fleet {
+
+namespace {
+
+// splitmix64 finalizer — the same mixing the tracer's id generator uses;
+// full-avalanche, so consecutive vnode indices land far apart on the ring.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ring_hash(std::string_view text, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return mix64(h);
+}
+
+HashRing::HashRing(std::size_t vnodes_per_node, std::uint64_t seed)
+    : vnodes_per_node_(vnodes_per_node), seed_(seed) {
+  OPENEI_CHECK(vnodes_per_node_ >= 1, "ring needs at least one vnode per node");
+}
+
+void HashRing::add_node(const std::string& node_id) {
+  if (nodes_.count(node_id) > 0) return;
+  std::size_t placed = 0;
+  for (std::size_t v = 0; v < vnodes_per_node_; ++v) {
+    std::uint64_t point =
+        ring_hash(node_id + '#' + std::to_string(v), seed_);
+    // A 64-bit collision between two nodes' points is astronomically
+    // unlikely; first-placed wins so add/remove/add round-trips exactly.
+    if (ring_.emplace(point, node_id).second) ++placed;
+  }
+  nodes_[node_id] = placed;
+}
+
+bool HashRing::remove_node(const std::string& node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return false;
+  for (auto point = ring_.begin(); point != ring_.end();) {
+    if (point->second == node_id) {
+      point = ring_.erase(point);
+    } else {
+      ++point;
+    }
+  }
+  nodes_.erase(it);
+  return true;
+}
+
+bool HashRing::contains(const std::string& node_id) const {
+  return nodes_.count(node_id) > 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, placed] : nodes_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::string> HashRing::owners(const std::string& key,
+                                          std::size_t replication) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || replication == 0) return out;
+  std::size_t want = std::min(replication, nodes_.size());
+  out.reserve(want);
+  std::uint64_t point = ring_hash(key, seed_);
+  auto it = ring_.lower_bound(point);
+  for (std::size_t hops = 0; hops < ring_.size() && out.size() < want; ++hops) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::string HashRing::primary(const std::string& key) const {
+  std::vector<std::string> first = owners(key, 1);
+  OPENEI_CHECK(!first.empty(), "primary() on an empty ring (key '", key, "')");
+  return first.front();
+}
+
+std::map<std::string, double> HashRing::ownership() const {
+  std::map<std::string, double> out;
+  if (ring_.empty()) return out;
+  for (const auto& [id, placed] : nodes_) out[id] = 0.0;
+  // Each vnode owns the arc (previous point, point]; the first point also
+  // owns the wrap-around arc from the last point.
+  constexpr double kSpan = 18446744073709551616.0;  // 2^64
+  std::uint64_t previous = ring_.rbegin()->first;
+  for (const auto& [point, id] : ring_) {
+    std::uint64_t arc = point - previous;  // modular: wraps for the first
+    out[id] += static_cast<double>(arc) / kSpan;
+    previous = point;
+  }
+  return out;
+}
+
+}  // namespace openei::fleet

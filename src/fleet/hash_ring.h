@@ -1,0 +1,71 @@
+// Consistent-hash ring — the placement function of the sharded edge fleet
+// (paper Fig. 3 dataflows 2/4 at fleet scale).
+//
+// Each node contributes `vnodes_per_node` virtual points on a 64-bit ring;
+// a key is owned by the first `replication` *distinct* nodes found walking
+// clockwise from the key's hash.  Properties the fleet router and its tests
+// rely on:
+//   - Deterministic: points derive from (seed, node id, vnode index) via
+//     FNV-1a + splitmix64 — no wall-clock or address entropy, so the same
+//     member set always produces the same placement.
+//   - Minimal remap: removing a node only remaps keys that listed it among
+//     their owners; every other key keeps its exact owner sequence.  Adding
+//     it back restores the original placement bit-for-bit.
+//   - Balanced: with the default 64 vnodes the per-node keyspace share
+//     concentrates around 1/N (the balance test pins the spread).
+//
+// The ring itself is not synchronized — fleet::Router guards it with its
+// state mutex and hands out owner snapshots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace openei::fleet {
+
+/// 64-bit key/point hash used by the ring (FNV-1a folded through
+/// splitmix64).  Exposed so tests and the router's session spreading can
+/// hash with the identical function.
+std::uint64_t ring_hash(std::string_view text, std::uint64_t seed = 0);
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes_per_node = 64, std::uint64_t seed = 42);
+
+  /// Adds a node's virtual points (idempotent).
+  void add_node(const std::string& node_id);
+  /// Removes a node's virtual points; returns false when absent.
+  bool remove_node(const std::string& node_id);
+  bool contains(const std::string& node_id) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t vnode_count() const { return ring_.size(); }
+  std::size_t vnodes_per_node() const { return vnodes_per_node_; }
+
+  /// Member node ids, sorted.
+  std::vector<std::string> nodes() const;
+
+  /// The first min(replication, node_count) distinct nodes clockwise from
+  /// hash(key): owners[0] is the primary, the rest are replicas in failover
+  /// order.  Empty when the ring is empty.
+  std::vector<std::string> owners(const std::string& key,
+                                  std::size_t replication) const;
+
+  /// owners(key, 1)[0]; throws InvalidArgument on an empty ring.
+  std::string primary(const std::string& key) const;
+
+  /// Fraction of the 64-bit keyspace each node's arcs cover — what
+  /// /ei_fleet reports as ring ownership and the balance test pins.
+  std::map<std::string, double> ownership() const;
+
+ private:
+  std::size_t vnodes_per_node_;
+  std::uint64_t seed_;
+  std::map<std::uint64_t, std::string> ring_;  // point -> node id
+  std::map<std::string, std::size_t> nodes_;   // id -> points actually placed
+};
+
+}  // namespace openei::fleet

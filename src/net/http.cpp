@@ -294,6 +294,17 @@ HttpResponse HttpClient::request(const std::string& method,
         << body.size() << "\r\n";
   }
   out << "Connection: close\r\n\r\n" << body;
+  // The deadline is end-to-end, so the write phase only gets what the
+  // connect left over — without this, connect and write each ran against
+  // the full budget and a slow peer could stretch one attempt to ~2x the
+  // deadline (which is exactly what broke retry sequences' deadline math).
+  double write_budget = deadline_s_ - elapsed.elapsed_seconds();
+  if (write_budget <= 0.0) {
+    throw TimeoutError("HTTP " + method + ' ' + target +
+                       " exceeded deadline of " + std::to_string(deadline_s_) +
+                       "s during connect");
+  }
+  connection.set_write_timeout(write_budget);
   connection.write_all(out.str());
 
   // Read until the peer closes (Connection: close semantics).  The deadline

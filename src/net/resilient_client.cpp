@@ -19,6 +19,30 @@ const char* to_string(CircuitState state) {
   return "unknown";
 }
 
+std::uint64_t ResilienceMetrics::register_breaker(
+    std::function<BreakerSnapshot()> provider) {
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  std::uint64_t token = next_breaker_token_++;
+  breakers_[token] = std::move(provider);
+  return token;
+}
+
+void ResilienceMetrics::unregister_breaker(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  breakers_.erase(token);
+}
+
+std::vector<BreakerSnapshot> ResilienceMetrics::breaker_snapshots() const {
+  // Providers are invoked under the registry lock: unregister_breaker (run
+  // by a client's destructor) cannot return while a snapshot of that client
+  // is still in flight, so the callbacks never touch a dead client.
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  std::vector<BreakerSnapshot> out;
+  out.reserve(breakers_.size());
+  for (const auto& [token, provider] : breakers_) out.push_back(provider());
+  return out;
+}
+
 common::Json ResilienceMetrics::to_json() const {
   common::Json out{common::JsonObject{}};
   out.set("attempts", attempts.load());
@@ -33,6 +57,16 @@ common::Json ResilienceMetrics::to_json() const {
   out.set("failbacks", failbacks.load());
   out.set("degraded_serves", degraded_serves.load());
   out.set("open_breakers", open_breakers.load());
+  common::JsonArray breakers;
+  for (const BreakerSnapshot& snapshot : breaker_snapshots()) {
+    common::Json row{common::JsonObject{}};
+    row.set("endpoint", snapshot.endpoint);
+    row.set("state", to_string(snapshot.state));
+    row.set("consecutive_failures", snapshot.consecutive_failures);
+    row.set("last_transition_unix_s", snapshot.last_transition_unix_s);
+    breakers.push_back(std::move(row));
+  }
+  out.set("breakers", common::Json(std::move(breakers)));
   return out;
 }
 
@@ -42,9 +76,18 @@ ResilientClient::ResilientClient(std::uint16_t port, Options options)
   OPENEI_CHECK(options_.retry.max_attempts >= 1, "need at least one attempt");
   OPENEI_CHECK(options_.breaker.failure_threshold >= 1,
                "breaker threshold must be >= 1");
+  if (options_.metrics) {
+    breaker_token_ = options_.metrics->register_breaker(
+        [this] { return breaker_state(); });
+  }
 }
 
 ResilientClient::~ResilientClient() {
+  // Unregister first: after this returns, the shared sink can no longer
+  // snapshot this client.
+  if (options_.metrics) {
+    options_.metrics->unregister_breaker(breaker_token_);
+  }
   // Keep the shared open-breaker gauge honest when a client dies while its
   // breaker is tripped.
   if (options_.metrics && state_ != CircuitState::kClosed) {
@@ -62,9 +105,30 @@ HttpResponse ResilientClient::post(const std::string& target,
   return request("POST", target, body, content_type);
 }
 
+HttpResponse ResilientClient::del(const std::string& target) {
+  return request("DELETE", target, "", "");
+}
+
 CircuitState ResilientClient::circuit_state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;
+}
+
+BreakerSnapshot ResilientClient::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BreakerSnapshot snapshot;
+  snapshot.endpoint = "127.0.0.1:" + std::to_string(port_);
+  snapshot.state = state_;
+  snapshot.consecutive_failures = consecutive_failures_;
+  snapshot.last_transition_unix_s =
+      static_cast<double>(last_transition_ns_) * 1e-9;
+  return snapshot;
+}
+
+void ResilientClient::transition_to(CircuitState next) {
+  if (state_ == next) return;
+  state_ = next;
+  last_transition_ns_ = common::wall_now_ns();
 }
 
 ResilientClient::Stats ResilientClient::stats() const {
@@ -76,7 +140,7 @@ bool ResilientClient::breaker_admits() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (state_ == CircuitState::kOpen) {
     if (common::wall_now_ns() < open_until_ns_) return false;
-    state_ = CircuitState::kHalfOpen;  // open window elapsed: one trial
+    transition_to(CircuitState::kHalfOpen);  // open window elapsed: one trial
   }
   return true;
 }
@@ -88,7 +152,7 @@ void ResilientClient::record_success() {
   if (state_ != CircuitState::kClosed && options_.metrics) {
     --options_.metrics->open_breakers;
   }
-  state_ = CircuitState::kClosed;
+  transition_to(CircuitState::kClosed);
   consecutive_failures_ = 0;
 }
 
@@ -100,11 +164,11 @@ void ResilientClient::record_failure() {
       common::wall_now_ns() +
       static_cast<std::int64_t>(options_.breaker.open_duration_s * 1e9);
   if (state_ == CircuitState::kHalfOpen) {
-    state_ = CircuitState::kOpen;  // trial failed: back to open
+    transition_to(CircuitState::kOpen);  // trial failed: back to open
     open_until_ns_ = reopen_at;
   } else if (state_ == CircuitState::kClosed &&
              consecutive_failures_ >= options_.breaker.failure_threshold) {
-    state_ = CircuitState::kOpen;
+    transition_to(CircuitState::kOpen);
     open_until_ns_ = reopen_at;
     if (options_.metrics) {
       ++options_.metrics->breaker_opens;
@@ -131,6 +195,7 @@ HttpResponse ResilientClient::attempt_once(const std::string& method,
                                            double budget_s) {
   HttpClient client(port_, budget_s);
   if (method == "GET") return client.get(target);
+  if (method == "DELETE") return client.del(target);
   return client.post(target, body, content_type);
 }
 
@@ -196,10 +261,16 @@ HttpResponse ResilientClient::request(const std::string& method,
       last_error = e.what();
       last_was_timeout = false;
     }
-    double sleep_s = std::min(backoff_for(attempt),
-                              options_.deadline_s - elapsed.elapsed_seconds());
-    if (sleep_s > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    // Backoff only when another attempt will actually run: sleeping after
+    // the final failure would hand the caller pure added latency, and the
+    // sleep itself never extends past the end-to-end deadline.
+    if (attempt + 1 < options_.retry.max_attempts) {
+      double sleep_s =
+          std::min(backoff_for(attempt),
+                   options_.deadline_s - elapsed.elapsed_seconds());
+      if (sleep_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      }
     }
   }
 

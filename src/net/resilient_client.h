@@ -12,9 +12,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/rng.h"
@@ -45,6 +48,18 @@ enum class CircuitState { kClosed, kOpen, kHalfOpen };
 
 const char* to_string(CircuitState state);
 
+/// Point-in-time view of one endpoint's circuit breaker — what /ei_status
+/// and /ei_fleet report so fleet failover can be debugged instead of
+/// guessed at from aggregate counters.
+struct BreakerSnapshot {
+  std::string endpoint;  // "127.0.0.1:<port>"
+  CircuitState state = CircuitState::kClosed;
+  std::size_t consecutive_failures = 0;
+  /// Wall-clock seconds of the last state transition; 0 until the breaker
+  /// first changes state.
+  double last_transition_unix_s = 0.0;
+};
+
 /// Shared resilience counters.  Several clients (and a FailoverClient, and a
 /// degrading cloud-edge path) can feed one sink, which libei's /ei_status
 /// reports so the fleet can observe how the node's transport is coping.
@@ -63,7 +78,20 @@ struct ResilienceMetrics {
   /// Gauge: breakers currently open (or half-open) across attached clients.
   std::atomic<std::int64_t> open_breakers{0};
 
+  /// Per-endpoint breaker visibility: every ResilientClient wired to this
+  /// sink registers a snapshot provider on construction and unregisters on
+  /// destruction, so to_json() can emit live closed/open/half-open state per
+  /// endpoint ("breakers" array) next to the aggregate counters.
+  std::uint64_t register_breaker(std::function<BreakerSnapshot()> provider);
+  void unregister_breaker(std::uint64_t token);
+  std::vector<BreakerSnapshot> breaker_snapshots() const;
+
   common::Json to_json() const;
+
+ private:
+  mutable std::mutex breakers_mutex_;
+  std::uint64_t next_breaker_token_ = 1;
+  std::map<std::uint64_t, std::function<BreakerSnapshot()>> breakers_;
 };
 
 /// HttpClient wrapper adding deadline + retries + circuit breaking for one
@@ -98,6 +126,7 @@ class ResilientClient {
   HttpResponse get(const std::string& target);
   HttpResponse post(const std::string& target, const std::string& body,
                     const std::string& content_type = "application/json");
+  HttpResponse del(const std::string& target);
 
   /// Single no-retry attempt that bypasses an open breaker (a half-open
   /// trial).  Returns true when the endpoint answered with a non-5xx status;
@@ -106,6 +135,8 @@ class ResilientClient {
   bool probe(const std::string& target);
 
   CircuitState circuit_state() const;
+  /// Full breaker snapshot: state, consecutive failures, last transition.
+  BreakerSnapshot breaker_state() const;
   std::uint16_t endpoint_port() const { return port_; }
   const Options& options() const { return options_; }
 
@@ -136,12 +167,17 @@ class ResilientClient {
   std::uint16_t port_;
   Options options_;
 
+  /// Sets state_ and stamps the transition time (caller holds mutex_).
+  void transition_to(CircuitState next);
+
   mutable std::mutex mutex_;
   common::Rng jitter_rng_;
   CircuitState state_ = CircuitState::kClosed;
   std::size_t consecutive_failures_ = 0;
   std::int64_t open_until_ns_ = 0;
+  std::int64_t last_transition_ns_ = 0;  // 0 = never transitioned
   Stats stats_;
+  std::uint64_t breaker_token_ = 0;  // registration in the shared sink
 };
 
 }  // namespace openei::net

@@ -315,6 +315,139 @@ TEST(DeadlineTest, ResilientClientDeadlineSpansAllRetries) {
   black_hole.shutdown();
 }
 
+TEST(DeadlineTest, ThreeRetrySequenceNeverExceedsCallerDeadline) {
+  // Regression: the caller's deadline is end-to-end.  Every phase of every
+  // attempt — connect, write, read, and the backoff sleeps between attempts
+  // — must fit in the one budget, so a 3-retry sequence can never stretch
+  // the call past it.  Backoffs here would sum to ~0.75s on their own.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  ResilientClient::Options options;
+  options.deadline_s = 0.4;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_s = 0.25;
+  options.retry.backoff_multiplier = 2.0;
+  options.retry.max_backoff_s = 5.0;
+  options.retry.jitter_fraction = 0.0;
+  options.breaker.failure_threshold = 100;
+  ResilientClient client(dead_port, options);
+  common::Stopwatch elapsed;
+  EXPECT_THROW(client.get("/x"), openei::Error);
+  // Small scheduling slack only — anything near 0.65s would mean a backoff
+  // sleep escaped the deadline clamp.
+  EXPECT_LT(elapsed.elapsed_seconds(), 0.55);
+}
+
+TEST(DeadlineTest, NoBackoffSleepAfterTheFinalAttempt) {
+  // The failure summary must surface as soon as the last attempt fails:
+  // sleeping the post-final backoff (here 2s) would be pure added latency.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  ResilientClient::Options options;
+  options.deadline_s = 10.0;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_s = 0.05;
+  options.retry.backoff_multiplier = 40.0;  // second backoff would be 2s
+  options.retry.jitter_fraction = 0.0;
+  options.breaker.failure_threshold = 100;
+  ResilientClient client(dead_port, options);
+  common::Stopwatch elapsed;
+  EXPECT_THROW(client.get("/x"), openei::IoError);
+  EXPECT_LT(elapsed.elapsed_seconds(), 0.5);
+}
+
+// --- Per-endpoint breaker visibility --------------------------------------
+
+TEST(BreakerVisibilityTest, SharedSinkReportsPerEndpointState) {
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  HttpServer healthy(0, ok_handler);
+  auto metrics = std::make_shared<ResilienceMetrics>();
+  ResilientClient::Options options;
+  options.deadline_s = 0.5;
+  options.retry.max_attempts = 1;
+  options.retry.initial_backoff_s = 0.001;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration_s = 30.0;
+  options.metrics = metrics;
+  {
+    ResilientClient good(healthy.port(), options);
+    ResilientClient bad(dead_port, options);
+    EXPECT_EQ(good.get("/x").status, 200);
+    for (int i = 0; i < 2; ++i) EXPECT_THROW(bad.get("/x"), openei::IoError);
+
+    std::vector<BreakerSnapshot> snapshots = metrics->breaker_snapshots();
+    ASSERT_EQ(snapshots.size(), 2U);
+    const BreakerSnapshot* good_row = nullptr;
+    const BreakerSnapshot* bad_row = nullptr;
+    for (const BreakerSnapshot& row : snapshots) {
+      if (row.endpoint == "127.0.0.1:" + std::to_string(dead_port)) {
+        bad_row = &row;
+      } else {
+        good_row = &row;
+      }
+    }
+    ASSERT_NE(good_row, nullptr);
+    ASSERT_NE(bad_row, nullptr);
+    EXPECT_EQ(good_row->state, CircuitState::kClosed);
+    EXPECT_EQ(good_row->consecutive_failures, 0U);
+    EXPECT_EQ(bad_row->state, CircuitState::kOpen);
+    EXPECT_GE(bad_row->consecutive_failures, 2U);
+    EXPECT_GT(bad_row->last_transition_unix_s, 0.0);
+
+    // The same rows ride along in the sink's JSON (what /ei_status embeds).
+    common::Json doc = metrics->to_json();
+    ASSERT_EQ(doc.at("breakers").as_array().size(), 2U);
+    bool saw_open = false;
+    for (const common::Json& row : doc.at("breakers").as_array()) {
+      if (row.at("state").as_string() == "open") saw_open = true;
+    }
+    EXPECT_TRUE(saw_open);
+  }
+  // Destroyed clients unregister: the sink never reports dead endpoints.
+  EXPECT_TRUE(metrics->breaker_snapshots().empty());
+  healthy.stop();
+}
+
+TEST(BreakerVisibilityTest, EiStatusExposesBreakerRows) {
+  core::EdgeNodeConfig config{hwsim::raspberry_pi_4(), hwsim::openei_package(),
+                              64};
+  core::EdgeNode node(config);
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+    listener.shutdown();
+  }
+  ResilientClient::Options options;
+  options.deadline_s = 0.3;
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_duration_s = 30.0;
+  options.metrics = node.resilience_metrics();
+  ResilientClient outbound(dead_port, options);
+  EXPECT_THROW(outbound.get("/x"), openei::IoError);
+
+  common::Json status = common::Json::parse(node.call("GET", "/ei_status").body);
+  const common::Json& breakers = status.at("resilience").at("breakers");
+  ASSERT_EQ(breakers.as_array().size(), 1U);
+  EXPECT_EQ(breakers.as_array()[0].at("state").as_string(), "open");
+  EXPECT_EQ(breakers.as_array()[0].at("endpoint").as_string(),
+            "127.0.0.1:" + std::to_string(dead_port));
+}
+
 TEST(DeadlineTest, StalledClientCannotPinAServerWorker) {
   HttpServer::Options options;
   options.read_timeout_s = 0.1;

@@ -14,7 +14,10 @@
 #include "hwsim/cost_model.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
+#include "net/faults.h"
 #include "net/http.h"
+#include "net/resilient_client.h"
+#include "net/socket.h"
 #include "nn/serialize.h"
 #include "nn/zoo.h"
 #include "runtime/inference.h"
@@ -305,6 +308,144 @@ TEST(LifecycleStressTest, ConcurrentInferenceSurvivesSwapsAndErases) {
   EXPECT_EQ(node.call("GET", infer_target).status, 200);
   runtime::SessionCache::Stats stats = node.service().lifecycle().stats();
   EXPECT_LE(stats.resident_bytes, stats.budget_bytes);
+}
+
+// --- Hot-swap atomicity under injected faults ------------------------------
+//
+// A swap either fully lands (registry version bumps once, new predictions
+// serve) or leaves no trace (version unchanged, old predictions serve).
+// Fault placement matters: kRefuseConnection and kErrorBurst fire *before*
+// the handler, and a truncated upload never completes parsing — in all three
+// cases the registry must be untouched.
+
+std::uint64_t registry_version_of(net::HttpClient& client) {
+  return static_cast<std::uint64_t>(Json::parse(client.get("/ei_status").body)
+                                        .at("lifecycle")
+                                        .at("registry_version")
+                                        .as_int());
+}
+
+TEST(LifecycleFaultTest, RefusedSwapLeavesRegistryOnOldVersion) {
+  core::EdgeNode node(base_config());
+  node.deploy_model("safety", "detection", make_constant_model("det", 0), 0.9);
+  auto plan = std::make_shared<net::FaultPlan>(11);
+  // Every POST /ei_models is refused; /ei_status and inference stay healthy.
+  plan->add(net::FaultRule{"/ei_models", net::FaultKind::kRefuseConnection});
+  net::HttpServer::Options server;
+  server.faults = plan;
+  std::uint16_t port = node.start_server(0, server);
+  net::HttpClient client(port);
+
+  std::uint64_t version = registry_version_of(client);
+  std::string v2_body = nn::model_to_json(make_constant_model("det", 2)).dump();
+  const std::string deploy_target =
+      "/ei_models?scenario=safety&algorithm=detection&accuracy=0.8";
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(client.post(deploy_target, v2_body), openei::IoError);
+  }
+  EXPECT_EQ(registry_version_of(client), version);
+  EXPECT_EQ(predictions_of(client.get(
+                std::string("/ei_algorithms/safety/detection") + kInput)),
+            (std::vector<std::size_t>{0, 0}));
+  node.stop_server();
+}
+
+TEST(LifecycleFaultTest, TruncatedSwapUploadNeverReachesTheRegistry) {
+  core::EdgeNode node(base_config());
+  node.deploy_model("safety", "detection", make_constant_model("det", 0), 0.9);
+  net::HttpServer::Options server;
+  server.read_timeout_s = 0.2;  // give up on the stalled upload quickly
+  std::uint16_t port = node.start_server(0, server);
+  net::HttpClient client(port);
+  std::uint64_t version = registry_version_of(client);
+
+  // A partial write: correct head, Content-Length promising more body than
+  // ever arrives, then the connection dies mid-upload.
+  std::string v2_body = nn::model_to_json(make_constant_model("det", 2)).dump();
+  std::string head =
+      "POST /ei_models?scenario=safety&algorithm=detection HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Length: " + std::to_string(v2_body.size()) + "\r\n\r\n";
+  {
+    net::TcpConnection torn = net::connect_local(port);
+    torn.write_all(head + v2_body.substr(0, v2_body.size() / 2));
+    torn.close();
+  }
+
+  EXPECT_EQ(registry_version_of(client), version);
+  EXPECT_EQ(predictions_of(client.get(
+                std::string("/ei_algorithms/safety/detection") + kInput)),
+            (std::vector<std::size_t>{0, 0}));
+  node.stop_server();
+}
+
+TEST(LifecycleFaultTest, RetriedSwapThroughFaultBurstBumpsVersionExactlyOnce) {
+  core::EdgeNode node(base_config());
+  node.deploy_model("safety", "detection", make_constant_model("det", 0), 0.9);
+  auto plan = std::make_shared<net::FaultPlan>(12);
+  // The first two deploy attempts are served a 503 with the handler
+  // bypassed; the third goes through.  The retrying client must converge on
+  // exactly one version bump — transient faults never double-apply a swap.
+  plan->add(net::FaultRule{"/ei_models", net::FaultKind::kErrorBurst,
+                           /*probability=*/1.0, /*from_request=*/0,
+                           /*until_request=*/2});
+  net::HttpServer::Options server;
+  server.faults = plan;
+  std::uint16_t port = node.start_server(0, server);
+  net::HttpClient status_client(port);
+  std::uint64_t version = registry_version_of(status_client);
+
+  net::ResilientClient::Options options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff_s = 0.001;
+  options.breaker.failure_threshold = 100;
+  net::ResilientClient client(port, options);
+  std::string v2_body = nn::model_to_json(make_constant_model("det", 2)).dump();
+  net::HttpResponse swap = client.post(
+      "/ei_models?scenario=safety&algorithm=detection&accuracy=0.8", v2_body);
+  ASSERT_EQ(swap.status, 201);
+  EXPECT_TRUE(Json::parse(swap.body).at("swapped").as_bool());
+  EXPECT_EQ(client.stats().retries, 2U);
+
+  EXPECT_EQ(registry_version_of(status_client), version + 1);
+  EXPECT_EQ(predictions_of(status_client.get(
+                std::string("/ei_algorithms/safety/detection") + kInput)),
+            (std::vector<std::size_t>{2, 2}));
+  node.stop_server();
+}
+
+TEST(LifecycleFaultTest, RollbackUnderFaultsRestoresPriorVersionOrNothing) {
+  core::EdgeNode node(base_config());
+  node.deploy_model("safety", "detection", make_constant_model("det", 0), 0.9);
+  node.deploy_model("safety", "detection", make_constant_model("det", 2), 0.8);
+  auto plan = std::make_shared<net::FaultPlan>(13);
+  // Rollback attempt #0 refused (no registry change), #1 clean.
+  plan->add(net::FaultRule{"/ei_models", net::FaultKind::kRefuseConnection,
+                           /*probability=*/1.0, /*from_request=*/0,
+                           /*until_request=*/1});
+  net::HttpServer::Options server;
+  server.faults = plan;
+  std::uint16_t port = node.start_server(0, server);
+  net::HttpClient client(port);
+  const std::string target =
+      std::string("/ei_algorithms/safety/detection") + kInput;
+  std::uint64_t version = registry_version_of(client);
+
+  // The faulted rollback fails in transport and must change nothing: v2
+  // keeps serving.
+  EXPECT_THROW(client.del("/ei_models/det?rollback=1"), openei::IoError);
+  EXPECT_EQ(registry_version_of(client), version);
+  EXPECT_EQ(predictions_of(client.get(target)),
+            (std::vector<std::size_t>{2, 2}));
+
+  // The retry lands: exactly one version bump, v1 serves again, and the
+  // retained slot emptied (a second rollback 409s).
+  EXPECT_EQ(client.del("/ei_models/det?rollback=1").status, 200);
+  EXPECT_EQ(registry_version_of(client), version + 1);
+  EXPECT_EQ(predictions_of(client.get(target)),
+            (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(client.del("/ei_models/det?rollback=1").status, 409);
+  node.stop_server();
 }
 
 }  // namespace
