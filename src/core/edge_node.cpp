@@ -91,11 +91,17 @@ std::uint16_t EdgeNode::start_server(std::uint16_t port,
         return service_.handle(request);
       },
       std::move(options));
+  // /ei_status gains a "serving" block while the server is up.
+  service_.set_serving_stats_source(
+      [server = server_.get()] { return server->stats(); });
   return server_->port();
 }
 
 void EdgeNode::stop_server() {
   if (server_ != nullptr) {
+    // Unhook the stats source first: a status request draining through
+    // stop() may still read it, and by then the server must still exist.
+    service_.set_serving_stats_source(nullptr);
     server_->stop();
     server_.reset();
   }
@@ -104,6 +110,11 @@ void EdgeNode::stop_server() {
 std::uint16_t EdgeNode::port() const {
   OPENEI_CHECK(server_ != nullptr, "server not running");
   return server_->port();
+}
+
+net::ServerStats EdgeNode::server_stats() const {
+  OPENEI_CHECK(server_ != nullptr, "server not running");
+  return server_->stats();
 }
 
 }  // namespace openei::core

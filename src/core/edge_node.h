@@ -78,6 +78,8 @@ class EdgeNode {
   void stop_server();
   bool serving() const { return server_ != nullptr; }
   std::uint16_t port() const;
+  /// Serving counters of the running HTTP server (requires serving()).
+  net::ServerStats server_stats() const;
 
   /// The node's shared outbound-transport resilience counters (also exposed
   /// by GET /ei_status under "resilience").  Wire this into any

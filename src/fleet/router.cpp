@@ -579,7 +579,8 @@ std::uint16_t Router::start_server(std::uint16_t port) {
                               meter_.render_prometheus()};
         }
         return route(request);
-      });
+      },
+      options_.front_door);
   return server_->port();
 }
 

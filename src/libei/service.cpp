@@ -72,6 +72,12 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
                   "Finished traces committed to the in-memory ring");
 }
 
+void EiService::set_serving_stats_source(
+    std::function<net::ServerStats()> source) {
+  std::lock_guard<std::mutex> lock(serving_mutex_);
+  serving_source_ = std::move(source);
+}
+
 EiService::Metrics EiService::metrics() const {
   return Metrics{data_requests_.load(),
                  algorithm_requests_.load(),
@@ -203,6 +209,28 @@ HttpResponse EiService::handle_status() {
   counters.set("errors", snapshot.errors);
   out.set("requests", std::move(counters));
   out.set("resilience", resilience_->to_json());
+  // Serving counters from the HTTP server fronting this service (absent
+  // when the service runs in-process only).
+  std::function<net::ServerStats()> serving_source;
+  {
+    std::lock_guard<std::mutex> lock(serving_mutex_);
+    serving_source = serving_source_;
+  }
+  if (serving_source) {
+    net::ServerStats stats = serving_source();
+    Json serving{JsonObject{}};
+    serving.set("engine", stats.engine);
+    serving.set("connections_accepted", stats.connections_accepted);
+    serving.set("connections_rejected", stats.connections_rejected);
+    serving.set("requests_served", stats.requests_served);
+    serving.set("keepalive_reuses", stats.keepalive_reuses);
+    serving.set("idle_closed", stats.idle_closed);
+    serving.set("deadline_closed", stats.deadline_closed);
+    serving.set("parse_errors", stats.parse_errors);
+    serving.set("open_connections", stats.open_connections);
+    serving.set("peak_connections", stats.peak_connections);
+    out.set("serving", std::move(serving));
+  }
   Json batching{JsonObject{}};
   batching.set("coalescing", options_.coalesce_inference);
   batching.set("max_batch_rows", options_.batching.max_batch_rows);

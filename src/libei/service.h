@@ -123,6 +123,13 @@ class EiService {
     return resilience_;
   }
 
+  /// Wires an HTTP server's serving counters into GET /ei_status (the
+  /// "serving" block: engine, keep-alive reuse, idle/deadline closes...).
+  /// The owning node sets this when it starts a server and clears it
+  /// (nullptr) before tearing the server down; safe against concurrent
+  /// handle() calls.
+  void set_serving_stats_source(std::function<net::ServerStats()> source);
+
   /// The request tracer behind GET /ei_trace/{id} (inert unless
   /// Options.tracing.enabled).
   obs::Tracer& tracer() { return tracer_; }
@@ -176,6 +183,8 @@ class EiService {
       std::make_shared<net::ResilienceMetrics>();
   obs::Tracer tracer_;
   obs::MetricsRegistry meter_;
+  mutable std::mutex serving_mutex_;
+  std::function<net::ServerStats()> serving_source_;  // guarded by serving_mutex_
   /// Declared after meter_: the cache wires its counters into it.
   runtime::SessionCache lifecycle_;
 

@@ -1,13 +1,11 @@
+// Request/target parsing and the blocking HttpClient.  The server engines
+// live in http_server.cpp.
 #include "net/http.h"
 
-#include <algorithm>
-#include <chrono>
 #include <sstream>
-#include <thread>
 
 #include "common/clock.h"
 #include "common/error.h"
-#include "common/logging.h"
 #include "common/strings.h"
 
 namespace openei::net {
@@ -53,6 +51,7 @@ HttpRequest parse_request(const std::string& head, const std::string& body) {
 
   HttpRequest request;
   request.method = parts[0];
+  request.version = parts[2];
   parse_target(parts[1], request.path, request.query);
   for (std::size_t i = 1; i < lines.size(); ++i) {
     std::string line(trim(lines[i]));
@@ -64,208 +63,6 @@ HttpRequest parse_request(const std::string& head, const std::string& body) {
   }
   request.body = body;
   return request;
-}
-
-namespace {
-
-const char* reason_for(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 201: return "Created";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 500: return "Internal Server Error";
-    default: return "Unknown";
-  }
-}
-
-std::string serialize_response(const HttpResponse& response) {
-  std::ostringstream out;
-  out << "HTTP/1.1 " << response.status << ' ' << reason_for(response.status)
-      << "\r\nContent-Type: " << response.content_type
-      << "\r\nContent-Length: " << response.body.size()
-      << "\r\nConnection: close\r\n\r\n"
-      << response.body;
-  return out.str();
-}
-
-/// Reads one full request (head + Content-Length body) from the connection.
-/// Returns false when the peer closed before sending anything.
-bool read_request(TcpConnection& connection, std::string& head, std::string& body) {
-  std::string buffer;
-  char chunk[4096];
-  std::size_t header_end = std::string::npos;
-  while (header_end == std::string::npos) {
-    std::size_t n = connection.read_some(chunk, sizeof(chunk));
-    if (n == 0) {
-      if (buffer.empty()) return false;
-      throw ParseError("connection closed mid-headers");
-    }
-    buffer.append(chunk, n);
-    header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > (1U << 20)) throw ParseError("HTTP head too large");
-  }
-
-  head = buffer.substr(0, header_end);
-  std::string rest = buffer.substr(header_end + 4);
-
-  // Content-Length (case-insensitive scan of the head).  Parsed defensively:
-  // a non-numeric or absurdly large value is a 400, never an unhandled
-  // exception or a worker stuck waiting for petabytes that will never come.
-  std::size_t content_length = 0;
-  for (const std::string& line : split(head, '\n')) {
-    std::string lower = to_lower(trim(line));
-    if (starts_with(lower, "content-length:")) {
-      std::string value(trim(lower.substr(15)));
-      try {
-        content_length = static_cast<std::size_t>(std::stoull(value));
-      } catch (const std::logic_error&) {
-        throw ParseError("bad Content-Length '" + value + "'");
-      }
-    }
-  }
-  if (content_length > (64U << 20)) throw ParseError("HTTP body too large");
-
-  while (rest.size() < content_length) {
-    std::size_t n = connection.read_some(chunk, sizeof(chunk));
-    if (n == 0) throw ParseError("connection closed mid-body");
-    rest.append(chunk, n);
-  }
-  body = rest.substr(0, content_length);
-  return true;
-}
-
-}  // namespace
-
-HttpServer::HttpServer(std::uint16_t port, Handler handler)
-    : HttpServer(port, std::move(handler), Options{}) {}
-
-HttpServer::HttpServer(std::uint16_t port, Handler handler, Options options)
-    : listener_(port), handler_(std::move(handler)), options_(std::move(options)) {
-  OPENEI_CHECK(handler_ != nullptr, "null HTTP handler");
-  OPENEI_CHECK(options_.read_timeout_s > 0.0, "bad server read timeout");
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
-
-HttpServer::~HttpServer() { stop(); }
-
-void HttpServer::stop() {
-  bool was_running = running_.exchange(false);
-  if (!was_running) return;
-  listener_.shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Drain in-flight workers (they are detached; each signals on exit).
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drained_.wait(lock, [this] { return active_workers_ == 0; });
-}
-
-void HttpServer::accept_loop() {
-  while (running_.load()) {
-    TcpConnection connection = [&]() -> TcpConnection {
-      try {
-        return listener_.accept_connection();
-      } catch (const IoError&) {
-        return TcpConnection(FdHandle{});  // listener shut down
-      }
-    }();
-    if (!connection.valid()) break;
-    {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      ++active_workers_;
-    }
-    std::thread([this](TcpConnection conn) {
-      handle_connection(std::move(conn));
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      if (--active_workers_ == 0) drained_.notify_all();
-    }, std::move(connection)).detach();
-  }
-}
-
-void HttpServer::handle_connection(TcpConnection connection) {
-  try {
-    connection.set_read_timeout(options_.read_timeout_s);
-    std::string head;
-    std::string body;
-    try {
-      if (!read_request(connection, head, body)) return;
-    } catch (const ParseError& e) {
-      // Malformed framing (bad Content-Length, oversized head/body...): the
-      // peer may still be listening, so answer 400 before closing.
-      connection.write_all(serialize_response(HttpResponse::json(
-          400, std::string(R"({"error":")") + e.what() + "\"}")));
-      return;
-    }
-
-    FaultPlan::Decision decision;
-    HttpResponse response;
-    try {
-      HttpRequest request = parse_request(head, body);
-      if (options_.faults) decision = options_.faults->next(request.path);
-      if (decision.kind == FaultKind::kRefuseConnection) {
-        connection.close();  // dropped before a single response byte
-        return;
-      }
-      if (decision.kind == FaultKind::kErrorBurst) {
-        response = HttpResponse::json(
-            decision.status, R"({"error":"injected fault: error burst"})");
-      } else {
-        response = handler_(request);
-      }
-    } catch (const ParseError& e) {
-      response = HttpResponse::json(
-          400, std::string(R"({"error":")") + e.what() + "\"}");
-    } catch (const NotFound& e) {
-      response = HttpResponse::json(
-          404, std::string(R"({"error":")") + e.what() + "\"}");
-    } catch (const std::exception& e) {
-      response = HttpResponse::json(
-          500, std::string(R"({"error":")") + e.what() + "\"}");
-    }
-    write_with_faults(connection, response, decision);
-  } catch (const std::exception& e) {
-    common::log_warn("http worker error: ", e.what());
-  }
-}
-
-bool HttpServer::write_with_faults(TcpConnection& connection,
-                                   const HttpResponse& response,
-                                   const FaultPlan::Decision& decision) {
-  std::string wire = serialize_response(response);
-  switch (decision.kind) {
-    case FaultKind::kResetMidStream: {
-      // A few bytes of the status line escape, then a hard RST.
-      connection.write_all(wire.data(), std::min<std::size_t>(wire.size(), 9));
-      connection.reset();
-      return false;
-    }
-    case FaultKind::kTruncateResponse: {
-      std::size_t body_start = wire.size() - response.body.size();
-      std::size_t keep = body_start + response.body.size() / 2;
-      connection.write_all(wire.data(), keep);
-      connection.close();  // Content-Length promises more than was sent
-      return false;
-    }
-    case FaultKind::kSlowRead: {
-      // Dribble the response out so the client experiences a slow read.
-      constexpr std::size_t kChunk = 16;
-      std::size_t chunks = (wire.size() + kChunk - 1) / kChunk;
-      auto pause = std::chrono::duration<double>(
-          decision.delay_s / static_cast<double>(std::max<std::size_t>(chunks, 1)));
-      for (std::size_t offset = 0; offset < wire.size(); offset += kChunk) {
-        std::this_thread::sleep_for(pause);
-        connection.write_all(wire.data() + offset,
-                             std::min(kChunk, wire.size() - offset));
-      }
-      return true;
-    }
-    case FaultKind::kInjectDelay:
-      std::this_thread::sleep_for(std::chrono::duration<double>(decision.delay_s));
-      [[fallthrough]];
-    default:
-      connection.write_all(wire);
-      return true;
-  }
 }
 
 HttpResponse HttpClient::get(const std::string& target) {

@@ -1,19 +1,19 @@
-// Minimal HTTP/1.1 server and client over the TCP substrate.
+// HTTP/1.1 server and client over the TCP substrate.
 //
-// Scope: what libei's RESTful API needs — GET/POST, headers, query strings,
-// Content-Length bodies, connection-per-request.  Strict parsing with
-// ParseError on malformed input; the server answers 400 instead of crashing.
+// Scope: what libei's RESTful API needs — GET/POST/DELETE, headers, query
+// strings, Content-Length bodies — plus the serving concerns the "millions
+// of users" claim needs to be measurable: keep-alive connection reuse,
+// pipelined requests, and a non-blocking event-loop engine.  Strict parsing
+// with ParseError on malformed input; the server answers 400 instead of
+// crashing.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "net/faults.h"
 #include "net/socket.h"
@@ -26,6 +26,7 @@ struct HttpRequest {
   std::map<std::string, std::string> query;    // decoded query parameters
   std::map<std::string, std::string> headers;  // lower-cased names
   std::string body;
+  std::string version = "HTTP/1.1";  // as sent; drives keep-alive defaults
 };
 
 struct HttpResponse {
@@ -46,17 +47,63 @@ HttpRequest parse_request(const std::string& head, const std::string& body);
 void parse_target(const std::string& target, std::string& path,
                   std::map<std::string, std::string>& query);
 
-/// Blocking HTTP server: accept loop on its own thread, one short-lived
-/// detached worker per connection (requests are small); stop() drains all
-/// in-flight workers before returning.
+/// Monotonic serving counters, snapshotted by HttpServer::stats() (and
+/// surfaced as the "serving" block of GET /ei_status when a node wires the
+/// server into its libei service).
+struct ServerStats {
+  std::string engine;  // "event_loop" or "thread_per_connection"
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over the concurrent-connection cap
+  std::uint64_t requests_served = 0;       // responses fully queued/written
+  std::uint64_t keepalive_reuses = 0;      // requests beyond a conn's first
+  std::uint64_t idle_closed = 0;           // keep-alive conns reaped as idle
+  std::uint64_t deadline_closed = 0;       // mid-request read deadline hits
+  std::uint64_t parse_errors = 0;          // 400s from framing/parse errors
+  std::uint64_t open_connections = 0;      // currently open (gauge)
+  std::uint64_t peak_connections = 0;      // high-water mark of the gauge
+};
+
+/// HTTP server with two interchangeable engines behind one contract
+/// (routing, FaultPlan injection, deadlines, 400-on-malformed, graceful
+/// drain on stop()):
+///
+///   - event loop (default): a small fixed pool of non-blocking event-loop
+///     threads multiplexes every connection (epoll on Linux, poll
+///     elsewhere).  Keep-alive reuse, pipelined parsing out of
+///     per-connection buffers, responses serialized straight into
+///     per-connection output buffers with EAGAIN backpressure, idle-timeout
+///     reaping, and a hard cap on concurrent connections.
+///
+///   - thread-per-connection (legacy): the original blocking
+///     accept-then-spawn model, kept as the measured baseline for
+///     bench_serving and for A/B experiments.  One short-lived worker per
+///     connection, one request per connection, bounded by
+///     max_connection_threads (accepting pauses at the cap so an accept
+///     flood queues in the listen backlog instead of exhausting memory).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   struct Options {
-    /// Per-recv deadline while reading a request: a stalled or silent client
-    /// cannot pin a worker thread past this.
+    /// Per-request read deadline: once a request's first byte arrives, the
+    /// whole request must arrive within this (a slow-dribbling client
+    /// cannot pin the connection mid-request past it).
     double read_timeout_s = 10.0;
+    /// Keep-alive idle deadline: a connection with no request in flight and
+    /// nothing left to write is closed after this (slow-loris reaping).
+    /// Only the event-loop engine keeps idle connections at all.
+    double idle_timeout_s = 30.0;
+    /// Event-loop pool size; 0 = auto (half the hardware threads, 1..4).
+    std::size_t event_loop_threads = 0;
+    /// Concurrent-connection cap for the event-loop engine: connections
+    /// beyond it are answered 503 and closed at accept time.
+    std::size_t max_connections = 4096;
+    /// Selects the legacy blocking engine (bench baseline / A-B runs).
+    bool thread_per_connection = false;
+    /// Worker-thread cap for the legacy engine: accepting pauses while this
+    /// many connection workers are live, so an accept flood is bounded by
+    /// the listen backlog, not by memory.
+    std::size_t max_connection_threads = 128;
     /// Optional deterministic fault schedule consulted once per request
     /// (after parsing, before the handler).  Shared so tests/benchmarks can
     /// inspect the plan's counters while the server runs.
@@ -72,28 +119,22 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const;
 
-  /// Stops accepting and joins all threads (idempotent).
+  /// Stops accepting, drains in-flight requests (parsed requests finish and
+  /// their responses flush; connections idle or mid-request are closed),
+  /// and joins every engine thread.  Idempotent.
   void stop();
 
- private:
-  void accept_loop();
-  void handle_connection(TcpConnection connection);
-  /// Writes `response` subject to the fault `decision` (truncation, resets,
-  /// slow chunked writes...).  Returns false when the connection was
-  /// deliberately killed instead of served.
-  bool write_with_faults(TcpConnection& connection, const HttpResponse& response,
-                         const FaultPlan::Decision& decision);
+  /// Snapshot of the serving counters (monotonic except open_connections).
+  ServerStats stats() const;
 
-  TcpListener listener_;
-  Handler handler_;
-  Options options_;
-  std::atomic<bool> running_{true};
-  std::thread accept_thread_;
-  std::mutex drain_mutex_;
-  std::condition_variable drained_;
-  std::size_t active_workers_ = 0;  // guarded by drain_mutex_
+  /// Engine internals (event loop / legacy worker pool); out-of-line so the
+  /// header stays free of epoll/poll details.
+  class Core;
+
+ private:
+  std::unique_ptr<Core> core_;
 };
 
 /// Blocking single-request client with an end-to-end deadline: connect,

@@ -1,0 +1,151 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace openei::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if defined(__linux__)
+
+Poller::Poller() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1() failed");
+  scratch_.resize(128);
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t mask = EPOLLET | EPOLLRDHUP;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(ADD) failed");
+  }
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = epoll_mask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(MOD) failed");
+  }
+}
+
+void Poller::remove(int fd) {
+  // Failure is benign here (the fd may already be closed); epoll drops
+  // closed fds on its own.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::size_t Poller::wait(std::vector<Event>& events, int timeout_ms) {
+  events.clear();
+  int n = ::epoll_wait(epoll_fd_, scratch_.data(),
+                       static_cast<int>(scratch_.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait() failed");
+  }
+  events.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const epoll_event& ev = scratch_[i];
+    Event out;
+    out.fd = ev.data.fd;
+    // HUP/RDHUP surface as readable so the drain loop observes the EOF.
+    out.readable = (ev.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0;
+    out.writable = (ev.events & EPOLLOUT) != 0;
+    out.error = (ev.events & EPOLLERR) != 0;
+    events.push_back(out);
+  }
+  if (static_cast<std::size_t>(n) == scratch_.size()) {
+    scratch_.resize(scratch_.size() * 2);  // more fds than slots: grow
+  }
+  return static_cast<std::size_t>(n);
+}
+
+#else  // poll(2) fallback
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+
+namespace {
+short poll_mask(bool want_read, bool want_write) {
+  short mask = 0;
+  if (want_read) mask |= POLLIN;
+  if (want_write) mask |= POLLOUT;
+  return mask;
+}
+}  // namespace
+
+void Poller::add(int fd, bool want_read, bool want_write) {
+  OPENEI_CHECK(index_.find(fd) == index_.end(), "fd ", fd, " already polled");
+  index_[fd] = fds_.size();
+  fds_.push_back(pollfd{fd, poll_mask(want_read, want_write), 0});
+}
+
+void Poller::modify(int fd, bool want_read, bool want_write) {
+  auto it = index_.find(fd);
+  OPENEI_CHECK(it != index_.end(), "modify of unregistered fd ", fd);
+  fds_[it->second].events = poll_mask(want_read, want_write);
+}
+
+void Poller::remove(int fd) {
+  auto it = index_.find(fd);
+  if (it == index_.end()) return;
+  std::size_t slot = it->second;
+  index_.erase(it);
+  if (slot + 1 != fds_.size()) {
+    fds_[slot] = fds_.back();
+    index_[fds_[slot].fd] = slot;
+  }
+  fds_.pop_back();
+}
+
+std::size_t Poller::wait(std::vector<Event>& events, int timeout_ms) {
+  events.clear();
+  int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("poll() failed");
+  }
+  for (const pollfd& p : fds_) {
+    if (p.revents == 0) continue;
+    Event out;
+    out.fd = p.fd;
+    out.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    out.writable = (p.revents & POLLOUT) != 0;
+    out.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+    events.push_back(out);
+  }
+  return events.size();
+}
+
+#endif
+
+}  // namespace openei::net

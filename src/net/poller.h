@@ -1,0 +1,71 @@
+// Readiness notification for the event-loop server and the bench_serving
+// load generator: a thin RAII wrapper over epoll (Linux) with a poll(2)
+// fallback elsewhere.
+//
+// Semantics the callers rely on:
+//   - epoll backend registers edge-triggered (EPOLLET): a readable/writable
+//     event fires once per state change, so callers MUST drain the fd until
+//     EAGAIN before waiting again;
+//   - poll backend is level-triggered: the same drain-until-EAGAIN loops are
+//     correct there too (they just get harmless extra wakeups);
+//   - `error` events fold in HUP/ERR — callers treat them as "read will
+//     observe EOF or a hard error, close the connection".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#include <unordered_map>
+#endif
+
+namespace openei::net {
+
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// True when the backend delivers edge-triggered readiness (epoll).
+  static constexpr bool edge_triggered() {
+#if defined(__linux__)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Registers `fd` for readiness; throws IoError on failure.
+  void add(int fd, bool want_read, bool want_write);
+  /// Changes the interest set of a registered fd.
+  void modify(int fd, bool want_read, bool want_write);
+  /// Deregisters a fd (must be called before closing it on the poll backend).
+  void remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = forever) and fills `events` with ready
+  /// fds.  Returns the number of events (0 on timeout).
+  std::size_t wait(std::vector<Event>& events, int timeout_ms);
+
+ private:
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+  std::vector<epoll_event> scratch_;
+#else
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;  // fd -> slot in fds_
+#endif
+};
+
+}  // namespace openei::net

@@ -1,0 +1,76 @@
+#include "net/request_parser.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace openei::net {
+
+using common::split;
+using common::starts_with;
+using common::to_lower;
+using common::trim;
+
+std::size_t content_length_of(const std::string& head,
+                              std::size_t max_body_bytes) {
+  std::size_t content_length = 0;
+  for (const std::string& line : split(head, '\n')) {
+    std::string lower = to_lower(trim(line));
+    if (starts_with(lower, "content-length:")) {
+      std::string value(trim(lower.substr(15)));
+      try {
+        content_length = static_cast<std::size_t>(std::stoull(value));
+      } catch (const std::logic_error&) {
+        throw ParseError("bad Content-Length '" + value + "'");
+      }
+    }
+  }
+  if (content_length > max_body_bytes) throw ParseError("HTTP body too large");
+  return content_length;
+}
+
+bool wants_keep_alive(const HttpRequest& request) {
+  std::string connection;
+  if (auto it = request.headers.find("connection"); it != request.headers.end()) {
+    connection = to_lower(it->second);
+  }
+  if (request.version == "HTTP/1.0") {
+    return connection.find("keep-alive") != std::string::npos;
+  }
+  return connection.find("close") == std::string::npos;
+}
+
+void RequestParser::feed(const char* data, std::size_t size,
+                         std::vector<HttpRequest>& out) {
+  buffer_.append(data, size);
+  while (true) {
+    if (state_ == State::kHead) {
+      // Resume the terminator scan where the last feed left off; back up 3
+      // bytes so a "\r\n\r\n" split across the feed boundary is still found.
+      std::size_t from = scan_ > 3 ? scan_ - 3 : 0;
+      std::size_t terminator = buffer_.find("\r\n\r\n", from);
+      if (terminator == std::string::npos) {
+        if (buffer_.size() > limits_.max_head_bytes) {
+          throw ParseError("HTTP head too large");
+        }
+        scan_ = buffer_.size();
+        return;
+      }
+      head_ = buffer_.substr(0, terminator);
+      buffer_.erase(0, terminator + 4);
+      scan_ = 0;
+      content_length_ = content_length_of(head_, limits_.max_body_bytes);
+      state_ = State::kBody;
+    }
+    if (buffer_.size() < content_length_) return;  // body still arriving
+    std::string body = buffer_.substr(0, content_length_);
+    buffer_.erase(0, content_length_);
+    // Assembled head + body go through the exact whole-buffer code path, so
+    // fragmentation can never change a parse result.
+    out.push_back(parse_request(head_, body));
+    head_.clear();
+    content_length_ = 0;
+    state_ = State::kHead;
+  }
+}
+
+}  // namespace openei::net

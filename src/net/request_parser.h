@@ -1,0 +1,72 @@
+// Incremental, pipelining-aware HTTP/1.1 request parser.
+//
+// The event-loop server feeds whatever bytes a socket read produced —
+// requests split at arbitrary boundaries, or several pipelined requests in
+// one read — and the parser emits every request that completed.  Framing
+// state (head-terminator scan position, pending Content-Length) persists
+// across feeds, so a request fragmented into N reads costs one scan of each
+// byte, not N rescans of the buffer.
+//
+// The parse result is bit-identical to the whole-buffer path: once a
+// request's head and body are assembled the parser delegates to
+// parse_request(), which is the invariant the fragmentation property suite
+// in test_properties.cpp pins down.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace openei::net {
+
+class RequestParser {
+ public:
+  struct Limits {
+    /// A head that exceeds this without terminating is a ParseError (the
+    /// same 1 MiB bound the blocking server enforced).
+    std::size_t max_head_bytes = 1U << 20;
+    /// Declared Content-Length above this is a ParseError (64 MiB bound).
+    std::size_t max_body_bytes = 64U << 20;
+  };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes `size` bytes and appends every request they completed to
+  /// `out` (possibly none, possibly several).  Throws ParseError on
+  /// malformed framing or content; the connection is then unrecoverable
+  /// (framing is lost) and must be closed after an error response.
+  void feed(const char* data, std::size_t size, std::vector<HttpRequest>& out);
+
+  /// True when bytes of an incomplete request are buffered (an EOF now
+  /// would cut a request mid-flight).
+  bool mid_request() const { return state_ != State::kHead || !buffer_.empty(); }
+
+  /// Bytes currently buffered (diagnostics / backpressure accounting).
+  std::size_t buffered_bytes() const { return buffer_.size() + head_.size(); }
+
+ private:
+  enum class State { kHead, kBody };
+
+  Limits limits_;
+  State state_ = State::kHead;
+  std::string buffer_;  // unconsumed input
+  std::size_t scan_ = 0;  // resume offset for the "\r\n\r\n" search
+  std::string head_;      // completed head while the body accumulates
+  std::size_t content_length_ = 0;
+};
+
+/// Whether the request asks to keep the connection open after the response:
+/// HTTP/1.1 defaults to keep-alive unless "Connection: close"; HTTP/1.0
+/// requires an explicit "Connection: keep-alive".
+bool wants_keep_alive(const HttpRequest& request);
+
+/// Parses the Content-Length named in `head` (0 when absent).  Throws
+/// ParseError on a non-numeric or out-of-range value, or one above
+/// `max_body_bytes`.  Shared by the incremental parser and the client.
+std::size_t content_length_of(const std::string& head,
+                              std::size_t max_body_bytes);
+
+}  // namespace openei::net

@@ -95,6 +95,46 @@ void TcpConnection::set_write_timeout(double seconds) {
   }
 }
 
+void TcpConnection::set_nonblocking(bool nonblocking) {
+  OPENEI_CHECK(fd_.valid(), "set_nonblocking on closed connection");
+  int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL) failed");
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.get(), F_SETFL, flags) < 0) {
+    throw_errno("fcntl(F_SETFL) failed");
+  }
+}
+
+void TcpConnection::set_nodelay(bool on) {
+  OPENEI_CHECK(fd_.valid(), "set_nodelay on closed connection");
+  int flag = on ? 1 : 0;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+}
+
+std::ptrdiff_t TcpConnection::read_nonblocking(char* buffer,
+                                               std::size_t max_bytes) {
+  OPENEI_CHECK(fd_.valid(), "read on closed connection");
+  while (true) {
+    ssize_t n = ::recv(fd_.get(), buffer, max_bytes, 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EINTR) continue;
+    throw_errno("recv failed");
+  }
+}
+
+std::ptrdiff_t TcpConnection::write_nonblocking(const char* data,
+                                                std::size_t size) {
+  OPENEI_CHECK(fd_.valid(), "write on closed connection");
+  while (true) {
+    ssize_t n = ::send(fd_.get(), data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EINTR) continue;
+    throw_errno("send failed");
+  }
+}
+
 void TcpConnection::close() { FdHandle dropped = std::move(fd_); }
 
 void TcpConnection::reset() {
@@ -121,7 +161,10 @@ TcpListener::TcpListener(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw_errno("bind() failed");
   }
-  if (::listen(fd, 64) != 0) throw_errno("listen() failed");
+  // A deep backlog: the event-loop server accepts in bursts and the legacy
+  // engine deliberately pauses accepting at its worker cap, so connect
+  // storms queue here instead of getting SYN-dropped.
+  if (::listen(fd, 512) != 0) throw_errno("listen() failed");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {

@@ -47,6 +47,24 @@ class TcpConnection {
   /// Sets a send timeout (a peer that stops draining cannot hang a writer).
   void set_write_timeout(double seconds);
 
+  /// Toggles O_NONBLOCK (the event-loop server runs every connection
+  /// non-blocking; a fault-offload worker flips it back).
+  void set_nonblocking(bool nonblocking);
+
+  /// Disables Nagle's algorithm so small responses flush immediately.
+  void set_nodelay(bool on);
+
+  /// Non-blocking read: >0 bytes read, 0 peer closed, -1 would-block.
+  /// Throws IoError on hard failures (reset...).
+  std::ptrdiff_t read_nonblocking(char* buffer, std::size_t max_bytes);
+
+  /// Non-blocking write: bytes written (possibly 0), or -1 would-block.
+  /// Throws IoError on hard failures (EPIPE, reset...).
+  std::ptrdiff_t write_nonblocking(const char* data, std::size_t size);
+
+  /// The raw fd for readiness registration (ownership stays here).
+  int native_handle() const { return fd_.get(); }
+
   bool valid() const { return fd_.valid(); }
   void close();
 

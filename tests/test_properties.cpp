@@ -14,6 +14,7 @@
 #include "data/synthetic.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
+#include "net/request_parser.h"
 #include "nn/serialize.h"
 #include "nn/train.h"
 #include "nn/zoo.h"
@@ -710,6 +711,86 @@ TEST_P(QuantProperty, PerChannelReconstructionBeatsPerTensor) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QuantProperty,
                          ::testing::Values(2, 11, 23, 47, 92));
+
+// ---------------------------------------------------------------------------
+// Incremental HTTP parsing: fragmentation independence.
+// ---------------------------------------------------------------------------
+
+class RequestParserProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Whatever way TCP fragments or coalesces the byte stream, the incremental
+// parser must produce exactly the requests the whole-buffer path produces —
+// same count, same fields, same bodies, in order.
+TEST_P(RequestParserProperty, FragmentationNeverChangesParsedRequests) {
+  Rng rng(GetParam());
+
+  // A random pipelined request stream with bodies, query strings, and
+  // header-case noise.
+  struct Expected {
+    std::string head;
+    std::string body;
+  };
+  std::vector<Expected> expected;
+  std::string wire;
+  std::size_t count = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string body;
+    if (rng.flip(0.5)) {
+      std::size_t body_len = static_cast<std::size_t>(rng.uniform_int(1, 2000));
+      for (std::size_t b = 0; b < body_len; ++b) {
+        body.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+    }
+    std::string head = (body.empty() ? "GET" : "POST") +
+                       std::string(" /r" + std::to_string(i)) +
+                       (rng.flip() ? "?k=v&n=" + std::to_string(i) : "") +
+                       " HTTP/1.1\r\nHost: 127.0.0.1\r\n" +
+                       (rng.flip() ? "X-Noise: " + std::to_string(i) + "\r\n"
+                                   : "");
+    if (!body.empty()) {
+      head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    expected.push_back({head, body});
+    wire += head + "\r\n" + body;
+  }
+
+  // Reference: the whole stream fed as one buffer.
+  net::RequestParser whole;
+  std::vector<net::HttpRequest> reference;
+  whole.feed(wire.data(), wire.size(), reference);
+  EXPECT_EQ(reference.size(), expected.size());
+
+  // Property: random fragmentation (1-byte dribbles through large
+  // coalesced chunks) yields identical results.
+  net::RequestParser fragmented;
+  std::vector<net::HttpRequest> parsed;
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    std::size_t chunk = rng.flip(0.3)
+                            ? 1
+                            : static_cast<std::size_t>(rng.uniform_int(
+                                  1, static_cast<std::int64_t>(
+                                         std::min<std::size_t>(
+                                             wire.size() - offset, 700))));
+    fragmented.feed(wire.data() + offset, chunk, parsed);
+    offset += chunk;
+  }
+  EXPECT_FALSE(fragmented.mid_request());
+
+  ASSERT_EQ(parsed.size(), reference.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].method, reference[i].method) << "request " << i;
+    EXPECT_EQ(parsed[i].path, reference[i].path) << "request " << i;
+    EXPECT_EQ(parsed[i].version, reference[i].version) << "request " << i;
+    EXPECT_EQ(parsed[i].query, reference[i].query) << "request " << i;
+    EXPECT_EQ(parsed[i].headers, reference[i].headers) << "request " << i;
+    EXPECT_EQ(parsed[i].body, reference[i].body) << "request " << i;
+    EXPECT_EQ(parsed[i].body, expected[i].body) << "request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RequestParserProperty,
+                         ::testing::Values(1, 5, 13, 29, 61, 97));
 
 TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {
   Rng rng(6);
