@@ -1,0 +1,91 @@
+// The shared shutdown contract for internal work queues.
+//
+// Every queue that accepts work from concurrent producers and completes it
+// on a worker thread (runtime::MicroBatcher, stream::FrameQueue) needs the
+// same three guarantees at teardown:
+//
+//   1. work accepted before close() is drained, never silently lost,
+//   2. work offered after close() is refused, never enqueued,
+//   3. no waiter — blocked producer or sleeping consumer — can sleep
+//      through close(); destruction cannot deadlock.
+//
+// DrainGate packages the mutex + condition variable + closed flag that
+// implement that contract.  One mutex guards both the owner's queue state
+// and the closed flag, so "closed?" and "work available?" are always
+// observed together; await()/await_for() fold the closed flag into every
+// wait predicate, so a waiter wakes the moment the gate closes.  The
+// owner's destructor calls close() and then joins its worker, which drains
+// whatever close() found queued.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace openei::common {
+
+class DrainGate {
+ public:
+  using Lock = std::unique_lock<std::mutex>;
+
+  DrainGate() = default;
+  DrainGate(const DrainGate&) = delete;
+  DrainGate& operator=(const DrainGate&) = delete;
+
+  /// Locks the gate's mutex — the one lock that guards the owner's queue
+  /// state and the closed flag alike.  Const so counter snapshots on const
+  /// owners can lock too (the mutex is mutable).
+  Lock acquire() const { return Lock(mutex_); }
+
+  /// True once close() ran.  The caller must hold the gate's lock (the
+  /// parameter exists to make that requirement impossible to forget).
+  bool closed(const Lock&) const { return closed_; }
+
+  /// Unlocked snapshot for monitoring; never use it to gate an enqueue.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Marks the gate closed and wakes every waiter.  Idempotent: returns
+  /// false when the gate was already closed.
+  bool close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      closed_ = true;
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  /// Wakes every waiter (call after mutating queue state).
+  void notify_all() { cv_.notify_all(); }
+
+  /// Blocks until `ready()` or the gate closes; returns ready() so the
+  /// caller distinguishes "work available" from "woken by close".
+  template <typename Pred>
+  bool await(Lock& lock, Pred ready) {
+    cv_.wait(lock, [&] { return closed_ || ready(); });
+    return ready();
+  }
+
+  /// Timed await: until ready, closed, or `seconds` elapsed (clamped at 0);
+  /// returns ready().
+  template <typename Pred>
+  bool await_for(Lock& lock, double seconds, Pred ready) {
+    if (seconds < 0.0) seconds = 0.0;
+    cv_.wait_for(lock,
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::duration<double>(seconds)),
+                 [&] { return closed_ || ready(); });
+    return ready();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+};
+
+}  // namespace openei::common

@@ -103,6 +103,106 @@ Dataset make_sequences(std::size_t samples, std::size_t steps, std::size_t dims,
   return Dataset{std::move(x), std::move(labels), classes};
 }
 
+namespace {
+
+/// Nominal capture stamp: start + index * period + uniform jitter draw.
+/// One jitter draw per frame even at jitter = 0 keeps the feature stream
+/// identical whether or not timestamp jitter is enabled.
+std::int64_t stamp(std::int64_t start_ns, std::int64_t period_ns,
+                   std::uint64_t index, double jitter, common::Rng& rng) {
+  double draw = rng.uniform(0.0, 1.0);
+  std::int64_t jitter_ns = static_cast<std::int64_t>(
+      draw * jitter * static_cast<double>(period_ns));
+  return start_ns + static_cast<std::int64_t>(index) * period_ns + jitter_ns;
+}
+
+}  // namespace
+
+SensorStreamSource::SensorStreamSource(Options options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  OPENEI_CHECK(options_.features > 0 && options_.classes > 1 &&
+                   options_.period_ns > 0 && options_.hold_frames > 0 &&
+                   options_.jitter >= 0.0 && options_.jitter < 1.0,
+               "bad sensor stream parameters");
+  centres_.assign(options_.classes, std::vector<float>(options_.features));
+  for (auto& centre : centres_) {
+    for (float& v : centre) v = rng_.normal_float() * options_.separation;
+  }
+  regime_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(options_.classes) - 1));
+}
+
+StreamFrame SensorStreamSource::next() {
+  if (index_ > 0 && index_ % options_.hold_frames == 0) {
+    regime_ = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(options_.classes) - 1));
+  }
+  StreamFrame frame;
+  frame.index = index_;
+  frame.timestamp_ns = stamp(options_.start_ns, options_.period_ns, index_,
+                             options_.jitter, rng_);
+  frame.label = regime_;
+  frame.features = Tensor(Shape{options_.features});
+  auto data = frame.features.data();
+  for (std::size_t f = 0; f < options_.features; ++f) {
+    data[f] = centres_[regime_][f] + rng_.normal_float(0.0F, options_.stddev);
+  }
+  ++index_;
+  return frame;
+}
+
+VideoStreamSource::VideoStreamSource(Options options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  OPENEI_CHECK(options_.channels > 0 && options_.size > 1 &&
+                   options_.classes > 1 && options_.period_ns > 0 &&
+                   options_.scene_frames > 0 && options_.jitter >= 0.0 &&
+                   options_.jitter < 1.0,
+               "bad video stream parameters");
+  // Same smooth per-class sinusoid templates as make_images, so a model
+  // trained on make_images data recognizes streamed frames.
+  std::size_t pixels = options_.channels * options_.size * options_.size;
+  templates_.assign(options_.classes, std::vector<float>(pixels));
+  for (std::size_t cls = 0; cls < options_.classes; ++cls) {
+    float fx = rng_.uniform_float(0.5F, 2.5F);
+    float fy = rng_.uniform_float(0.5F, 2.5F);
+    float phase = rng_.uniform_float(0.0F, 6.28F);
+    for (std::size_t c = 0; c < options_.channels; ++c) {
+      float channel_gain = rng_.uniform_float(0.5F, 1.5F);
+      for (std::size_t h = 0; h < options_.size; ++h) {
+        for (std::size_t w = 0; w < options_.size; ++w) {
+          float u = static_cast<float>(h) / static_cast<float>(options_.size);
+          float v = static_cast<float>(w) / static_cast<float>(options_.size);
+          templates_[cls][(c * options_.size + h) * options_.size + w] =
+              channel_gain * std::sin(6.28F * (fx * u + fy * v) + phase);
+        }
+      }
+    }
+  }
+  scene_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(options_.classes) - 1));
+}
+
+StreamFrame VideoStreamSource::next() {
+  if (index_ > 0 && index_ % options_.scene_frames == 0) {
+    scene_ = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(options_.classes) - 1));
+  }
+  StreamFrame frame;
+  frame.index = index_;
+  frame.timestamp_ns = stamp(options_.start_ns, options_.period_ns, index_,
+                             options_.jitter, rng_);
+  frame.label = scene_;
+  frame.features =
+      Tensor(Shape{options_.channels, options_.size, options_.size});
+  auto data = frame.features.data();
+  const auto& tmpl = templates_[scene_];
+  for (std::size_t p = 0; p < tmpl.size(); ++p) {
+    data[p] = tmpl[p] + rng_.normal_float(0.0F, options_.noise);
+  }
+  ++index_;
+  return frame;
+}
+
 Dataset apply_drift(const Dataset& dataset, common::Rng& drift_rng,
                     float magnitude) {
   dataset.check();

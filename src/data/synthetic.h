@@ -9,6 +9,8 @@
 // exactly.
 #pragma once
 
+#include <cstdint>
+
 #include "data/dataset.h"
 
 namespace openei::data {
@@ -28,6 +30,92 @@ Dataset make_images(std::size_t samples, std::size_t channels, std::size_t size,
 /// sinusoid with class-specific frequency/phase per dimension plus noise.
 Dataset make_sequences(std::size_t samples, std::size_t steps, std::size_t dims,
                        std::size_t classes, common::Rng& rng, float noise = 0.25F);
+
+/// One timestamped frame emitted by a continuous FrameSource.
+struct StreamFrame {
+  std::uint64_t index = 0;        // 0-based emission index
+  std::int64_t timestamp_ns = 0;  // capture time on the source clock
+  std::size_t label = 0;          // ground-truth class of the current regime
+  Tensor features;                // [sample...] (no batch dim)
+};
+
+/// A continuous, unbounded frame stream — the input side of the streaming
+/// pipeline (src/stream).  Sources are fully determined by their seed:
+/// same seed, same frames, same timestamps.  Frames carry nominal capture
+/// timestamps (start_ns + index * period_ns + bounded jitter), so offered
+/// load is part of the recipe, not of the host's wall clock.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+  virtual StreamFrame next() = 0;
+  virtual Shape sample_shape() const = 0;
+  virtual std::size_t classes() const = 0;
+};
+
+/// Tabular sensor stream (smart-home power, health vitals): blob-like
+/// readings around per-class centres.  The emitting class is a *regime*
+/// held for `hold_frames` frames then re-drawn, modelling a sensor whose
+/// ground truth changes slowly relative to its sample rate.
+class SensorStreamSource : public FrameSource {
+ public:
+  struct Options {
+    std::size_t features = 16;
+    std::size_t classes = 4;
+    float separation = 3.0F;
+    float stddev = 1.0F;
+    std::int64_t start_ns = 0;
+    std::int64_t period_ns = 10'000'000;  // 100 Hz sensor
+    /// Uniform timestamp jitter as a fraction of the period, in [0, 1).
+    double jitter = 0.0;
+    std::size_t hold_frames = 16;
+  };
+
+  SensorStreamSource(Options options, std::uint64_t seed);
+
+  StreamFrame next() override;
+  Shape sample_shape() const override { return Shape{options_.features}; }
+  std::size_t classes() const override { return options_.classes; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  common::Rng rng_;
+  std::vector<std::vector<float>> centres_;
+  std::uint64_t index_ = 0;
+  std::size_t regime_ = 0;
+};
+
+/// Video frame stream (VAPS, AR): NCHW frames around per-class spatial
+/// templates, the scene (class) held for `scene_frames` then re-drawn.
+class VideoStreamSource : public FrameSource {
+ public:
+  struct Options {
+    std::size_t channels = 1;
+    std::size_t size = 8;
+    std::size_t classes = 4;
+    float noise = 0.35F;
+    std::int64_t start_ns = 0;
+    std::int64_t period_ns = 33'333'333;  // ~30 fps camera
+    double jitter = 0.0;
+    std::size_t scene_frames = 30;
+  };
+
+  VideoStreamSource(Options options, std::uint64_t seed);
+
+  StreamFrame next() override;
+  Shape sample_shape() const override {
+    return Shape{options_.channels, options_.size, options_.size};
+  }
+  std::size_t classes() const override { return options_.classes; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  common::Rng rng_;
+  std::vector<std::vector<float>> templates_;
+  std::uint64_t index_ = 0;
+  std::size_t scene_ = 0;
+};
 
 /// Applies confusable covariate drift: each class's samples are shifted
 /// `magnitude` of the way toward the *next* class's centroid (cyclically),

@@ -1,5 +1,6 @@
 #include "libei/service.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/clock.h"
@@ -40,7 +41,8 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
                    lifecycle.batcher_metrics = batcher_metrics_;
                    return lifecycle;
                  }(),
-                 &meter_) {
+                 &meter_),
+      streams_(lifecycle_, options.streaming, &tracer_, &meter_) {
   meter_.describe("ei_requests_total", "Requests served, by route and status class");
   meter_.describe("ei_session_cache_hits_total",
                   "Warm inference-session cache hits");
@@ -70,6 +72,17 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
   meter_.describe("ei_model_rows_total", "Inference rows served per model");
   meter_.describe("ei_traces_completed_total",
                   "Finished traces committed to the in-memory ring");
+  meter_.describe("ei_stream_sessions_active", "Open streaming sessions");
+  meter_.describe("ei_stream_frames_admitted_total",
+                  "Stream frames admitted into a session queue, by policy");
+  meter_.describe("ei_stream_frames_rejected_total",
+                  "Stream frames refused at admission (backpressure/closed)");
+  meter_.describe("ei_stream_frames_delivered_total",
+                  "Stream frames that completed inference");
+  meter_.describe("ei_stream_frames_dropped_total",
+                  "Stream frames dropped before inference, by reason");
+  meter_.describe("ei_stream_frame_latency_seconds",
+                  "End-to-end streamed-frame latency (admission to delivery)");
 }
 
 void EiService::set_serving_stats_source(
@@ -82,6 +95,7 @@ EiService::Metrics EiService::metrics() const {
   return Metrics{data_requests_.load(),
                  algorithm_requests_.load(),
                  model_requests_.load(),
+                 stream_requests_.load(),
                  errors_.load(),
                  resilience_->retries.load(),
                  resilience_->timeouts.load(),
@@ -170,6 +184,10 @@ HttpResponse EiService::handle(const HttpRequest& request) {
     ++model_requests_;
     return serve(handle_models(request, segments));
   }
+  if (route == "ei_stream") {
+    ++stream_requests_;
+    return serve(handle_stream(request, segments));
+  }
   if (route == "ei_status" && segments.size() == 1 && request.method == "GET") {
     return serve(handle_status());
   }
@@ -206,6 +224,7 @@ HttpResponse EiService::handle_status() {
   counters.set("data_requests", snapshot.data_requests);
   counters.set("algorithm_requests", snapshot.algorithm_requests);
   counters.set("model_requests", snapshot.model_requests);
+  counters.set("stream_requests", snapshot.stream_requests);
   counters.set("errors", snapshot.errors);
   out.set("requests", std::move(counters));
   out.set("resilience", resilience_->to_json());
@@ -286,6 +305,34 @@ HttpResponse EiService::handle_status() {
   lifecycle.set("resident", Json(std::move(residents)));
   lifecycle.set("registry_version", registry_.version());
   out.set("lifecycle", std::move(lifecycle));
+  // Streaming sessions with their conservation-law counters (produced =
+  // admitted + rejected_*; admitted = delivered + dropped_* + depth).
+  Json streams{JsonObject{}};
+  streams.set("active", streams_.active());
+  streams.set("opened_total", streams_.opened_total());
+  streams.set("closed_total", streams_.closed_total());
+  streams.set("max_sessions", streams_.options().max_sessions);
+  JsonArray stream_rows;
+  for (const auto& session : streams_.sessions()) {
+    stream::SessionStats stats = session->stats();
+    Json row{JsonObject{}};
+    row.set("id", session->id());
+    row.set("model", session->model());
+    row.set("policy",
+            std::string(stream::to_string(session->options().queue.policy)));
+    row.set("produced", stats.queue.produced);
+    row.set("admitted", stats.queue.admitted);
+    row.set("delivered", stats.queue.delivered);
+    row.set("dropped_deadline", stats.queue.dropped_deadline);
+    row.set("dropped_policy", stats.queue.dropped_policy);
+    row.set("rejected_backpressure", stats.queue.rejected_backpressure);
+    row.set("depth", stats.queue.depth);
+    row.set("inferred", stats.inferred);
+    row.set("results_pending", stats.results_pending);
+    stream_rows.push_back(std::move(row));
+  }
+  streams.set("sessions", Json(std::move(stream_rows)));
+  out.set("streams", std::move(streams));
   return HttpResponse::json(200, out.dump());
 }
 
@@ -599,6 +646,252 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   meter_.gauge("ei_model_sim_memory_bytes", by_model)
       .set(static_cast<double>(result.per_sample.memory_bytes));
   return response;
+}
+
+namespace {
+
+Json stream_session_json(stream::StreamSession& session) {
+  stream::SessionStats stats = session.stats();
+  Json out{JsonObject{}};
+  out.set("stream", session.id());
+  out.set("scenario", session.scenario());
+  out.set("algorithm", session.algorithm());
+  out.set("model", session.model());
+  out.set("policy",
+          std::string(stream::to_string(session.options().queue.policy)));
+  out.set("capacity", session.options().queue.capacity);
+  out.set("deadline_ms", session.options().queue.deadline_s * 1e3);
+  out.set("closed", session.closed());
+  Json queue{JsonObject{}};
+  queue.set("produced", stats.queue.produced);
+  queue.set("admitted", stats.queue.admitted);
+  queue.set("delivered", stats.queue.delivered);
+  queue.set("dropped_deadline", stats.queue.dropped_deadline);
+  queue.set("dropped_policy", stats.queue.dropped_policy);
+  queue.set("dropped_closed", stats.queue.dropped_closed);
+  queue.set("rejected_backpressure", stats.queue.rejected_backpressure);
+  queue.set("rejected_closed", stats.queue.rejected_closed);
+  queue.set("blocked_pushes", stats.queue.blocked_pushes);
+  queue.set("depth", stats.queue.depth);
+  out.set("queue", std::move(queue));
+  out.set("inferred", stats.inferred);
+  out.set("infer_failures", stats.infer_failures);
+  out.set("results_pending", stats.results_pending);
+  out.set("results_polled", stats.results_polled);
+  out.set("results_overflow", stats.results_overflow);
+  out.set("last_sim_latency_s", stats.last_sim_latency_s);
+  return out;
+}
+
+const char* outcome_name(stream::PushOutcome outcome) {
+  switch (outcome) {
+    case stream::PushOutcome::kAdmitted:
+      return "admitted";
+    case stream::PushOutcome::kRejectedBackpressure:
+      return "backpressure";
+    case stream::PushOutcome::kRejectedClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+HttpResponse EiService::handle_stream(const HttpRequest& request,
+                                      const std::vector<std::string>& segments) {
+  // POST /ei_stream — open a session.  Model selection runs the same
+  // selecting algorithm as /ei_algorithms, once, at open; every streamed
+  // frame then rides the chosen model.
+  if (request.method == "POST" && segments.size() == 1) {
+    auto scenario = request.query.find("scenario");
+    auto algorithm = request.query.find("algorithm");
+    if (scenario == request.query.end() || algorithm == request.query.end()) {
+      throw ParseError("stream open needs scenario and algorithm");
+    }
+    std::shared_ptr<const selector::CapabilityDatabase> db =
+        capabilities_for(scenario->second, algorithm->second);
+    if (db == nullptr) {
+      throw NotFound("no model deployed for " + scenario->second + "/" +
+                     algorithm->second);
+    }
+    selector::SelectionRequest selection = parse_selection(request.query);
+    auto chosen = selector::select(*db, selection, nullptr);
+    if (!chosen.has_value()) {
+      return HttpResponse::json(
+          400,
+          R"({"error":"no deployed model satisfies the ALEM requirements"})");
+    }
+
+    stream::StreamSession::Options session_options = options_.streaming.session;
+    if (auto it = request.query.find("policy"); it != request.query.end()) {
+      auto policy = stream::parse_policy(it->second);
+      if (!policy.has_value()) {
+        throw ParseError("unknown policy '" + it->second +
+                         "' (block|latest_wins|drop_oldest)");
+      }
+      session_options.queue.policy = *policy;
+    }
+    if (auto it = request.query.find("capacity"); it != request.query.end()) {
+      double capacity = query_double(request.query, "capacity", 0.0);
+      if (capacity < 1.0) throw ParseError("capacity must be >= 1");
+      session_options.queue.capacity = static_cast<std::size_t>(capacity);
+    }
+    double deadline_ms = query_double(request.query, "deadline_ms",
+                                      session_options.queue.deadline_s * 1e3);
+    if (deadline_ms < 0.0) throw ParseError("deadline_ms must be >= 0");
+    session_options.queue.deadline_s = deadline_ms * 1e-3;
+
+    std::shared_ptr<stream::StreamSession> session;
+    try {
+      session = streams_.open(scenario->second, algorithm->second,
+                              chosen->model_name, std::move(session_options));
+    } catch (const runtime::MemoryPressureError& pressure) {
+      Json body{JsonObject{}};
+      body.set("error", "memory_pressure");
+      body.set("model", pressure.model());
+      body.set("needed_bytes", pressure.needed_bytes());
+      body.set("budget_bytes", pressure.budget_bytes());
+      body.set("resident_bytes", pressure.resident_bytes());
+      return HttpResponse::json(503, body.dump());
+    } catch (const ResourceExhausted&) {
+      Json body{JsonObject{}};
+      body.set("error", "too_many_streams");
+      body.set("max_sessions", streams_.options().max_sessions);
+      return HttpResponse::json(503, body.dump());
+    }
+    Json out{JsonObject{}};
+    out.set("stream", session->id());
+    out.set("model", session->model());
+    out.set("policy",
+            std::string(stream::to_string(session->options().queue.policy)));
+    out.set("capacity", session->options().queue.capacity);
+    out.set("deadline_ms", session->options().queue.deadline_s * 1e3);
+    JsonArray shape;
+    for (std::size_t d : session->sample_shape().dims()) shape.emplace_back(d);
+    out.set("sample_shape", Json(std::move(shape)));
+    return HttpResponse::json(201, out.dump());
+  }
+
+  // GET /ei_stream — session index.
+  if (request.method == "GET" && segments.size() == 1) {
+    Json out{JsonObject{}};
+    out.set("active", streams_.active());
+    out.set("max_sessions", streams_.options().max_sessions);
+    JsonArray rows;
+    for (const auto& session : streams_.sessions()) {
+      rows.push_back(stream_session_json(*session));
+    }
+    out.set("streams", Json(std::move(rows)));
+    return HttpResponse::json(200, out.dump());
+  }
+
+  if (segments.size() < 2) {
+    throw ParseError("expected /ei_stream or /ei_stream/{id}[/frames|/results]");
+  }
+  const std::string& id = segments[1];
+
+  // DELETE /ei_stream/{id} — close + drain, reporting the final counters.
+  if (request.method == "DELETE" && segments.size() == 2) {
+    std::shared_ptr<stream::StreamSession> session = streams_.get(id);
+    if (session == nullptr || !streams_.close(id)) {
+      throw NotFound("no stream with id '" + id + "'");
+    }
+    Json out = stream_session_json(*session);
+    out.set("closed", true);
+    return HttpResponse::json(200, out.dump());
+  }
+
+  std::shared_ptr<stream::StreamSession> session = streams_.get(id);
+  if (session == nullptr) {
+    throw NotFound("no stream with id '" + id + "'");
+  }
+
+  // GET /ei_stream/{id} — stats.
+  if (request.method == "GET" && segments.size() == 2) {
+    return HttpResponse::json(200, stream_session_json(*session).dump());
+  }
+
+  // POST /ei_stream/{id}/frames — submit frames (JSON rows, one frame per
+  // row).  kBlock waits a bounded stream_http_max_block_s for space (the
+  // handler runs on an event-loop thread), then reports backpressure.
+  if (request.method == "POST" && segments.size() == 3 &&
+      segments[2] == "frames") {
+    nn::Tensor batch =
+        runtime::rows_to_batch(resolve_input(request), session->sample_shape());
+    std::size_t rows = batch.shape().dim(0);
+    std::size_t elems = session->sample_shape().elements();
+    std::size_t accepted = 0;
+    std::size_t backpressure = 0;
+    std::size_t closed = 0;
+    JsonArray verdicts;
+    for (std::size_t i = 0; i < rows; ++i) {
+      nn::Tensor frame(session->sample_shape());
+      auto src = batch.data();
+      std::copy(src.begin() + static_cast<std::ptrdiff_t>(i * elems),
+                src.begin() + static_cast<std::ptrdiff_t>((i + 1) * elems),
+                frame.data().begin());
+      stream::PushResult pushed =
+          session->submit(std::move(frame), options_.stream_http_max_block_s);
+      Json verdict{JsonObject{}};
+      verdict.set("outcome", std::string(outcome_name(pushed.outcome)));
+      if (pushed.outcome == stream::PushOutcome::kAdmitted) {
+        ++accepted;
+        verdict.set("seq", pushed.seq);
+        if (pushed.evicted > 0) verdict.set("evicted", pushed.evicted);
+      } else if (pushed.outcome == stream::PushOutcome::kRejectedClosed) {
+        ++closed;
+      } else {
+        ++backpressure;
+      }
+      if (pushed.trace_id != 0) {
+        verdict.set("trace_id", std::to_string(pushed.trace_id));
+      }
+      verdicts.push_back(std::move(verdict));
+    }
+    Json out{JsonObject{}};
+    out.set("stream", session->id());
+    out.set("accepted", accepted);
+    out.set("rejected_backpressure", backpressure);
+    out.set("rejected_closed", closed);
+    out.set("frames", Json(std::move(verdicts)));
+    int status = 200;
+    if (accepted == 0 && closed > 0) {
+      status = 409;  // stream already closed
+    } else if (accepted == 0 && backpressure > 0) {
+      status = 429;  // full queue held the bounded wait the whole time
+    }
+    return HttpResponse::json(status, out.dump());
+  }
+
+  // GET /ei_stream/{id}/results?max=N — drain delivered results.
+  if (request.method == "GET" && segments.size() == 3 &&
+      segments[2] == "results") {
+    double max = query_double(request.query, "max", 1e18);
+    if (max < 1.0) throw ParseError("max must be >= 1");
+    std::vector<stream::DeliveredResult> results =
+        session->poll(static_cast<std::size_t>(max));
+    JsonArray rows;
+    for (const stream::DeliveredResult& result : results) {
+      Json row{JsonObject{}};
+      row.set("seq", result.seq);
+      row.set("prediction", result.prediction);
+      row.set("queue_wait_s", result.queue_wait_s);
+      row.set("infer_s", result.infer_s);
+      row.set("sim_latency_s", result.sim_latency_s);
+      row.set("sim_energy_j", result.sim_energy_j);
+      if (result.trace_id != 0) {
+        row.set("trace_id", std::to_string(result.trace_id));
+      }
+      rows.push_back(std::move(row));
+    }
+    Json out{JsonObject{}};
+    out.set("stream", session->id());
+    out.set("results", Json(std::move(rows)));
+    out.set("pending", session->stats().results_pending);
+    return HttpResponse::json(200, out.dump());
+  }
+
+  return HttpResponse::json(405, R"({"error":"unsupported ei_stream call"})");
 }
 
 HttpResponse EiService::handle_models(const HttpRequest& request,

@@ -20,6 +20,18 @@
 //   DELETE /ei_models/{name}?rollback=1  — drop the current version and
 //          restore the one the last hot-swap replaced (409 when no prior
 //          version is retained)
+//   POST /ei_stream?scenario=S&algorithm=A — open a streaming inference
+//          session (selector picks the model as for /ei_algorithms);
+//          &policy=block|latest_wins|drop_oldest, &capacity=N,
+//          &deadline_ms=D tune the frame queue
+//   POST /ei_stream/{id}/frames          — submit frames (body: JSON rows);
+//          per-frame admission verdicts; 429 when backpressure rejected
+//          every frame
+//   GET  /ei_stream/{id}/results?max=N   — drain delivered results
+//   GET  /ei_stream/{id}                 — session stats (queue counters,
+//          conservation-law fields)
+//   GET  /ei_stream                      — session index
+//   DELETE /ei_stream/{id}               — close (drains the worker)
 //   GET  /ei_status                      — node health: device profile,
 //          package, deployed models, registered sensors, request counters,
 //          per-model latency percentiles (p50/p95/p99)
@@ -58,6 +70,7 @@
 #include "runtime/session_cache.h"
 #include "selector/capability_db.h"
 #include "selector/selecting_algorithm.h"
+#include "stream/stream_manager.h"
 
 namespace openei::libei {
 
@@ -78,6 +91,15 @@ class EiService {
     /// histograms behind GET /ei_metrics are always on (a handful of relaxed
     /// atomic ops per request).
     obs::Tracer::Options tracing;
+    /// Streaming sessions (POST /ei_stream): concurrent-session cap and
+    /// per-session queue/ring defaults (overridable per open via query
+    /// parameters).
+    stream::StreamManager::Options streaming;
+    /// How long a frame POST into a full kBlock stream may wait for space
+    /// before answering 429.  HTTP handlers run on event-loop threads, so
+    /// backpressure over HTTP is bounded — unbounded blocking is only for
+    /// in-process producers.
+    double stream_http_max_block_s = 0.2;
   };
 
   /// Borrows the registry and store (the owning EdgeNode outlives the
@@ -105,6 +127,7 @@ class EiService {
     std::uint64_t data_requests = 0;
     std::uint64_t algorithm_requests = 0;
     std::uint64_t model_requests = 0;
+    std::uint64_t stream_requests = 0;
     std::uint64_t errors = 0;
     std::uint64_t retries = 0;
     std::uint64_t timeouts = 0;
@@ -139,6 +162,9 @@ class EiService {
   /// reported under "lifecycle" by GET /ei_status and as /ei_metrics
   /// families).
   runtime::SessionCache& lifecycle() { return lifecycle_; }
+  /// Live streaming sessions (POST /ei_stream); reported under "streams"
+  /// by GET /ei_status.
+  stream::StreamManager& streams() { return streams_; }
 
  private:
   net::HttpResponse handle_data(const net::HttpRequest& request,
@@ -150,6 +176,8 @@ class EiService {
                                   const std::vector<std::string>& segments);
   net::HttpResponse handle_status();
   net::HttpResponse handle_trace(const std::vector<std::string>& segments);
+  net::HttpResponse handle_stream(const net::HttpRequest& request,
+                                  const std::vector<std::string>& segments);
 
   /// Parses ALEM requirements/objective from query parameters; defaults to
   /// the paper's accuracy-oriented selection.
@@ -178,6 +206,7 @@ class EiService {
   mutable std::atomic<std::uint64_t> data_requests_{0};
   mutable std::atomic<std::uint64_t> algorithm_requests_{0};
   mutable std::atomic<std::uint64_t> model_requests_{0};
+  mutable std::atomic<std::uint64_t> stream_requests_{0};
   mutable std::atomic<std::uint64_t> errors_{0};
   std::shared_ptr<net::ResilienceMetrics> resilience_ =
       std::make_shared<net::ResilienceMetrics>();
@@ -187,6 +216,10 @@ class EiService {
   std::function<net::ServerStats()> serving_source_;  // guarded by serving_mutex_
   /// Declared after meter_: the cache wires its counters into it.
   runtime::SessionCache lifecycle_;
+  /// Declared after lifecycle_: stream workers acquire through the cache,
+  /// so reverse destruction order drains every session before the cache
+  /// dies.
+  stream::StreamManager streams_;
 
   struct CapabilitySlice {
     std::uint64_t version = ~0ULL;

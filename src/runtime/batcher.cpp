@@ -21,11 +21,7 @@ MicroBatcher::MicroBatcher(std::shared_ptr<InferenceSession> session,
 }
 
 MicroBatcher::~MicroBatcher() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  pending_changed_.notify_all();
+  gate_.close();
   flusher_.join();
 }
 
@@ -37,18 +33,18 @@ std::future<InferenceResult> MicroBatcher::submit(nn::Tensor rows,
   std::size_t row_count =
       pending.rows.shape().rank() >= 1 ? pending.rows.shape().dim(0) : 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    OPENEI_CHECK(!stopping_, "submit on a stopping micro-batcher");
+    common::DrainGate::Lock lock = gate_.acquire();
+    OPENEI_CHECK(!gate_.closed(lock), "submit on a stopping micro-batcher");
     pending_.push_back(std::move(pending));
     pending_rows_ += row_count;
   }
   if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
-  pending_changed_.notify_all();
+  gate_.notify_all();
   return future;
 }
 
 std::deque<MicroBatcher::Pending> MicroBatcher::take_flushable(
-    std::unique_lock<std::mutex>&) {
+    common::DrainGate::Lock&) {
   std::deque<Pending> batch;
   std::size_t rows = 0;
   // Always take the head request even if it alone exceeds max_batch_rows
@@ -68,16 +64,17 @@ std::deque<MicroBatcher::Pending> MicroBatcher::take_flushable(
 }
 
 void MicroBatcher::flush_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  common::DrainGate::Lock lock = gate_.acquire();
   for (;;) {
-    pending_changed_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-    if (pending_.empty()) return;  // stopping and drained
+    gate_.await(lock, [this] { return !pending_.empty(); });
+    if (pending_.empty()) return;  // closed and drained
 
-    if (!options_.eager_when_idle && !stopping_) {
+    if (!options_.eager_when_idle && !gate_.closed(lock)) {
       // Strict mode: hold for max_wait_s from the oldest enqueue (or a full
       // batch), letting concurrent arrivals pile in.
-      auto deadline_reached = [this] {
-        return stopping_ || pending_rows_ >= options_.max_batch_rows ||
+      auto deadline_reached = [this, &lock] {
+        return gate_.closed(lock) ||
+               pending_rows_ >= options_.max_batch_rows ||
                (!pending_.empty() &&
                 static_cast<double>(common::wall_now_ns() -
                                     pending_.front().enqueued_ns) *
@@ -88,11 +85,7 @@ void MicroBatcher::flush_loop() {
         double waited_s = static_cast<double>(common::wall_now_ns() -
                                               pending_.front().enqueued_ns) *
                           1e-9;
-        auto remaining = std::chrono::duration<double>(
-            std::max(0.0, options_.max_wait_s - waited_s));
-        pending_changed_.wait_for(
-            lock,
-            std::chrono::duration_cast<std::chrono::nanoseconds>(remaining));
+        gate_.await_for(lock, options_.max_wait_s - waited_s, deadline_reached);
       }
       if (pending_.empty()) continue;
     }

@@ -17,14 +17,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/drain_gate.h"
 #include "obs/trace.h"
 #include "runtime/inference.h"
 
@@ -83,18 +82,19 @@ class MicroBatcher {
 
   void flush_loop();
   /// Pops up to max_batch_rows worth of requests (at least one).
-  std::deque<Pending> take_flushable(std::unique_lock<std::mutex>& lock);
+  std::deque<Pending> take_flushable(common::DrainGate::Lock& lock);
   void run_flush(std::deque<Pending> batch);
 
   std::shared_ptr<InferenceSession> session_;
   Options options_;
   std::shared_ptr<BatcherMetrics> metrics_;
 
-  std::mutex mutex_;
-  std::condition_variable pending_changed_;
+  /// The shared shutdown contract (common/drain_gate.h): its mutex guards
+  /// pending_/pending_rows_; close() in the destructor wakes the flush
+  /// thread, which drains every accepted request before exiting.
+  common::DrainGate gate_;
   std::deque<Pending> pending_;
   std::size_t pending_rows_ = 0;
-  bool stopping_ = false;
   std::thread flusher_;
 };
 

@@ -1,0 +1,153 @@
+// Bounded MPSC frame queue — the admission stage of the streaming pipeline
+// (ROADMAP: the paper's "real-time ML module" as a continuous workload).
+//
+// Concurrent producers push timestamped frames; one consumer (the
+// StreamSession worker) pops them for inference.  Three admission policies
+// cover the edge-streaming design space:
+//
+//   kBlock      — block-with-backpressure: a push into a full queue waits
+//                 for space (optionally bounded), so the producer is paced
+//                 to the consumer.  Nothing is ever dropped by policy;
+//                 delivery is exactly admission order.
+//   kLatestWins — freshest-frame semantics (AR/vision): a push into a full
+//                 queue evicts the oldest queued frame, and a pop skips
+//                 every queued frame except the newest.  Stale work is shed
+//                 at both ends; delivered seqs still increase.
+//   kDropOldest — ordered load shedding: a push into a full queue evicts
+//                 the oldest queued frame, but pops stay strictly FIFO over
+//                 what survives.  Bounded staleness with full ordering.
+//
+// Deadlines: a frame may carry an absolute deadline (or inherit one from
+// Options.deadline_s at admission).  pop()/try_pop() drop expired frames —
+// counted, span-attributed, and *never* returned for inference.  The clock
+// is injectable so tests drive expiry deterministically.
+//
+// Shutdown follows the common::DrainGate contract shared with
+// runtime::MicroBatcher: close() refuses new pushes and wakes every blocked
+// producer/consumer, while pop() keeps draining already-admitted frames
+// until the queue is empty.  The destructor drops whatever was never
+// drained (counted as dropped_closed), so no frame is ever silently lost.
+//
+// Counter conservation (the StreamProperty suite pins this exactly):
+//   produced = admitted + rejected_backpressure + rejected_closed
+//   admitted = delivered + dropped_deadline + dropped_policy
+//              + dropped_closed + depth
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/drain_gate.h"
+#include "nn/model.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace openei::stream {
+
+enum class AdmitPolicy { kBlock, kLatestWins, kDropOldest };
+
+/// "block" / "latest_wins" / "drop_oldest" (the wire names of POST
+/// /ei_stream?policy=...).
+const char* to_string(AdmitPolicy policy);
+std::optional<AdmitPolicy> parse_policy(const std::string& name);
+
+/// One frame riding the pipeline.  The queue assigns seq/enqueued_ns at
+/// admission; `span` is the frame's trace root (may be inert) under which
+/// the queue opens stream.enqueue / stream.queue_wait / stream.drop spans.
+struct Frame {
+  std::uint64_t seq = 0;         // admission order, 1-based, queue-assigned
+  std::int64_t enqueued_ns = 0;  // queue-clock stamp at admission
+  std::int64_t deadline_ns = 0;  // absolute queue-clock deadline; 0 = none
+  nn::Tensor rows;               // [1, ...sample] — one frame
+  obs::Span span;                // frame trace root
+  obs::Span wait_span;           // stream.queue_wait: admission -> pop/drop
+};
+
+enum class PushOutcome { kAdmitted, kRejectedBackpressure, kRejectedClosed };
+
+struct PushResult {
+  PushOutcome outcome = PushOutcome::kAdmitted;
+  std::uint64_t seq = 0;      // assigned seq (0 when rejected)
+  std::size_t evicted = 0;    // frames this push displaced (policy drops)
+  std::uint64_t trace_id = 0; // the frame's trace, 0 when tracing is off
+};
+
+struct QueueCounters {
+  std::uint64_t produced = 0;   // push attempts
+  std::uint64_t admitted = 0;   // entered the queue
+  std::uint64_t delivered = 0;  // returned by pop for inference
+  std::uint64_t dropped_deadline = 0;  // expired before inference
+  std::uint64_t dropped_policy = 0;    // evicted/superseded by the policy
+  std::uint64_t dropped_closed = 0;    // still queued when destroyed
+  std::uint64_t rejected_backpressure = 0;  // kBlock push timed out
+  std::uint64_t rejected_closed = 0;        // push after close()
+  std::uint64_t blocked_pushes = 0;  // kBlock pushes that had to wait
+  std::size_t depth = 0;             // currently queued
+};
+
+class FrameQueue {
+ public:
+  struct Options {
+    std::size_t capacity = 8;
+    AdmitPolicy policy = AdmitPolicy::kLatestWins;
+    /// Per-frame deadline from admission (seconds); 0 = none.  A frame that
+    /// arrives with its own deadline_ns keeps the earlier of the two.
+    double deadline_s = 0.0;
+    /// Injectable monotonic clock (ns).  Tests drive a fake one to make
+    /// expiry deterministic; default is common::wall_now_ns.
+    std::function<std::int64_t()> now;
+    /// Optional meter hooks for drops that happen inside the queue (the
+    /// owning session wires ei_stream_frames_dropped_total here).
+    obs::Counter* dropped_deadline_counter = nullptr;
+    obs::Counter* dropped_policy_counter = nullptr;
+  };
+
+  explicit FrameQueue(Options options);
+  /// close() + drops whatever was never drained (dropped_closed).
+  ~FrameQueue();
+  FrameQueue(const FrameQueue&) = delete;
+  FrameQueue& operator=(const FrameQueue&) = delete;
+
+  /// Offers one frame.  kBlock waits up to `max_wait_s` for space (forever
+  /// when negative, never when 0); the eviction policies never wait.  The
+  /// frame's stream.enqueue span is opened and finished here.
+  PushResult push(Frame frame, double max_wait_s = -1.0);
+
+  /// Next frame per policy, expiry-filtered: expired/superseded frames are
+  /// dropped (counted + span-attributed) and never returned.  Blocks until
+  /// a live frame arrives or the queue closes; nullopt = closed and
+  /// drained.
+  std::optional<Frame> pop();
+
+  /// Non-blocking pop: nullopt when nothing live is queued right now.
+  std::optional<Frame> try_pop();
+
+  /// Refuses new pushes and wakes every waiter; already-admitted frames
+  /// stay poppable (drain-on-close).  Idempotent.
+  void close();
+  bool closed() const { return gate_.closed(); }
+
+  QueueCounters counters() const;
+  std::size_t depth() const;
+  const Options& options() const { return options_; }
+
+ private:
+  /// Drops `frame` (span-attributed with `reason`), bumping `counter`.
+  /// The gate lock must be held.
+  void drop_locked(Frame& frame, const char* reason, std::uint64_t& counter);
+  /// Applies policy skip + expiry to the queue head.  Lock held.
+  void settle_locked();
+  std::optional<Frame> take_front_locked();
+  std::int64_t now() const { return options_.now ? options_.now() : 0; }
+
+  Options options_;
+  common::DrainGate gate_;
+  std::deque<Frame> frames_;
+  std::uint64_t next_seq_ = 0;
+  QueueCounters counters_;
+};
+
+}  // namespace openei::stream

@@ -1,0 +1,115 @@
+#include "stream/stream_manager.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace openei::stream {
+
+StreamManager::StreamManager(runtime::SessionCache& cache, Options options,
+                             obs::Tracer* tracer, obs::MetricsRegistry* meter)
+    : cache_(cache), options_(std::move(options)), tracer_(tracer),
+      meter_(meter) {
+  OPENEI_CHECK(options_.max_sessions > 0, "stream manager needs a session cap");
+  if (meter_ != nullptr) {
+    active_gauge_ = &meter_->gauge("ei_stream_sessions_active");
+  }
+}
+
+StreamManager::~StreamManager() { close_all(); }
+
+std::shared_ptr<StreamSession> StreamManager::open(
+    const std::string& scenario, const std::string& algorithm,
+    const std::string& model, StreamSession::Options options) {
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      throw ResourceExhausted("stream session cap reached (" +
+                              std::to_string(options_.max_sessions) + ")");
+    }
+    id = "stream-" + std::to_string(++next_id_);
+  }
+  // Construction (which materializes the model) runs outside the manager
+  // lock: a cold-cache model load must not stall get()/close() on other
+  // sessions.
+  auto session = std::make_shared<StreamSession>(
+      id, scenario, algorithm, model, cache_, std::move(options), tracer_,
+      meter_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      // A racing open filled the cap while we were materializing; give the
+      // slot back (the session drains its empty queue immediately).
+      throw ResourceExhausted("stream session cap reached (" +
+                              std::to_string(options_.max_sessions) + ")");
+    }
+    sessions_.emplace(id, session);
+    ++opened_total_;
+    if (active_gauge_ != nullptr) {
+      active_gauge_->set(static_cast<double>(sessions_.size()));
+    }
+  }
+  return session;
+}
+
+std::shared_ptr<StreamSession> StreamManager::get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool StreamManager::close(const std::string& id) {
+  std::shared_ptr<StreamSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    session = std::move(it->second);
+    sessions_.erase(it);
+    ++closed_total_;
+    if (active_gauge_ != nullptr) {
+      active_gauge_->set(static_cast<double>(sessions_.size()));
+    }
+  }
+  // Drain outside the lock: joining the worker can take a full queue's
+  // worth of inference.
+  session->close();
+  return true;
+}
+
+void StreamManager::close_all() {
+  std::map<std::string, std::shared_ptr<StreamSession>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    doomed.swap(sessions_);
+    closed_total_ += doomed.size();
+    if (active_gauge_ != nullptr) active_gauge_->set(0.0);
+  }
+  for (auto& [id, session] : doomed) session->close();
+}
+
+std::vector<std::shared_ptr<StreamSession>> StreamManager::sessions() const {
+  std::vector<std::shared_ptr<StreamSession>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+std::size_t StreamManager::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::uint64_t StreamManager::opened_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opened_total_;
+}
+
+std::uint64_t StreamManager::closed_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_total_;
+}
+
+}  // namespace openei::stream

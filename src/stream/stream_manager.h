@@ -1,0 +1,80 @@
+// Registry of live StreamSessions — the service-side owner of the
+// streaming pipeline (POST /ei_stream opens one, DELETE closes it).
+//
+// The manager caps concurrent sessions (each one owns a worker thread and
+// a bounded frame queue), hands out shared ownership so HTTP handlers can
+// keep using a session that a concurrent DELETE removed (the worker drains
+// before the last reference dies), and reports an aggregate view for
+// /ei_status.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stream/stream_session.h"
+
+namespace openei::stream {
+
+class StreamManager {
+ public:
+  struct Options {
+    /// Concurrent-session cap; open() past it throws ResourceExhausted
+    /// (libei answers 503 {"error":"too_many_streams"}).
+    std::size_t max_sessions = 32;
+    /// Defaults for sessions opened without explicit knobs.
+    StreamSession::Options session;
+  };
+
+  /// Borrows the cache (the owning service outlives the manager); `tracer`
+  /// and `meter` (both may be null) are handed to every session.  The
+  /// manager closes every remaining session on destruction.
+  StreamManager(runtime::SessionCache& cache, Options options,
+                obs::Tracer* tracer = nullptr,
+                obs::MetricsRegistry* meter = nullptr);
+  ~StreamManager();
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Opens a session bound to `model` and starts its worker.  Throws
+  /// ResourceExhausted at the session cap, NotFound/MemoryPressureError
+  /// when the cache cannot produce the model.
+  std::shared_ptr<StreamSession> open(const std::string& scenario,
+                                      const std::string& algorithm,
+                                      const std::string& model,
+                                      StreamSession::Options options);
+
+  /// Live session by id; nullptr when unknown (or already closed away).
+  std::shared_ptr<StreamSession> get(const std::string& id) const;
+
+  /// Closes and unregisters one session (drains its worker); false when
+  /// the id is unknown.
+  bool close(const std::string& id);
+
+  /// Closes and unregisters everything (EdgeNode shutdown path).
+  void close_all();
+
+  std::vector<std::shared_ptr<StreamSession>> sessions() const;
+  std::size_t active() const;
+  std::uint64_t opened_total() const;
+  std::uint64_t closed_total() const;
+  const Options& options() const { return options_; }
+
+ private:
+  runtime::SessionCache& cache_;
+  Options options_;
+  obs::Tracer* tracer_;
+  obs::MetricsRegistry* meter_;
+  obs::Gauge* active_gauge_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<StreamSession>> sessions_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t opened_total_ = 0;
+  std::uint64_t closed_total_ = 0;
+};
+
+}  // namespace openei::stream

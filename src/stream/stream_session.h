@@ -1,0 +1,147 @@
+// A session-oriented streaming inference pipeline over the memory-governed
+// runtime (ROADMAP: the paper's "real-time ML module" as a continuous
+// workload; the concerns ice-ar's ndnrtc pipeline manages for edge AR).
+//
+// One StreamSession = one continuous frame stream bound to one selected
+// model.  Producers submit() frames into a bounded FrameQueue (admission
+// policy + per-frame deadline); a dedicated worker pops surviving frames,
+// acquires the model through runtime::SessionCache (warm zero-copy hits;
+// hot-swaps picked up mid-stream), runs real inference, and appends results
+// to a bounded poll ring.  Expired frames are dropped before inference —
+// never after the compute is spent.
+//
+// Tracing: when a Tracer is attached, every frame gets its own trace —
+//   stream.frame (root: session, seq, policy)
+//     stream.enqueue      admission verdict + queue depth
+//     stream.queue_wait   admission -> pop/drop (duration IS the wait)
+//     stream.infer        model, queue_wait_us, sim ALEM attribution
+//     stream.deliver      result-ring handoff
+// or, on the drop path, stream.drop {reason: deadline|policy|closed|
+// backpressure} instead of infer/deliver.  test_trace_golden.cpp pins both
+// shapes.
+//
+// Shutdown: close() closes the queue (refusing new frames) and the worker
+// drains what was already admitted — still subject to deadlines — before
+// exiting; the destructor joins it.  Same DrainGate contract as
+// runtime::MicroBatcher: destroying a session mid-stream cannot deadlock
+// and cannot leak queued frames.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "runtime/session_cache.h"
+#include "stream/frame_queue.h"
+
+namespace openei::stream {
+
+/// One inferred frame, as drained by poll().
+struct DeliveredResult {
+  std::uint64_t seq = 0;
+  std::size_t prediction = 0;
+  double queue_wait_s = 0.0;  // admission -> pop
+  double infer_s = 0.0;       // wall-clock forward time
+  double sim_latency_s = 0.0; // hwsim per-frame ALEM latency
+  double sim_energy_j = 0.0;
+  std::uint64_t trace_id = 0; // 0 when tracing is off
+};
+
+struct SessionStats {
+  QueueCounters queue;
+  std::uint64_t inferred = 0;        // frames that ran the model
+  std::uint64_t infer_failures = 0;  // lease/forward errors (frame dropped)
+  std::uint64_t results_polled = 0;
+  std::uint64_t results_overflow = 0;  // ring evictions (delivered, unpolled)
+  std::size_t results_pending = 0;
+  double last_sim_latency_s = 0.0;
+};
+
+class StreamSession {
+ public:
+  struct Options {
+    FrameQueue::Options queue;
+    /// Delivered results retained for polling; the oldest unpolled result
+    /// is evicted when a new one lands in a full ring.
+    std::size_t result_capacity = 256;
+    /// Pace the worker by simulated device latency: after each frame it
+    /// sleeps sim_latency * pace_sim_latency_scale, so the hwsim device
+    /// profile — not the host CPU — sets the service rate.  0 = no pacing
+    /// (serving default); bench_stream uses it to compare device profiles.
+    double pace_sim_latency_scale = 0.0;
+  };
+
+  /// Borrows the cache (the owning service outlives every session).
+  /// `tracer`/`meter` may be null.  The worker starts immediately.
+  StreamSession(std::string id, std::string scenario, std::string algorithm,
+                std::string model, runtime::SessionCache& cache,
+                Options options, obs::Tracer* tracer = nullptr,
+                obs::MetricsRegistry* meter = nullptr);
+  ~StreamSession();
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Submits one frame ([...sample] or [1, ...sample]).  kBlock waits up to
+  /// `max_wait_s` for space (forever when negative); other policies never
+  /// wait.  Throws ParseError on a shape mismatch.
+  PushResult submit(nn::Tensor frame, double max_wait_s = -1.0);
+
+  /// Drains up to `max` delivered results, oldest first.
+  std::vector<DeliveredResult> poll(std::size_t max = SIZE_MAX);
+
+  /// Closes the queue and drains the worker (idempotent; blocks until the
+  /// already-admitted frames are inferred or deadline-dropped).
+  void close();
+  bool closed() const { return queue_.closed(); }
+
+  SessionStats stats() const;
+  const std::string& id() const { return id_; }
+  const std::string& scenario() const { return scenario_; }
+  const std::string& algorithm() const { return algorithm_; }
+  const std::string& model() const { return model_; }
+  const tensor::Shape& sample_shape() const { return sample_shape_; }
+  const Options& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  void deliver(DeliveredResult result);
+
+  std::string id_;
+  std::string scenario_;
+  std::string algorithm_;
+  std::string model_;
+  runtime::SessionCache& cache_;
+  Options options_;
+  obs::Tracer* tracer_;
+  obs::MetricsRegistry* meter_;
+  tensor::Shape sample_shape_;
+
+  // Cached metric series (stable for the meter's lifetime; null without a
+  // meter): admitted/delivered/rejected counters + end-to-end latency.
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Histogram* latency_histogram_ = nullptr;
+
+  FrameQueue queue_;
+  std::atomic<std::uint64_t> inferred_{0};
+  std::atomic<std::uint64_t> infer_failures_{0};
+  std::atomic<std::uint64_t> results_polled_{0};
+  std::atomic<std::uint64_t> results_overflow_{0};
+  std::atomic<double> last_sim_latency_s_{0.0};
+
+  mutable std::mutex results_mutex_;
+  std::deque<DeliveredResult> results_;
+
+  std::mutex close_mutex_;  // serializes the worker join in close()
+  std::thread worker_;
+};
+
+}  // namespace openei::stream

@@ -5,9 +5,13 @@
 
 #include <cmath>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
 #include <thread>
 
 #include "common/rng.h"
+#include "stream/frame_queue.h"
 #include "obs/histogram.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
@@ -791,6 +795,229 @@ TEST_P(RequestParserProperty, FragmentationNeverChangesParsedRequests) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RequestParserProperty,
                          ::testing::Values(1, 5, 13, 29, 61, 97));
+
+// ---------------------------------------------------------------------------
+// FrameQueue invariants: randomized push/pop/clock schedules checked against
+// an exact reference model of the admission policies.  Single-threaded on a
+// fake clock, so every drop decision is deterministic and the comparison is
+// exact — not statistical.
+// ---------------------------------------------------------------------------
+
+/// Mirrors FrameQueue exactly: same admission, same settle order (latest-wins
+/// supersede is classified before deadline expiry), same counters.
+struct ReferenceQueue {
+  struct Slot {
+    std::uint64_t seq = 0;
+    std::int64_t deadline_ns = 0;
+  };
+  stream::FrameQueue::Options options;
+  const std::int64_t* now = nullptr;
+  std::deque<Slot> slots;
+  std::uint64_t next_seq = 0;
+  stream::QueueCounters counters;
+  bool closed = false;
+
+  void drop_front(std::uint64_t& counter) {
+    ++counter;
+    slots.pop_front();
+  }
+
+  stream::PushOutcome push(std::int64_t own_deadline_ns) {
+    ++counters.produced;
+    if (closed) {
+      ++counters.rejected_closed;
+      return stream::PushOutcome::kRejectedClosed;
+    }
+    if (options.policy == stream::AdmitPolicy::kBlock) {
+      // The schedule always pushes with max_wait 0: a full queue rejects
+      // immediately (counted as a blocked push that found no space).
+      if (slots.size() >= options.capacity) {
+        ++counters.blocked_pushes;
+        ++counters.rejected_backpressure;
+        return stream::PushOutcome::kRejectedBackpressure;
+      }
+    } else {
+      while (slots.size() >= options.capacity) {
+        drop_front(counters.dropped_policy);
+      }
+    }
+    Slot slot;
+    slot.seq = ++next_seq;
+    slot.deadline_ns = own_deadline_ns;
+    if (options.deadline_s > 0.0) {
+      std::int64_t queue_deadline =
+          *now + static_cast<std::int64_t>(options.deadline_s * 1e9);
+      if (slot.deadline_ns == 0 || queue_deadline < slot.deadline_ns) {
+        slot.deadline_ns = queue_deadline;
+      }
+    }
+    ++counters.admitted;
+    slots.push_back(slot);
+    return stream::PushOutcome::kAdmitted;
+  }
+
+  void settle() {
+    while (!slots.empty()) {
+      if (options.policy == stream::AdmitPolicy::kLatestWins &&
+          slots.size() > 1) {
+        drop_front(counters.dropped_policy);  // superseded before expired
+        continue;
+      }
+      const Slot& head = slots.front();
+      if (head.deadline_ns != 0 && *now >= head.deadline_ns) {
+        drop_front(counters.dropped_deadline);
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::optional<std::uint64_t> try_pop() {
+    settle();
+    if (slots.empty()) return std::nullopt;
+    std::uint64_t seq = slots.front().seq;
+    slots.pop_front();
+    ++counters.delivered;
+    return seq;
+  }
+
+  stream::QueueCounters snapshot() const {
+    stream::QueueCounters out = counters;
+    out.depth = slots.size();
+    return out;
+  }
+};
+
+void expect_counters_equal(const stream::QueueCounters& real,
+                           const stream::QueueCounters& expected,
+                           int op) {
+  ASSERT_EQ(real.produced, expected.produced) << "op " << op;
+  ASSERT_EQ(real.admitted, expected.admitted) << "op " << op;
+  ASSERT_EQ(real.delivered, expected.delivered) << "op " << op;
+  ASSERT_EQ(real.dropped_deadline, expected.dropped_deadline) << "op " << op;
+  ASSERT_EQ(real.dropped_policy, expected.dropped_policy) << "op " << op;
+  ASSERT_EQ(real.dropped_closed, expected.dropped_closed) << "op " << op;
+  ASSERT_EQ(real.rejected_backpressure, expected.rejected_backpressure)
+      << "op " << op;
+  ASSERT_EQ(real.rejected_closed, expected.rejected_closed) << "op " << op;
+  ASSERT_EQ(real.blocked_pushes, expected.blocked_pushes) << "op " << op;
+  ASSERT_EQ(real.depth, expected.depth) << "op " << op;
+}
+
+class StreamProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamProperty, QueueMatchesReferenceModelUnderRandomSchedule) {
+  Rng rng(GetParam());
+  const stream::AdmitPolicy policies[] = {stream::AdmitPolicy::kBlock,
+                                          stream::AdmitPolicy::kLatestWins,
+                                          stream::AdmitPolicy::kDropOldest};
+  for (stream::AdmitPolicy policy : policies) {
+    std::int64_t now_ns = 0;
+    stream::FrameQueue::Options options;
+    options.capacity =
+        static_cast<std::size_t>(rng.uniform_int(1, 5));
+    options.policy = policy;
+    options.deadline_s = rng.flip(0.5) ? rng.uniform(0.001, 0.1) : 0.0;
+    options.now = [&now_ns] { return now_ns; };
+    stream::FrameQueue queue(options);
+    ReferenceQueue reference;
+    reference.options = options;
+    reference.now = &now_ns;
+
+    for (int op = 0; op < 500; ++op) {
+      double dice = rng.uniform();
+      if (dice < 0.45) {  // push (sometimes with a frame-own deadline)
+        std::int64_t own_deadline =
+            rng.flip(0.3) ? now_ns + rng.uniform_int(1, 50'000'000) : 0;
+        stream::Frame frame;
+        frame.rows = tensor::Tensor(tensor::Shape{1, 1});
+        frame.deadline_ns = own_deadline;
+        stream::PushResult real = queue.push(std::move(frame), 0.0);
+        stream::PushOutcome expected = reference.push(own_deadline);
+        ASSERT_EQ(real.outcome, expected) << "op " << op;
+        if (expected == stream::PushOutcome::kAdmitted) {
+          ASSERT_EQ(real.seq, reference.next_seq) << "op " << op;
+        }
+      } else if (dice < 0.85) {  // try_pop
+        std::optional<stream::Frame> real = queue.try_pop();
+        std::optional<std::uint64_t> expected = reference.try_pop();
+        ASSERT_EQ(real.has_value(), expected.has_value()) << "op " << op;
+        if (real.has_value()) {
+          // Delivered frames are a policy-consistent subsequence: the exact
+          // seq the reference model delivers, in the same order.
+          ASSERT_EQ(real->seq, *expected) << "op " << op;
+        }
+      } else {  // advance the clock
+        now_ns += rng.uniform_int(0, 80'000'000);
+      }
+      expect_counters_equal(queue.counters(), reference.snapshot(), op);
+    }
+
+    // Close, then drain: the reference keeps predicting pops exactly.
+    queue.close();
+    reference.closed = true;
+    stream::Frame late;
+    late.rows = tensor::Tensor(tensor::Shape{1, 1});
+    ASSERT_EQ(queue.push(std::move(late), 0.0).outcome,
+              stream::PushOutcome::kRejectedClosed);
+    reference.push(0);
+    while (true) {
+      std::optional<stream::Frame> real = queue.try_pop();
+      std::optional<std::uint64_t> expected = reference.try_pop();
+      ASSERT_EQ(real.has_value(), expected.has_value());
+      if (!real.has_value()) break;
+      ASSERT_EQ(real->seq, *expected);
+    }
+    expect_counters_equal(queue.counters(), reference.snapshot(), -1);
+  }
+}
+
+TEST_P(StreamProperty, CountersBalanceExactlyAtEveryCheckpoint) {
+  Rng rng(GetParam() + 4242);
+  std::int64_t now_ns = 0;
+  stream::FrameQueue::Options options;
+  options.capacity = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  options.policy = rng.flip(0.5) ? stream::AdmitPolicy::kLatestWins
+                                 : stream::AdmitPolicy::kDropOldest;
+  options.deadline_s = 0.01;
+  options.now = [&now_ns] { return now_ns; };
+  auto queue = std::make_unique<stream::FrameQueue>(options);
+  for (int op = 0; op < 400; ++op) {
+    double dice = rng.uniform();
+    if (dice < 0.5) {
+      stream::Frame frame;
+      frame.rows = tensor::Tensor(tensor::Shape{1, 1});
+      queue->push(std::move(frame), 0.0);
+    } else if (dice < 0.9) {
+      queue->try_pop();
+    } else {
+      now_ns += rng.uniform_int(0, 30'000'000);
+    }
+    stream::QueueCounters counters = queue->counters();
+    // Conservation law 1: every push attempt is accounted for.
+    ASSERT_EQ(counters.produced, counters.admitted +
+                                     counters.rejected_backpressure +
+                                     counters.rejected_closed)
+        << "op " << op;
+    // Conservation law 2: every admitted frame is delivered, dropped, or
+    // still queued — nothing leaks, nothing double-counts.
+    ASSERT_EQ(counters.admitted,
+              counters.delivered + counters.dropped_deadline +
+                  counters.dropped_policy + counters.dropped_closed +
+                  counters.depth)
+        << "op " << op;
+  }
+  // Destruction drops what was never drained; re-check on the final
+  // snapshot taken just before, folding depth into dropped_closed.
+  stream::QueueCounters before = queue->counters();
+  queue.reset();
+  ASSERT_EQ(before.admitted, before.delivered + before.dropped_deadline +
+                                 before.dropped_policy +
+                                 before.dropped_closed + before.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamProperty,
+                         ::testing::Values(7, 21, 42, 77, 123, 2026));
 
 TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {
   Rng rng(6);

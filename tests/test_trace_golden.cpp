@@ -4,8 +4,11 @@
 // these shape assertions fail.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
@@ -14,6 +17,8 @@
 #include "hwsim/device.h"
 #include "hwsim/package.h"
 #include "nn/zoo.h"
+#include "obs/trace.h"
+#include "stream/frame_queue.h"
 
 namespace openei::libei {
 namespace {
@@ -230,6 +235,120 @@ TEST(TraceGolden, TraceListingAndErrorPaths) {
   auto missing = plain.call("GET", "/ei_trace/1");
   EXPECT_EQ(missing.status, 404);
   EXPECT_NE(missing.body.find("disabled"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming golden traces: the canonical span tree of one streamed frame,
+// on the delivered path and on the drop path.
+// ---------------------------------------------------------------------------
+
+TEST(TraceGolden, StreamedFrameEmitsCanonicalSpanTree) {
+  auto node = make_traced_node(/*coalesce=*/true);
+  auto opened = node->call(
+      "POST", "/ei_stream?scenario=safety&algorithm=detection&policy=block");
+  ASSERT_EQ(opened.status, 201);
+  std::string stream_id = Json::parse(opened.body).at("stream").as_string();
+
+  auto submitted = node->call("POST", "/ei_stream/" + stream_id + "/frames",
+                              "[[1,2,3,4,5,6,7,8]]");
+  ASSERT_EQ(submitted.status, 200);
+  Json verdicts = Json::parse(submitted.body);
+  ASSERT_EQ(verdicts.at("accepted").as_number(), 1.0);
+  std::string trace_id =
+      verdicts.at("frames").as_array()[0].at("trace_id").as_string();
+  ASSERT_FALSE(trace_id.empty());
+
+  // The frame's trace finishes when the worker delivers it — poll until the
+  // tracer has committed it.
+  net::HttpResponse traced;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    traced = node->call("GET", "/ei_trace/" + trace_id);
+    if (traced.status == 200) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(traced.status, 200);
+  Json trace = Json::parse(traced.body);
+
+  const Json& root = trace.at("root");
+  EXPECT_EQ(root.at("name").as_string(), "stream.frame");
+  // The golden delivered-path shape: admission, queue residency, inference,
+  // delivery — exactly these four, in pipeline order.
+  EXPECT_EQ(child_names(root),
+            (std::vector<std::string>{"stream.enqueue", "stream.queue_wait",
+                                      "stream.infer", "stream.deliver"}));
+  EXPECT_EQ(trace.at("span_count").as_number(), 5.0);
+
+  const Json& root_attrs = root.at("attributes");
+  EXPECT_EQ(root_attrs.at("session").as_string(), stream_id);
+  EXPECT_EQ(root_attrs.at("model").as_string(), "detector");
+  EXPECT_EQ(root_attrs.at("policy").as_string(), "block");
+  EXPECT_EQ(root_attrs.at("seq").as_number(), 1.0);
+
+  const Json& enqueue = child_named(root, "stream.enqueue");
+  EXPECT_EQ(enqueue.at("attributes").at("outcome").as_string(), "admitted");
+  EXPECT_EQ(enqueue.at("attributes").at("policy").as_string(), "block");
+  EXPECT_EQ(enqueue.at("attributes").at("depth").as_number(), 1.0);
+  EXPECT_EQ(enqueue.at("attributes").at("evicted").as_number(), 0.0);
+
+  // stream.infer carries the simulated ALEM attribution, like ei.infer.
+  const Json& infer = child_named(root, "stream.infer");
+  const Json& infer_attrs = infer.at("attributes");
+  EXPECT_EQ(infer_attrs.at("model").as_string(), "detector");
+  EXPECT_GE(infer_attrs.at("queue_wait_us").as_number(), 0.0);
+  EXPECT_GT(infer_attrs.at("sim_latency_us").as_number(), 0.0);
+  EXPECT_GT(infer_attrs.at("sim_energy_mj").as_number(), 0.0);
+  EXPECT_GT(infer_attrs.at("sim_memory_bytes").as_number(), 0.0);
+
+  EXPECT_GE(child_named(root, "stream.queue_wait").at("duration_us")
+                .as_number(),
+            0.0);
+  node->call("DELETE", "/ei_stream/" + stream_id);
+}
+
+TEST(TraceGolden, DroppedStreamFrameEmitsDropSpanTree) {
+  // Drop path, pinned deterministically in-process: a fake clock expires the
+  // frame between admission and pop, so the tree must close with
+  // stream.drop{reason=deadline} instead of infer/deliver.
+  obs::Tracer::Options trace_options;
+  trace_options.enabled = true;
+  trace_options.seed = 2026;
+  obs::Tracer tracer(trace_options);
+
+  std::int64_t now_ns = 0;
+  stream::FrameQueue::Options options;
+  options.capacity = 4;
+  options.policy = stream::AdmitPolicy::kBlock;
+  options.deadline_s = 0.001;
+  options.now = [&now_ns] { return now_ns; };
+  stream::FrameQueue queue(options);
+
+  stream::Frame frame;
+  frame.rows = nn::Tensor(tensor::Shape{1, 1});
+  frame.span = tracer.begin_trace("stream.frame");
+  std::uint64_t trace_id = frame.span.trace_id();
+  ASSERT_EQ(queue.push(std::move(frame)).outcome,
+            stream::PushOutcome::kAdmitted);
+
+  now_ns = 2'000'000;  // past the 1ms deadline
+  EXPECT_FALSE(queue.try_pop().has_value());
+  EXPECT_EQ(queue.counters().dropped_deadline, 1U);
+
+  auto record = tracer.find(trace_id);
+  ASSERT_TRUE(record.has_value());
+  Json trace = record->to_json();
+  const Json& root = trace.at("root");
+  EXPECT_EQ(root.at("name").as_string(), "stream.frame");
+  // The golden drop-path shape: the frame was admitted and waited, then the
+  // deadline killed it before inference — no infer/deliver spans exist.
+  EXPECT_EQ(child_names(root),
+            (std::vector<std::string>{"stream.enqueue", "stream.queue_wait",
+                                      "stream.drop"}));
+  EXPECT_EQ(trace.at("span_count").as_number(), 4.0);
+
+  const Json& drop = child_named(root, "stream.drop");
+  EXPECT_EQ(drop.at("attributes").at("reason").as_string(), "deadline");
+  EXPECT_EQ(drop.at("attributes").at("seq").as_number(), 1.0);
+  EXPECT_GE(drop.at("attributes").at("waited_us").as_number(), 0.0);
 }
 
 }  // namespace
