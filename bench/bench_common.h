@@ -9,9 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 
+#include "common/json.h"
 #include "common/logging.h"
+#include "tensor/pack.h"
+#include "tensor/quantize.h"
 
 namespace openei::bench {
 
@@ -48,6 +53,38 @@ inline std::string format_bytes(double bytes) {
     std::snprintf(buffer, sizeof(buffer), "%.1f MB", bytes / (1024.0 * 1024.0));
   }
   return buffer;
+}
+
+/// Host CPU model string from /proc/cpuinfo ("unknown" off Linux) — recorded
+/// in every BENCH_*.json so archived numbers say what silicon produced them.
+inline std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+/// Uniform host/provenance fields every bench report carries: cpu_model,
+/// host_cpus, the detected fp32/int8 SIMD dispatch levels, and whether this
+/// run's speedup numbers are gate-worthy (each bench supplies its own
+/// predicate — quick runs and starved hosts report informational numbers).
+inline void set_host_info(common::Json& report, bool speedup_valid) {
+  report.set("cpu_model", cpu_model());
+  report.set("host_cpus",
+             static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  report.set("fp32_isa", tensor::fp32_isa_name(tensor::fp32_isa_level_detected()));
+  report.set("fp32_isa_level", tensor::fp32_isa_level_detected());
+  report.set("int8_isa", tensor::int8_isa_name());
+  report.set("int8_isa_level", tensor::int8_isa_level());
+  report.set("speedup_valid", speedup_valid);
 }
 
 /// Standard bench main body: quiet logs, print the experiment, then run the

@@ -241,6 +241,8 @@ int run(const Config& config) {
   kill_block.set("failover_hops", failovers);
   kill_block.set("up_nodes_at_end", fleet.router().up_nodes().size());
   report.set("node_kill", std::move(kill_block));
+  // Fleet scaling needs real parallelism between client threads and nodes.
+  set_host_info(report, host_cpus >= 2 && !config.quick);
 
   std::ofstream out(config.out_path);
   if (!out) {

@@ -1,0 +1,208 @@
+// fp32 GEMM kernel bench: dispatched SIMD microkernels (tensor::gemm_packed
+// / tensor::gemm) vs the exact scalar reference (tensor::gemm_ref), single
+// threaded so the number is kernel quality, not core count.  Writes
+// BENCH_gemm.json so CI can archive per-host GFLOP/s and gate the speedup.
+//
+// Usage: bench_gemm [--quick] [--out PATH] [--min-speedup X] [--min-gflops X]
+//   --quick        fewer reps / smaller sweep (CI smoke job)
+//   --out          output JSON path (default BENCH_gemm.json in the CWD)
+//   --min-speedup  fail (exit 1) if prepacked speedup vs gemm_ref at 256^3
+//                  falls below X (checked only when a SIMD level is detected)
+//   --min-gflops   fail if single-thread prepacked GFLOP/s at 256^3 is lower
+//
+// The speedup gate is only meaningful where the dispatcher found AVX2+FMA or
+// better; on a scalar-dispatch host the packed path legitimately runs near
+// 1x and speedup_valid records that.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/linalg.h"
+#include "tensor/pack.h"
+#include "tensor/tensor.h"
+
+namespace openei::bench {
+namespace {
+
+using common::Json;
+using common::JsonArray;
+using common::JsonObject;
+using tensor::PackedMatrix;
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Config {
+  bool quick = false;
+  std::string out_path = "BENCH_gemm.json";
+  double min_speedup = 0.0;
+  double min_gflops = 0.0;
+};
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+/// Best-of-reps wall time for `work` (min filters scheduler noise, which is
+/// the right statistic for a throughput kernel).
+template <typename Work>
+double best_seconds(std::size_t reps, const Work& work) {
+  double best = 0.0;
+  work();  // warm-up: page in buffers, settle turbo
+  for (std::size_t r = 0; r < reps; ++r) {
+    common::Stopwatch timer;
+    work();
+    double s = timer.elapsed_seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+Json run_case(const GemmCase& c, std::size_t reps, double* speedup_out,
+              double* prepacked_gflops_out) {
+  common::Rng rng(0x5eed0000 + c.m + c.k * 7 + c.n * 131);
+  Tensor a = Tensor::random_uniform(Shape{c.m, c.k}, rng);
+  Tensor b = Tensor::random_uniform(Shape{c.k, c.n}, rng);
+  Tensor out(Shape{c.m, c.n});
+  PackedMatrix bp = PackedMatrix::pack(b);
+  const double flops = 2.0 * static_cast<double>(c.m) *
+                       static_cast<double>(c.k) * static_cast<double>(c.n);
+
+  double ref_s = best_seconds(reps, [&] {
+    std::fill(out.data().begin(), out.data().end(), 0.0F);
+    tensor::gemm_ref(a.data().data(), b.data().data(), out.data().data(), c.m,
+                     c.k, c.n);
+  });
+  // Dispatched path as tensor::matmul sees it: pack-per-call included.
+  double packed_s = best_seconds(reps, [&] {
+    std::fill(out.data().begin(), out.data().end(), 0.0F);
+    tensor::gemm(a.data().data(), b.data().data(), out.data().data(), c.m,
+                 c.k, c.n);
+  });
+  // Steady-state arena path: weights prepacked at plan time.
+  double prepacked_s = best_seconds(reps, [&] {
+    tensor::gemm_packed(a.data().data(), c.m, bp, nullptr, false,
+                        /*accumulate=*/false, out.data().data());
+  });
+
+  double speedup = prepacked_s > 0.0 ? ref_s / prepacked_s : 0.0;
+  if (speedup_out != nullptr) *speedup_out = speedup;
+  if (prepacked_gflops_out != nullptr) {
+    *prepacked_gflops_out = flops / prepacked_s * 1e-9;
+  }
+  std::printf("%5zu x %5zu x %5zu  ref %7.2f GF/s  packed %7.2f GF/s  "
+              "prepacked %7.2f GF/s  speedup %5.2fx\n",
+              c.m, c.k, c.n, flops / ref_s * 1e-9, flops / packed_s * 1e-9,
+              flops / prepacked_s * 1e-9, speedup);
+  return Json(JsonObject{
+      {"m", Json(c.m)},
+      {"k", Json(c.k)},
+      {"n", Json(c.n)},
+      {"ref_gflops", Json(flops / ref_s * 1e-9)},
+      {"packed_gflops", Json(flops / packed_s * 1e-9)},
+      {"prepacked_gflops", Json(flops / prepacked_s * 1e-9)},
+      {"speedup_vs_ref", Json(speedup)},
+  });
+}
+
+int run_main(const Config& config) {
+  banner("fp32 SIMD GEMM vs scalar reference (single thread)");
+  common::set_thread_count(1);
+  std::printf("dispatch: fp32=%s int8=%s\n", tensor::fp32_isa_name(),
+              tensor::int8_isa_name());
+
+  std::vector<GemmCase> cases = {{64, 64, 64}, {128, 128, 128},
+                                 {256, 256, 256}};
+  if (!config.quick) {
+    cases.push_back({384, 384, 384});
+    cases.push_back({512, 512, 512});
+  }
+  cases.push_back({173, 211, 97});  // ragged: exercises all tail kernels
+  const std::size_t reps = config.quick ? 5 : 12;
+
+  section("throughput");
+  JsonArray sizes;
+  double speedup_256 = 0.0;
+  double gflops_256 = 0.0;
+  for (const GemmCase& c : cases) {
+    double speedup = 0.0;
+    double gflops = 0.0;
+    sizes.push_back(run_case(c, reps, &speedup, &gflops));
+    if (c.m == 256 && c.k == 256 && c.n == 256) {
+      speedup_256 = speedup;
+      gflops_256 = gflops;
+    }
+  }
+
+  const bool simd_detected = tensor::fp32_isa_level_detected() >= 1;
+  section("summary");
+  std::printf("256^3 prepacked: %.2f GFLOP/s, %.2fx vs scalar reference%s\n",
+              gflops_256, speedup_256,
+              simd_detected ? "" : "  (informational: scalar dispatch)");
+
+  Json report{JsonObject{}};
+  report.set("bench", "gemm");
+  report.set("quick", config.quick);
+  report.set("threads", std::size_t{1});
+  report.set("sizes", Json(std::move(sizes)));
+  report.set("speedup_256", speedup_256);
+  report.set("prepacked_gflops_256", gflops_256);
+  report.set("min_speedup_gate", config.min_speedup);
+  report.set("min_gflops_gate", config.min_gflops);
+  // The speedup claim only holds where a SIMD kernel actually dispatched.
+  set_host_info(report, simd_detected);
+
+  std::ofstream out(config.out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", config.out_path.c_str());
+    return 1;
+  }
+  out << report.pretty() << "\n";
+  std::printf("wrote %s\n", config.out_path.c_str());
+
+  if (simd_detected && config.min_speedup > 0.0 &&
+      speedup_256 < config.min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: 256^3 speedup %.2fx below the %.2fx floor\n",
+                 speedup_256, config.min_speedup);
+    return 1;
+  }
+  if (simd_detected && config.min_gflops > 0.0 &&
+      gflops_256 < config.min_gflops) {
+    std::fprintf(stderr,
+                 "FAIL: 256^3 throughput %.2f GFLOP/s below the %.2f floor\n",
+                 gflops_256, config.min_gflops);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace openei::bench
+
+int main(int argc, char** argv) {
+  openei::common::set_log_level(openei::common::LogLevel::kError);
+  openei::bench::Config config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      config.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      config.min_speedup = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-gflops") == 0 && i + 1 < argc) {
+      config.min_gflops = std::stod(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  return openei::bench::run_main(config);
+}

@@ -185,6 +185,9 @@ int run(const Config& config) {
   eviction.set("evictions", tight_stats.evictions);
   eviction.set("evictions_per_sec", evictions_per_sec);
   report.set("eviction", std::move(eviction));
+  // Warm-vs-cold compares latencies on one host; only quick runs demote the
+  // speedup to informational.
+  set_host_info(report, !config.quick);
 
   std::ofstream out(config.out_path);
   if (!out) {

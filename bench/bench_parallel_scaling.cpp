@@ -234,6 +234,7 @@ int run(const Config& config) {
       {"conv2d", run_conv_sweep(config)},
       {"batched_inference", run_batch_sweep(config)},
   });
+  set_host_info(report, host_cpus > 1);
 
   std::ofstream out(config.out_path);
   if (!out) {

@@ -266,6 +266,9 @@ int run(const Config& config) {
       {"weight_ratio", Json(std::min(mlp.weight_ratio, cnn.weight_ratio))},
       {"top1_agreement", Json(std::min(mlp.agreement, cnn.agreement))},
   });
+  // int8-vs-float on the same host is a fair comparison whenever the run
+  // used full rep counts.
+  set_host_info(report, !config.quick);
 
   section("summary (min across workloads)");
   std::printf("p50_speedup %.2fx   weight_ratio %.2fx   top1_agreement "

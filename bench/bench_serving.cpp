@@ -483,8 +483,8 @@ int run(const Config& config) {
   report.set("event_loop_pipelined", result_to_json(pipelined));
   report.set("server_stats", std::move(server_stats));
   report.set("keepalive_speedup", speedup);
-  report.set("speedup_valid", speedup_valid);
   report.set("min_keepalive_rps", config.min_keepalive_rps);
+  set_host_info(report, speedup_valid);
 
   std::ofstream out(config.out_path);
   if (!out) {

@@ -272,6 +272,10 @@ int run(const Config& config) {
   report.set("cells", std::move(cells));
   report.set("min_fps_gate", config.min_fps);
   report.set("max_miss_rate_gate", config.max_miss_rate);
+  // Producer and consumer must overlap for throughput numbers to mean
+  // anything.
+  set_host_info(report,
+                std::thread::hardware_concurrency() >= 2 && !config.quick);
 
   std::ofstream out(config.out_path);
   if (!out) {

@@ -1,0 +1,56 @@
+// 64-byte-aligned allocation for kernel-facing buffers.
+//
+// The fp32 and int8 SIMD kernels read their operands with 256/512-bit
+// vector loads; 64 bytes is one cache line and the widest vector register,
+// so buffers allocated through this allocator never split a vector load
+// across lines and aligned-load intrinsics are always legal on them.
+// Tensor storage and the packed weight panels both use `aligned_vector`.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace openei::common {
+
+inline constexpr std::size_t kKernelAlignment = 64;
+
+template <typename T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below the type's natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose buffer starts on a 64-byte boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace openei::common

@@ -10,6 +10,8 @@
 #include "runtime/inference.h"
 #include "selector/capability_db.h"
 #include "selector/selecting_algorithm.h"
+#include "tensor/pack.h"
+#include "tensor/quantize.h"
 
 namespace openei::libei {
 
@@ -81,6 +83,9 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
                   "Stream frames that completed inference");
   meter_.describe("ei_stream_frames_dropped_total",
                   "Stream frames dropped before inference, by reason");
+  meter_.describe("ei_isa_level",
+                  "Detected SIMD dispatch level per GEMM engine (fp32: "
+                  "0=scalar 1=avx2 2=avx512; int8: 0..3 adds vnni)");
   meter_.describe("ei_stream_frame_latency_seconds",
                   "End-to-end streamed-frame latency (admission to delivery)");
 }
@@ -195,6 +200,10 @@ HttpResponse EiService::handle(const HttpRequest& request) {
       request.method == "GET") {
     meter_.gauge("ei_traces_completed_total")
         .set(static_cast<double>(tracer_.completed_traces()));
+    meter_.gauge("ei_isa_level", {{"engine", "fp32"}})
+        .set(static_cast<double>(tensor::fp32_isa_level()));
+    meter_.gauge("ei_isa_level", {{"engine", "int8"}})
+        .set(static_cast<double>(tensor::int8_isa_level()));
     return serve(HttpResponse{200, "text/plain; version=0.0.4",
                               meter_.render_prometheus()});
   }
@@ -211,6 +220,14 @@ HttpResponse EiService::handle_status() {
   out.set("effective_gflops", device_.effective_gflops);
   out.set("package", package_.name);
   out.set("supports_training", package_.supports_training);
+  // Detected SIMD dispatch levels for the two GEMM engines — what the
+  // kernels actually run on this host, not what the binary was compiled for.
+  Json simd{JsonObject{}};
+  simd.set("fp32_isa_level", tensor::fp32_isa_level());
+  simd.set("fp32_isa", tensor::fp32_isa_name());
+  simd.set("int8_isa_level", tensor::int8_isa_level());
+  simd.set("int8_isa", tensor::int8_isa_name());
+  out.set("simd", std::move(simd));
   JsonArray model_names;
   for (const std::string& name : registry_.names()) {
     model_names.emplace_back(name);

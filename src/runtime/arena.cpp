@@ -13,27 +13,10 @@
 #include "nn/residual.h"
 #include "tensor/linalg.h"
 #include "tensor/ops.h"
+#include "tensor/pack.h"
 #include "tensor/quantize.h"
 
 namespace openei::runtime {
-
-namespace {
-
-/// Row-parallel bias add replicating tensor::add_row_bias (same grain, same
-/// single-add arithmetic): out[r, c] += bias[c].
-void add_bias_rows(float* out, const float* bias, std::size_t rows,
-                   std::size_t cols) {
-  common::parallel_for(
-      0, rows,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) {
-          for (std::size_t c = 0; c < cols; ++c) out[r * cols + c] += bias[c];
-        }
-      },
-      /*grain=*/std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, cols)));
-}
-
-}  // namespace
 
 std::size_t ForwardArena::new_fbuf(std::size_t per_row) {
   fbufs_.push_back(FloatBuf{per_row, {}});
@@ -80,7 +63,7 @@ bool ForwardArena::plan_chain(const std::vector<nn::Layer*>& layers,
 
 std::size_t ForwardArena::plan_conv(const nn::Conv2d& conv,
                                     const tensor::Shape& in_sample,
-                                    std::size_t in_buf) {
+                                    std::size_t in_buf, bool fuse_relu) {
   const tensor::Conv2dSpec spec = conv.spec();
   std::size_t in_h = in_sample.dim(1);
   std::size_t in_w = in_sample.dim(2);
@@ -92,15 +75,15 @@ std::size_t ForwardArena::plan_conv(const nn::Conv2d& conv,
   std::size_t gemm_buf = new_fbuf(oh * ow * oc);
   std::size_t out_buf = new_fbuf(oc * oh * ow);
 
-  // Plan-time transpose of [oc, patch] -> [patch, oc]: a pure value copy, so
-  // the run-time gemm sees exactly what matmul(patches, transpose(w2)) sees.
-  tensor::Tensor wt =
-      tensor::transpose(conv.weights().reshaped(tensor::Shape{oc, patch}));
-  std::vector<float> wt_data(wt.data().begin(), wt.data().end());
+  // Plan-time prepack of the [oc, patch] weights into the [patch, oc] panel
+  // layout the microkernels consume — the same packing conv2d_im2col builds
+  // per call, so the two conv routes stay bitwise-identical.
+  tensor::PackedMatrix wp = tensor::PackedMatrix::pack_transposed(
+      conv.weights().reshaped(tensor::Shape{oc, patch}));
 
   const nn::Conv2d* cp = &conv;
   steps_.push_back([cp, spec, in_buf, patch_buf, gemm_buf, out_buf, in_h, in_w,
-                    oh, ow, patch, oc, wt_data = std::move(wt_data)](
+                    oh, ow, oc, fuse_relu, wp = std::move(wp)](
                        ForwardArena& a, std::size_t rows) {
     const float* in = a.fptr(in_buf);
     float* patches = a.fptr(patch_buf);
@@ -108,9 +91,8 @@ std::size_t ForwardArena::plan_conv(const nn::Conv2d& conv,
     float* out = a.fptr(out_buf);
     tensor::im2col_into(in, rows, in_h, in_w, spec, patches);
     std::size_t gemm_rows = rows * oh * ow;
-    std::fill(gemm_out, gemm_out + gemm_rows * oc, 0.0F);
-    tensor::gemm(patches, wt_data.data(), gemm_out, gemm_rows, patch, oc);
-    add_bias_rows(gemm_out, cp->bias().data().data(), gemm_rows, oc);
+    tensor::gemm_packed(patches, gemm_rows, wp, cp->bias().data().data(),
+                        fuse_relu, /*accumulate=*/false, gemm_out);
     std::size_t rows_per_image = oh * ow;
     common::parallel_for(
         0, rows,
@@ -138,17 +120,19 @@ std::optional<std::size_t> ForwardArena::plan_layer(nn::Layer& layer,
   // --- dense family ------------------------------------------------------
   if (auto* d = dynamic_cast<nn::Dense*>(&layer)) {
     tensor::Shape out_shape = d->output_shape(sample);
-    std::size_t in_f = d->in_features();
     std::size_t out_f = d->out_features();
     std::size_t out_buf = new_fbuf(out_f);
+    bool fuse = next != nullptr && dynamic_cast<nn::Relu*>(next) != nullptr;
+    if (fuse) *fused_next = true;
+    // Prepack [in, out] weights once at plan time; the step runs the
+    // dispatched microkernels with bias (and a following ReLU) fused into
+    // the epilogue.
+    tensor::PackedMatrix wp = tensor::PackedMatrix::pack(d->weights());
     const nn::Dense* p = d;
-    steps_.push_back([p, in_buf, out_buf, in_f, out_f](ForwardArena& a,
-                                                       std::size_t rows) {
-      const float* in = a.fptr(in_buf);
-      float* out = a.fptr(out_buf);
-      std::fill(out, out + rows * out_f, 0.0F);
-      tensor::gemm(in, p->weights().data().data(), out, rows, in_f, out_f);
-      add_bias_rows(out, p->bias().data().data(), rows, out_f);
+    steps_.push_back([p, in_buf, out_buf, fuse, wp = std::move(wp)](
+                         ForwardArena& a, std::size_t rows) {
+      tensor::gemm_packed(a.fptr(in_buf), rows, wp, p->bias().data().data(),
+                          fuse, /*accumulate=*/false, a.fptr(out_buf));
     });
     sample = out_shape;
     return out_buf;
@@ -172,22 +156,24 @@ std::optional<std::size_t> ForwardArena::plan_layer(nn::Layer& layer,
 
   if (auto* fd = dynamic_cast<nn::FactoredDense*>(&layer)) {
     tensor::Shape out_shape = fd->output_shape(sample);
-    std::size_t in_f = fd->u().shape().dim(0);
     std::size_t r = fd->rank();
     std::size_t out_f = fd->v().shape().dim(1);
     std::size_t mid_buf = new_fbuf(r);
     std::size_t out_buf = new_fbuf(out_f);
+    bool fuse = next != nullptr && dynamic_cast<nn::Relu*>(next) != nullptr;
+    if (fuse) *fused_next = true;
+    // Both low-rank factors prepacked at plan time; bias/ReLU fuse into the
+    // second GEMM's epilogue.
+    tensor::PackedMatrix up = tensor::PackedMatrix::pack(fd->u());
+    tensor::PackedMatrix vp = tensor::PackedMatrix::pack(fd->v());
     const nn::FactoredDense* p = fd;
-    steps_.push_back([p, in_buf, mid_buf, out_buf, in_f, r, out_f](
-                         ForwardArena& a, std::size_t rows) {
-      const float* in = a.fptr(in_buf);
+    steps_.push_back([p, in_buf, mid_buf, out_buf, fuse, up = std::move(up),
+                      vp = std::move(vp)](ForwardArena& a, std::size_t rows) {
       float* mid = a.fptr(mid_buf);
-      float* out = a.fptr(out_buf);
-      std::fill(mid, mid + rows * r, 0.0F);
-      tensor::gemm(in, p->u().data().data(), mid, rows, in_f, r);
-      std::fill(out, out + rows * out_f, 0.0F);
-      tensor::gemm(mid, p->v().data().data(), out, rows, r, out_f);
-      add_bias_rows(out, p->bias().data().data(), rows, out_f);
+      tensor::gemm_packed(a.fptr(in_buf), rows, up, nullptr,
+                          /*fuse_relu=*/false, /*accumulate=*/false, mid);
+      tensor::gemm_packed(mid, rows, vp, p->bias().data().data(), fuse,
+                          /*accumulate=*/false, a.fptr(out_buf));
     });
     sample = out_shape;
     return out_buf;
@@ -221,7 +207,9 @@ std::optional<std::size_t> ForwardArena::plan_layer(nn::Layer& layer,
 
   if (auto* c = dynamic_cast<nn::Conv2d*>(&layer)) {
     tensor::Shape out_shape = c->output_shape(sample);
-    std::size_t out_buf = plan_conv(*c, sample, in_buf);
+    bool fuse = next != nullptr && dynamic_cast<nn::Relu*>(next) != nullptr;
+    if (fuse) *fused_next = true;
+    std::size_t out_buf = plan_conv(*c, sample, in_buf, fuse);
     sample = out_shape;
     return out_buf;
   }
@@ -229,8 +217,10 @@ std::optional<std::size_t> ForwardArena::plan_layer(nn::Layer& layer,
   if (auto* fc = dynamic_cast<nn::FactoredConv2d*>(&layer)) {
     tensor::Shape out_shape = fc->output_shape(sample);
     tensor::Shape mid_shape = fc->basis().output_shape(sample);
-    std::size_t mid_buf = plan_conv(fc->basis(), sample, in_buf);
-    std::size_t out_buf = plan_conv(fc->mixer(), mid_shape, mid_buf);
+    bool fuse = next != nullptr && dynamic_cast<nn::Relu*>(next) != nullptr;
+    if (fuse) *fused_next = true;
+    std::size_t mid_buf = plan_conv(fc->basis(), sample, in_buf, false);
+    std::size_t out_buf = plan_conv(fc->mixer(), mid_shape, mid_buf, fuse);
     sample = out_shape;
     return out_buf;
   }

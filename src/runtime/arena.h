@@ -75,8 +75,9 @@ class ForwardArena {
   std::int8_t* qptr(std::size_t idx) { return qbufs_[idx].data.data(); }
 
   /// Plans layers[i..] sequentially, applying the ReLU-fusion peephole for
-  /// quantized layers.  Updates `sample` (per-sample shape) and `cur`
-  /// (current buffer).  Returns false on the first unsupported layer.
+  /// GEMM-backed layers (float and quantized).  Updates `sample` (per-sample
+  /// shape) and `cur` (current buffer).  Returns false on the first
+  /// unsupported layer.
   bool plan_chain(const std::vector<nn::Layer*>& layers, tensor::Shape& sample,
                   std::size_t& cur);
   /// Plans one layer; `next` (may be null) enables the fused-ReLU peephole —
@@ -85,8 +86,11 @@ class ForwardArena {
                                         std::size_t in_buf, nn::Layer* next,
                                         bool* fused_next);
   /// Shared float-conv planner (Conv2d and both halves of FactoredConv2d).
+  /// Prepacks the im2col weight matrix at plan time; `fuse_relu` folds a
+  /// following ReLU into the GEMM epilogue (applied before the NCHW scatter,
+  /// which is a pure reorder — same values as ReLU after it).
   std::size_t plan_conv(const nn::Conv2d& conv, const tensor::Shape& in_sample,
-                        std::size_t in_buf);
+                        std::size_t in_buf, bool fuse_relu);
 
   std::vector<FloatBuf> fbufs_;
   std::vector<QuantBuf> qbufs_;

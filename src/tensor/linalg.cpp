@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "tensor/ops.h"
+#include "tensor/pack.h"
 
 namespace openei::tensor {
 
@@ -53,8 +54,8 @@ void gemm_panel(const float* a, const float* b, float* c, std::size_t row_begin,
 
 }  // namespace
 
-void gemm(const float* a, const float* b, float* c, std::size_t m,
-          std::size_t k, std::size_t n) {
+void gemm_ref(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n) {
   // Below ~64k multiply-adds the fork/join overhead dominates; stay serial.
   if (m * k * n < 65536 || m < 2) {
     gemm_panel(a, b, c, 0, m, k, n);
@@ -66,6 +67,18 @@ void gemm(const float* a, const float* b, float* c, std::size_t m,
       0, m,
       [&](std::size_t lo, std::size_t hi) { gemm_panel(a, b, c, lo, hi, k, n); },
       grain);
+}
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n) {
+  if (m == 0 || k == 0 || n == 0) return;
+  // Per-call packing into grow-only thread-local scratch: steady-state
+  // callers (training loops, ops::matmul) re-use the same buffer, so no
+  // allocation after warm-up at a fixed shape.
+  thread_local PackedMatrix scratch;
+  scratch.repack(b, k, n);
+  gemm_packed(a, m, scratch, /*bias=*/nullptr, /*fuse_relu=*/false,
+              /*accumulate=*/true, c);
 }
 
 namespace {

@@ -13,14 +13,22 @@
 
 namespace openei::tensor {
 
-/// C(m x n) = A(m x k) * B(k x n) over raw row-major buffers.  `c` must be
-/// zero-initialized.  Cache-blocked over k, register-blocked two output rows
-/// at a time, and parallelized over row panels of C; each C element
-/// accumulates in ascending-k order regardless of blocking or thread count,
-/// so the result is bit-identical to the naive i-k-j loop at any
-/// OPENEI_THREADS setting.
+/// C(m x n) += A(m x k) * B(k x n) over raw row-major buffers.  `c` must be
+/// zero-initialized (or hold a partial sum to accumulate onto).  Packs B
+/// into kernel-shaped panels and runs the runtime-dispatched SIMD
+/// microkernels (tensor/pack.h); bit-identical across thread counts within
+/// one ISA level, tolerance-equivalent to gemm_ref across levels.
 void gemm(const float* a, const float* b, float* c, std::size_t m,
           std::size_t k, std::size_t n);
+
+/// Exact-math scalar reference GEMM: cache-blocked over k, register-blocked
+/// two output rows at a time, parallelized over row panels.  Each C element
+/// accumulates in ascending-k order with plain multiply-then-add (no FMA
+/// contraction), so the result is bit-identical to the naive i-k-j loop at
+/// any OPENEI_THREADS setting.  The equivalence suite bounds the dispatched
+/// gemm against this.
+void gemm_ref(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n);
 
 /// Thin SVD A = U diag(S) V^T of a rank-2 tensor A (m x n).
 /// U: [m, r], S: r singular values (descending), V: [n, r], r = min(m, n).

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "tensor/linalg.h"
+#include "tensor/pack.h"
 
 namespace openei::tensor {
 
@@ -197,8 +198,14 @@ Tensor conv2d_im2col(const Tensor& input, const Tensor& weights, const Tensor& b
 
   Tensor patches = im2col(input, spec);                           // [N*oh*ow, patch]
   Tensor w2 = weights.reshaped(Shape{spec.out_channels, patch});  // [oc, patch]
-  Tensor result = matmul(patches, transpose(w2));                 // [N*oh*ow, oc]
-  result = add_row_bias(result, bias);
+  // Pack W^T into kernel panels and run the dispatched microkernels with the
+  // bias fused into the epilogue — the same path the forward arena prepacks,
+  // so the two conv routes stay bitwise-identical.
+  PackedMatrix wp = PackedMatrix::pack_transposed(w2);            // B: [patch, oc]
+  Tensor result(Shape{patches.shape().dim(0), spec.out_channels});
+  gemm_packed(patches.data().data(), patches.shape().dim(0), wp,
+              bias.data().data(), /*fuse_relu=*/false, /*accumulate=*/false,
+              result.data().data());
 
   // Scatter [N*oh*ow, oc] back to NCHW; images write disjoint slices.
   Tensor out(Shape{n, spec.out_channels, out_h, out_w});

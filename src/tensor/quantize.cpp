@@ -85,6 +85,25 @@ int simd_level() {
 #endif
 }
 
+}  // namespace
+
+int int8_isa_level() { return simd_level(); }
+
+const char* int8_isa_name(int level) {
+  switch (level) {
+    case 3:
+      return "avx512-vnni";
+    case 2:
+      return "avx512";
+    case 1:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+namespace {
+
 __attribute__((always_inline)) inline void quantize_bulk_body(
     const float* src, std::size_t n, const QuantParams p, std::int8_t* dst) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = quantize_one(src[i], p);

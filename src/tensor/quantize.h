@@ -200,4 +200,11 @@ Tensor quantized_matmul(const QuantizedTensor& a, const QuantizedTensor& b);
 /// Worst-case absolute reconstruction error for parameters `p` (half a step).
 float quantization_step_error(const QuantParams& p);
 
+/// int8 engine dispatch level in effect: 0 = scalar, 1 = AVX2,
+/// 2 = AVX-512 (F+BW+VL), 3 = AVX-512 VNNI.  The fp32 twin is
+/// tensor::fp32_isa_level (tensor/pack.h); both surface through /ei_status.
+int int8_isa_level();
+const char* int8_isa_name(int level);
+inline const char* int8_isa_name() { return int8_isa_name(int8_isa_level()); }
+
 }  // namespace openei::tensor

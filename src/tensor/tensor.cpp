@@ -76,7 +76,9 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   OPENEI_CHECK(new_shape.elements() == shape_.elements(), "reshape ",
                shape_.to_string(), " -> ", new_shape.to_string(),
                " changes element count");
-  return Tensor(std::move(new_shape), data_);
+  Tensor out(std::move(new_shape));
+  std::copy(data_.begin(), data_.end(), out.data_.begin());
+  return out;
 }
 
 Tensor& Tensor::apply(const std::function<float(float)>& fn) {

@@ -123,7 +123,7 @@ TEST(ParallelForTest, ParsesThreadEnvValues) {
   EXPECT_EQ(common::parse_thread_env("4x", 8), 8U);
 }
 
-/// Reference naive i-k-j GEMM the blocked kernel must reproduce bitwise.
+/// Reference naive i-k-j GEMM the exact scalar path must reproduce bitwise.
 Tensor naive_matmul(const Tensor& a, const Tensor& b) {
   std::size_t m = a.shape().dim(0);
   std::size_t k = a.shape().dim(1);
@@ -141,14 +141,32 @@ Tensor naive_matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-TEST(GemmTest, BlockedGemmMatchesNaiveBitwise) {
+TEST(GemmTest, ReferenceGemmMatchesNaiveBitwise) {
   Rng rng(11);
   // Odd sizes cross the k-block boundary and leave a tail row for the
   // two-row register kernel.
   Tensor a = Tensor::random_normal(Shape{37, 301}, rng);
   Tensor b = Tensor::random_normal(Shape{301, 53}, rng);
   ScopedThreads serial(1);
-  EXPECT_EQ(tensor::matmul(a, b), naive_matmul(a, b));
+  Tensor ref(Shape{37, 53});
+  tensor::gemm_ref(a.data().data(), b.data().data(), ref.data().data(), 37,
+                   301, 53);
+  EXPECT_EQ(ref, naive_matmul(a, b));
+}
+
+TEST(GemmTest, DispatchedGemmMatchesNaiveWithinTolerance) {
+  Rng rng(11);
+  Tensor a = Tensor::random_normal(Shape{37, 301}, rng);
+  Tensor b = Tensor::random_normal(Shape{301, 53}, rng);
+  ScopedThreads serial(1);
+  Tensor naive = naive_matmul(a, b);
+  Tensor fast = tensor::matmul(a, b);
+  // FMA contraction reassociates nothing but fuses rounding steps: the
+  // dispatched kernels agree with exact math to normal accumulation error.
+  ASSERT_EQ(fast.shape(), naive.shape());
+  for (std::size_t i = 0; i < fast.elements(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-3F) << "at flat index " << i;
+  }
 }
 
 TEST(GemmTest, ParallelAndSerialGemmBitIdentical) {
