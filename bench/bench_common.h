@@ -73,10 +73,15 @@ inline std::string cpu_model() {
 }
 
 /// Uniform host/provenance fields every bench report carries: cpu_model,
-/// host_cpus, the detected fp32/int8 SIMD dispatch levels, and whether this
+/// host_cpus, the detected fp32/int8 SIMD dispatch levels, whether this
 /// run's speedup numbers are gate-worthy (each bench supplies its own
-/// predicate — quick runs and starved hosts report informational numbers).
-inline void set_host_info(common::Json& report, bool speedup_valid) {
+/// predicate — quick runs and starved hosts report informational numbers),
+/// and which energy accounting the numbers were produced under:
+/// "none" (no device joule ledger in the loop — latency/throughput benches)
+/// or "ledger" (every simulated inference charged the hwsim EnergyLedger,
+/// so joule columns are conserved quantities, not cost-model estimates).
+inline void set_host_info(common::Json& report, bool speedup_valid,
+                          const std::string& energy_model = "none") {
   report.set("cpu_model", cpu_model());
   report.set("host_cpus",
              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
@@ -85,6 +90,7 @@ inline void set_host_info(common::Json& report, bool speedup_valid) {
   report.set("int8_isa", tensor::int8_isa_name());
   report.set("int8_isa_level", tensor::int8_isa_level());
   report.set("speedup_valid", speedup_valid);
+  report.set("energy_model", energy_model);
 }
 
 /// Standard bench main body: quiet logs, print the experiment, then run the

@@ -33,6 +33,30 @@ struct DeviceProfile {
   double idle_power_w = 1.0;
   double active_power_w = 3.0;
 
+  // --- Power-state ladder (hwsim/power.h) --------------------------------
+  /// DVFS rungs available in the active state: clock fractions of nominal,
+  /// ascending, last entry 1.0.  Dynamic power scales ~f^3 and latency ~1/f,
+  /// so lower rungs trade latency for joules (energy-per-op ~f^2).
+  std::vector<double> freq_levels = {0.5, 0.75, 1.0};
+  /// Boost clock as a fraction of nominal (> 1): short overclock bursts the
+  /// governor engages under queue pressure.
+  double boost_freq_scale = 1.2;
+  /// Wattage in the boost state; 0 derives it from the cube law at
+  /// boost_freq_scale (see boost_power()).
+  double boost_power_w = 0.0;
+  /// Rolling-watts budget for the energy governor (the profile's thermal /
+  /// battery envelope).  0 = unlimited: the ledger still accounts, but the
+  /// governor never degrades or rejects on its behalf.
+  double power_cap_w = 0.0;
+
+  /// Boost-state draw: explicit boost_power_w, or the cube-law projection
+  /// idle + (active - idle) * boost_freq_scale^3 when unset.
+  double boost_power() const {
+    if (boost_power_w > 0.0) return boost_power_w;
+    double s3 = boost_freq_scale * boost_freq_scale * boost_freq_scale;
+    return idle_power_w + (active_power_w - idle_power_w) * s3;
+  }
+
   // --- Accelerator traits (paper Sec. IV-D) ------------------------------
   /// Fraction of zero-weight MACs the hardware skips (EIE [56] "exploits
   /// DNN sparsity"): 0 = dense hardware pays full cost, 1 = perfect skip.

@@ -1,0 +1,143 @@
+#include "hwsim/power.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace openei::hwsim {
+
+std::string to_string(PowerState state) {
+  switch (state) {
+    case PowerState::kIdle:
+      return "idle";
+    case PowerState::kActive:
+      return "active";
+    case PowerState::kBoost:
+      return "boost";
+  }
+  return "unknown";
+}
+
+EnergyLedger::EnergyLedger(DeviceProfile device,
+                           std::function<std::int64_t()> now_ns)
+    : device_(std::move(device)),
+      now_ns_(now_ns ? std::move(now_ns)
+                     : [] { return common::wall_now_ns(); }) {
+  OPENEI_CHECK(!device_.freq_levels.empty(), "device '", device_.name,
+               "' has an empty freq_levels ladder");
+  for (double f : device_.freq_levels) {
+    OPENEI_CHECK(f > 0.0 && f <= 1.0, "freq level ", f, " outside (0, 1] on '",
+                 device_.name, "'");
+  }
+  OPENEI_CHECK(device_.boost_freq_scale >= 1.0, "boost_freq_scale ",
+               device_.boost_freq_scale, " below nominal on '", device_.name,
+               "'");
+  start_ns_ = now_ns_();
+  last_settle_ns_ = start_ns_;
+  freq_level_ = device_.freq_levels.size() - 1;  // nominal clock by default
+}
+
+double EnergyLedger::freq_scale(PowerState state,
+                                std::size_t freq_level) const {
+  switch (state) {
+    case PowerState::kIdle:
+      return 0.0;  // no compute while idle
+    case PowerState::kActive: {
+      std::size_t level =
+          std::min(freq_level, device_.freq_levels.size() - 1);
+      return device_.freq_levels[level];
+    }
+    case PowerState::kBoost:
+      return device_.boost_freq_scale;
+  }
+  return 1.0;
+}
+
+double EnergyLedger::state_power_w(PowerState state,
+                                   std::size_t freq_level) const {
+  switch (state) {
+    case PowerState::kIdle:
+      return device_.idle_power_w;
+    case PowerState::kActive: {
+      double f = freq_scale(PowerState::kActive, freq_level);
+      return device_.idle_power_w +
+             (device_.active_power_w - device_.idle_power_w) * f * f * f;
+    }
+    case PowerState::kBoost:
+      return device_.boost_power();
+  }
+  return device_.idle_power_w;
+}
+
+void EnergyLedger::settle() {
+  std::int64_t now = now_ns_();
+  // Clamp a non-monotone injected clock to zero elapsed instead of letting a
+  // negative dt un-earn joules: the ledger is monotone by contract.
+  double dt = std::max<std::int64_t>(0, now - last_settle_ns_) * 1e-9;
+  last_settle_ns_ = std::max(now, last_settle_ns_);
+  auto idx = static_cast<std::size_t>(state_);
+  state_seconds_[idx] += dt;
+  state_j_[idx] += dt * state_power_w(state_, freq_level_);
+}
+
+void EnergyLedger::set_state(PowerState state) {
+  settle();
+  if (state == state_) return;
+  int from = static_cast<int>(state_);
+  int to = static_cast<int>(state);
+  OPENEI_CHECK(std::abs(from - to) == 1, "illegal power transition ",
+               to_string(state_), " -> ", to_string(state), " on '",
+               device_.name, "': governor steps one rung at a time");
+  state_ = state;
+  ++transitions_;
+}
+
+void EnergyLedger::set_freq_level(std::size_t level) {
+  settle();  // earlier time accrues at the old rung's wattage
+  freq_level_ = std::min(level, device_.freq_levels.size() - 1);
+}
+
+double EnergyLedger::charge_busy(double sim_busy_seconds) {
+  OPENEI_CHECK(sim_busy_seconds >= 0.0, "negative busy time ",
+               sim_busy_seconds);
+  OPENEI_CHECK(state_ != PowerState::kIdle,
+               "charge_busy while idle on '", device_.name,
+               "': the governor must step to active before dispatching work");
+  settle();
+  double f = freq_scale(state_, freq_level_);
+  // Nominal-clock busy time stretches by 1/f; the dynamic draw above idle at
+  // fraction f is (P_state - P_idle), so joules = (P_state - P_idle) * t / f.
+  // With cube-law power this is (active - idle) * f^2 * t: lower rungs are
+  // slower but cheaper, the trade the energy scheduler optimizes.
+  double stretched = sim_busy_seconds / f;
+  double joules =
+      (state_power_w(state_, freq_level_) - device_.idle_power_w) * stretched;
+  auto idx = static_cast<std::size_t>(state_);
+  state_j_[idx] += joules;
+  busy_j_ += joules;
+  busy_seconds_ += stretched;
+  ++charges_;
+  return joules;
+}
+
+EnergyLedger::Snapshot EnergyLedger::snapshot() {
+  settle();
+  Snapshot snap;
+  snap.state_j = state_j_;
+  snap.state_seconds = state_seconds_;
+  for (double j : state_j_) snap.total_j += j;
+  snap.busy_j = busy_j_;
+  snap.busy_seconds = busy_seconds_;
+  snap.charges = charges_;
+  snap.transitions = transitions_;
+  snap.state = state_;
+  snap.freq_level = freq_level_;
+  snap.elapsed_seconds = (last_settle_ns_ - start_ns_) * 1e-9;
+  return snap;
+}
+
+}  // namespace openei::hwsim

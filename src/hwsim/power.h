@@ -1,0 +1,120 @@
+// Device power states and the cumulative energy ledger — the Energy axis of
+// Eq. 1 promoted from a static per-request estimate to a *stateful* account.
+//
+// The paper treats Energy as "the increased power consumption ... when
+// executing the inference task"; "On the Sustainability of AI Inferences in
+// the Edge" (PAPERS.md) argues energy must also be a *scheduling input*.
+// That needs device power semantics richer than a single active wattage:
+//
+//   - three power states (idle / active / boost) with single-step legal
+//     transitions, mirroring real governor ladders;
+//   - DVFS-style frequency levels: running at fraction f of nominal clock
+//     draws dynamic power ~f^3 (P = C V^2 f with V tracking f) and takes
+//     1/f times as long, so energy-per-op scales ~f^2 — slower can be
+//     cheaper, which is exactly the trade-off the energy-governed selector
+//     (selector/energy_schedule.h) optimizes over;
+//   - a monotonic cumulative joule ledger with an injectable clock, so the
+//     whole account is deterministic under test and conservation laws
+//     (total = sum of per-state joules; idle floor) can be pinned exactly.
+//
+// The ledger accrues *continuously*: wall (or injected) time spent in a
+// state costs that state's baseline wattage, and each simulated inference
+// additionally charges its busy-energy above idle via `charge_busy`.  Every
+// simulated inference, stream frame, and batch flush in the serving stack
+// routes through runtime::EnergyGovernor, which owns one of these.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "hwsim/device.h"
+
+namespace openei::hwsim {
+
+/// Governor ladder, ordered by draw.  Transitions must move one step at a
+/// time (idle <-> active <-> boost): real cpufreq governors do not jump a
+/// core from deep idle straight to boost, and the energy tests pin that.
+enum class PowerState : int { kIdle = 0, kActive = 1, kBoost = 2 };
+
+inline constexpr int kPowerStateCount = 3;
+
+std::string to_string(PowerState state);
+
+/// Monotonic cumulative energy account for one simulated device.
+///
+/// Not thread-safe: runtime::EnergyGovernor serializes access.  All time
+/// comes from the injected nanosecond clock, so identical op schedules
+/// produce bit-identical ledgers (the EnergyProperty suite relies on this).
+class EnergyLedger {
+ public:
+  struct Snapshot {
+    double total_j = 0.0;                         ///< lifetime joules, all states
+    std::array<double, kPowerStateCount> state_j{};        ///< joules accrued per state
+    std::array<double, kPowerStateCount> state_seconds{};  ///< wall seconds per state
+    double busy_j = 0.0;           ///< above-idle joules from charge_busy
+    double busy_seconds = 0.0;     ///< frequency-adjusted busy seconds
+    std::uint64_t charges = 0;     ///< charge_busy calls
+    std::uint64_t transitions = 0; ///< successful set_state calls
+    PowerState state = PowerState::kIdle;
+    std::size_t freq_level = 0;
+    double elapsed_seconds = 0.0;  ///< time since ledger construction
+  };
+
+  /// `now_ns` defaults to the wall clock; tests and benches inject a fake.
+  explicit EnergyLedger(DeviceProfile device,
+                        std::function<std::int64_t()> now_ns = {});
+
+  /// Step to an adjacent state.  Throws common::InvalidArgument on a skip
+  /// (idle -> boost or boost -> idle); a same-state call is a no-op that
+  /// still settles accrued time.
+  void set_state(PowerState state);
+
+  /// Select a DVFS rung (index into the device's freq_levels ladder,
+  /// clamped).  Only meaningful in the active state; boost runs at the
+  /// device's boost_freq_scale regardless.
+  void set_freq_level(std::size_t level);
+
+  /// Charge the above-idle energy of `sim_busy_seconds` of nominal-clock
+  /// compute, stretched by the current frequency (busy time / f) and billed
+  /// at the current state's dynamic wattage.  Illegal while idle — the
+  /// governor must step to active first.  Returns the joules charged so
+  /// callers can attribute them to a request trace.
+  double charge_busy(double sim_busy_seconds);
+
+  /// Settle elapsed time into the current state's bucket and snapshot.
+  /// Monotone: every field is non-decreasing across successive calls.
+  Snapshot snapshot();
+
+  /// Baseline wattage of `state` at `freq_level` on this device: the rate
+  /// time accrues joules between charges.  Exposed so reference models in
+  /// tests can mirror the account exactly.
+  double state_power_w(PowerState state, std::size_t freq_level) const;
+
+  /// Effective clock fraction of `state` at `freq_level` (boost may exceed 1).
+  double freq_scale(PowerState state, std::size_t freq_level) const;
+
+  PowerState state() const { return state_; }
+  std::size_t freq_level() const { return freq_level_; }
+  const DeviceProfile& device() const { return device_; }
+
+ private:
+  void settle();  // accrue (now - last_settle) into the current state bucket
+
+  DeviceProfile device_;
+  std::function<std::int64_t()> now_ns_;
+  std::int64_t start_ns_ = 0;
+  std::int64_t last_settle_ns_ = 0;
+  PowerState state_ = PowerState::kIdle;
+  std::size_t freq_level_ = 0;
+
+  std::array<double, kPowerStateCount> state_j_{};
+  std::array<double, kPowerStateCount> state_seconds_{};
+  double busy_j_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t charges_ = 0;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace openei::hwsim

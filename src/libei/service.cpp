@@ -35,16 +35,33 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
       package_(std::move(package)),
       options_(options),
       tracer_(options.tracing),
+      governor_(std::make_shared<runtime::EnergyGovernor>(device_,
+                                                          options.energy)),
       lifecycle_(registry_, package_, device_,
                  [&] {
                    // One batching knob: the service-level options win.
                    runtime::SessionCache::Options lifecycle = options.lifecycle;
                    lifecycle.batching = options.batching;
+                   lifecycle.batching.governor = governor_;
                    lifecycle.batcher_metrics = batcher_metrics_;
                    return lifecycle;
                  }(),
                  &meter_),
-      streams_(lifecycle_, options.streaming, &tracer_, &meter_) {
+      streams_(lifecycle_,
+               [&] {
+                 // Stream workers charge the same device ledger.
+                 stream::StreamManager::Options streaming = options.streaming;
+                 streaming.session.governor = governor_.get();
+                 return streaming;
+               }(),
+               &tracer_, &meter_) {
+  // The service-level batching options now carry the governor too, so the
+  // "batching" status block and any transient batchers agree with lifecycle.
+  options_.batching.governor = governor_;
+  // handle_stream builds each session's options from this stored copy (not
+  // the manager defaults above), so it must carry the governor as well or
+  // HTTP-opened streams would never charge the ledger.
+  options_.streaming.session.governor = governor_.get();
   meter_.describe("ei_requests_total", "Requests served, by route and status class");
   meter_.describe("ei_session_cache_hits_total",
                   "Warm inference-session cache hits");
@@ -88,6 +105,21 @@ EiService::EiService(runtime::ModelRegistry& registry, datastore::SensorStore& s
                   "0=scalar 1=avx2 2=avx512; int8: 0..3 adds vnni)");
   meter_.describe("ei_stream_frame_latency_seconds",
                   "End-to-end streamed-frame latency (admission to delivery)");
+  meter_.describe("ei_energy_joules_total",
+                  "Cumulative device energy from the hwsim ledger, by power "
+                  "state (idle/active/boost)");
+  meter_.describe("ei_power_watts",
+                  "Rolling device power draw estimated by the energy governor");
+  meter_.describe("ei_freq_level",
+                  "Current DVFS rung (index into the device freq ladder)");
+  meter_.describe("ei_power_state",
+                  "Current power state (0=idle 1=active 2=boost)");
+  meter_.describe("ei_energy_degrades_total",
+                  "Requests degraded to the min-energy variant because the "
+                  "rolling watts exceeded the power cap");
+  meter_.describe("ei_energy_rejections_total",
+                  "Requests answered 503 energy_budget past cap * "
+                  "reject_factor");
 }
 
 void EiService::set_serving_stats_source(
@@ -204,6 +236,18 @@ HttpResponse EiService::handle(const HttpRequest& request) {
         .set(static_cast<double>(tensor::fp32_isa_level()));
     meter_.gauge("ei_isa_level", {{"engine", "int8"}})
         .set(static_cast<double>(tensor::int8_isa_level()));
+    runtime::EnergyGovernor::Snapshot power = governor_->snapshot();
+    meter_.gauge("ei_energy_joules_total", {{"state", "idle"}})
+        .set(power.ledger.state_j[0]);
+    meter_.gauge("ei_energy_joules_total", {{"state", "active"}})
+        .set(power.ledger.state_j[1]);
+    meter_.gauge("ei_energy_joules_total", {{"state", "boost"}})
+        .set(power.ledger.state_j[2]);
+    meter_.gauge("ei_power_watts").set(power.rolling_watts);
+    meter_.gauge("ei_freq_level")
+        .set(static_cast<double>(power.ledger.freq_level));
+    meter_.gauge("ei_power_state")
+        .set(static_cast<double>(static_cast<int>(power.ledger.state)));
     return serve(HttpResponse{200, "text/plain; version=0.0.4",
                               meter_.render_prometheus()});
   }
@@ -350,6 +394,36 @@ HttpResponse EiService::handle_status() {
   }
   streams.set("sessions", Json(std::move(stream_rows)));
   out.set("streams", std::move(streams));
+  // Device power account: the cumulative joule ledger (per power state),
+  // current governor position on the state/frequency ladder, and the
+  // rolling-watts envelope with its degrade/reject decisions.
+  runtime::EnergyGovernor::Snapshot power = governor_->snapshot();
+  Json energy{JsonObject{}};
+  energy.set("state", hwsim::to_string(power.ledger.state));
+  energy.set("freq_level", power.ledger.freq_level);
+  energy.set("freq_scale",
+             governor_->device().freq_levels[power.ledger.freq_level]);
+  energy.set("total_joules", power.ledger.total_j);
+  Json by_state{JsonObject{}};
+  const char* state_names[] = {"idle", "active", "boost"};
+  for (int i = 0; i < hwsim::kPowerStateCount; ++i) {
+    Json row{JsonObject{}};
+    row.set("joules", power.ledger.state_j[static_cast<std::size_t>(i)]);
+    row.set("seconds",
+            power.ledger.state_seconds[static_cast<std::size_t>(i)]);
+    by_state.set(state_names[i], std::move(row));
+  }
+  energy.set("states", std::move(by_state));
+  energy.set("busy_joules", power.ledger.busy_j);
+  energy.set("busy_seconds", power.ledger.busy_seconds);
+  energy.set("charges", power.ledger.charges);
+  energy.set("transitions", power.ledger.transitions);
+  energy.set("boost_entries", power.boost_entries);
+  energy.set("rolling_watts", power.rolling_watts);
+  energy.set("power_cap_w", power.power_cap_w);
+  energy.set("degrades", power.degrades);
+  energy.set("rejects", power.rejects);
+  out.set("energy", std::move(energy));
   return HttpResponse::json(200, out.dump());
 }
 
@@ -521,10 +595,33 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
     throw NotFound("no model deployed for " + scenario + "/" + algorithm);
   }
 
+  // Energy envelope (governor rolling watts vs. the profile power cap,
+  // inert when no cap is configured): above the cap the selection objective
+  // flips to min-energy — the request rides the cheapest eligible variant —
+  // and past cap * reject_factor the request is shed outright.
   selector::SelectionRequest selection = parse_selection(request.query);
+  runtime::EnergyGovernor::Admission admission = governor_->admit();
+  if (admission == runtime::EnergyGovernor::Admission::kReject) {
+    select_span.finish();
+    meter_.counter("ei_energy_rejections_total").increment();
+    runtime::EnergyGovernor::Snapshot power = governor_->snapshot();
+    Json body{JsonObject{}};
+    body.set("error", "energy_budget");
+    body.set("rolling_watts", power.rolling_watts);
+    body.set("power_cap_w", power.power_cap_w);
+    body.set("state", hwsim::to_string(power.ledger.state));
+    return HttpResponse::json(503, body.dump());
+  }
+  bool energy_degraded =
+      admission == runtime::EnergyGovernor::Admission::kDegrade;
+  if (energy_degraded) {
+    meter_.counter("ei_energy_degrades_total").increment();
+    selection.objective = selector::Objective::kMinEnergy;
+  }
   selector::SelectionStats selection_stats;
   auto chosen = selector::select(*db, selection, &selection_stats);
   if (select_span.active()) {
+    select_span.set_attribute("energy_degraded", energy_degraded ? 1.0 : 0.0);
     select_span.set_attribute("candidates",
                               static_cast<double>(selection_stats.evaluated));
     select_span.set_attribute(
@@ -607,7 +704,19 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
     tensor::AllocationTrackingScope scope;
     result = lease.session->run_rows(row_staging.data(), row_count);
     allocation = scope.stats();
+    // Direct path: charge the ledger here (the coalesced path charged once
+    // per fused flush on the flush thread); with nothing queued behind a
+    // synchronous request, the device decays back toward idle.
+    result.ledger_energy_j =
+        governor_->charge(result.batch_latency_s, row_count);
+    governor_->on_drained();
   }
+  // What the device ledger actually accrued for this request (DVFS-adjusted,
+  // prorated across a fused flush) — the cost-model estimate is only a
+  // fallback for batchers wired without a governor.
+  double request_energy_j = result.ledger_energy_j > 0.0
+                                ? result.ledger_energy_j
+                                : result.batch_energy_j;
   if (infer_span.active()) {
     infer_span.set_attribute("model", model_name);
     infer_span.set_attribute("rows", rows);
@@ -615,7 +724,7 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
                              options_.coalesce_inference ? 1.0 : 0.0);
     // Simulated ALEM attribution from the hwsim cost model.
     infer_span.set_attribute("sim_latency_us", result.batch_latency_s * 1e6);
-    infer_span.set_attribute("sim_energy_mj", result.batch_energy_j * 1e3);
+    infer_span.set_attribute("sim_energy_mj", request_energy_j * 1e3);
     infer_span.set_attribute(
         "sim_memory_bytes",
         static_cast<double>(result.per_sample.memory_bytes));
@@ -645,6 +754,8 @@ HttpResponse EiService::handle_algorithm(const HttpRequest& request,
   out.set("predictions", Json(std::move(predictions)));
   out.set("batch_latency_s", result.batch_latency_s);
   out.set("batch_energy_j", result.batch_energy_j);
+  out.set("ledger_energy_j", result.ledger_energy_j);
+  if (energy_degraded) out.set("energy_degraded", true);
   if (trace_root.active()) {
     // 64-bit id as a string (JSON numbers are doubles); the caller can
     // follow up with GET /ei_trace/{trace_id}.

@@ -61,6 +61,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "runtime/batcher.h"
+#include "runtime/energy_governor.h"
 #include "runtime/inference.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
@@ -100,6 +101,13 @@ class EiService {
     /// backpressure over HTTP is bounded — unbounded blocking is only for
     /// in-process producers.
     double stream_http_max_block_s = 0.2;
+    /// Energy governor knobs (rolling window, boost threshold, injectable
+    /// clock).  The accounting side is always on — every inference charges
+    /// the device ledger and /ei_status grows an "energy" block — but
+    /// budget *enforcement* (degrade to a cheaper variant above the cap,
+    /// 503 past cap * reject_factor) only engages when `energy.power_cap_w`
+    /// or the device profile's power_cap_w is set.
+    runtime::EnergyGovernor::Options energy;
   };
 
   /// Borrows the registry and store (the owning EdgeNode outlives the
@@ -165,6 +173,10 @@ class EiService {
   /// Live streaming sessions (POST /ei_stream); reported under "streams"
   /// by GET /ei_status.
   stream::StreamManager& streams() { return streams_; }
+  /// The device power account + frequency governor every simulated
+  /// inference charges (reported under "energy" by GET /ei_status and as
+  /// ei_energy_joules_total / ei_power_watts / ei_freq_level metrics).
+  runtime::EnergyGovernor& energy_governor() { return *governor_; }
 
  private:
   net::HttpResponse handle_data(const net::HttpRequest& request,
@@ -214,6 +226,10 @@ class EiService {
   obs::MetricsRegistry meter_;
   mutable std::mutex serving_mutex_;
   std::function<net::ServerStats()> serving_source_;  // guarded by serving_mutex_
+  /// Declared before lifecycle_/streams_: batcher flush threads and stream
+  /// workers charge it, so it must outlive both (members destroy in reverse
+  /// order).
+  std::shared_ptr<runtime::EnergyGovernor> governor_;
   /// Declared after meter_: the cache wires its counters into it.
   runtime::SessionCache lifecycle_;
   /// Declared after lifecycle_: stream workers acquire through the cache,

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/error.h"
+#include "runtime/energy_governor.h"
 
 namespace openei::runtime {
 
@@ -32,12 +33,15 @@ std::future<InferenceResult> MicroBatcher::submit(nn::Tensor rows,
   std::future<InferenceResult> future = pending.promise.get_future();
   std::size_t row_count =
       pending.rows.shape().rank() >= 1 ? pending.rows.shape().dim(0) : 0;
+  std::size_t queued_rows = 0;
   {
     common::DrainGate::Lock lock = gate_.acquire();
     OPENEI_CHECK(!gate_.closed(lock), "submit on a stopping micro-batcher");
     pending_.push_back(std::move(pending));
     pending_rows_ += row_count;
+    queued_rows = pending_rows_;
   }
+  if (options_.governor) options_.governor->on_queue_depth(queued_rows);
   if (metrics_) metrics_->requests.fetch_add(1, std::memory_order_relaxed);
   gate_.notify_all();
   return future;
@@ -94,6 +98,7 @@ void MicroBatcher::flush_loop() {
     lock.unlock();
     run_flush(std::move(batch));
     lock.lock();
+    if (pending_.empty() && options_.governor) options_.governor->on_drained();
   }
 }
 
@@ -134,6 +139,22 @@ void MicroBatcher::run_flush(std::deque<Pending> batch) {
     std::exception_ptr error = std::current_exception();
     for (Pending& pending : batch) pending.promise.set_exception(error);
     return;
+  }
+
+  if (options_.governor) {
+    // One ledger charge per fused forward pass, prorated back per request by
+    // its share of the simulated busy time so the trace attributes sum to
+    // exactly what the ledger recorded.
+    double total_busy_s = 0.0;
+    for (const InferenceResult& result : results) {
+      total_busy_s += result.batch_latency_s;
+    }
+    double joules = options_.governor->charge(total_busy_s, flush_rows);
+    for (InferenceResult& result : results) {
+      result.ledger_energy_j =
+          total_busy_s > 0.0 ? joules * (result.batch_latency_s / total_busy_s)
+                             : 0.0;
+    }
   }
 
   double forward_us =

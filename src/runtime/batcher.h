@@ -29,6 +29,8 @@
 
 namespace openei::runtime {
 
+class EnergyGovernor;
+
 /// Shared counters for fleet monitoring (reported under /ei_status).  One
 /// sink can serve many batchers; all fields are atomics because the flush
 /// threads and the metrics reader race freely.
@@ -49,6 +51,12 @@ class MicroBatcher {
     /// Flush immediately whenever the flush thread is idle (continuous
     /// batching).  Disable to force strict fill-or-timeout batching.
     bool eager_when_idle = true;
+    /// Device energy account (may be null).  Each flush charges its fused
+    /// simulated busy time once — prorated back into every rider's
+    /// InferenceResult::ledger_energy_j — and the queue feeds the governor's
+    /// pressure ladder: submit reports depth (boost under backlog), an empty
+    /// queue after a flush reports drained (decay toward idle).
+    std::shared_ptr<EnergyGovernor> governor;
   };
 
   /// Shares ownership of the session; `metrics` may be null.

@@ -1,0 +1,121 @@
+#include "runtime/energy_governor.h"
+
+#include <utility>
+
+#include "common/clock.h"
+#include "common/error.h"
+
+namespace openei::runtime {
+
+EnergyGovernor::EnergyGovernor(hwsim::DeviceProfile device, Options options)
+    : device_(std::move(device)),
+      options_(std::move(options)),
+      now_ns_(options_.now ? options_.now
+                           : [] { return common::wall_now_ns(); }),
+      ledger_(device_, now_ns_) {
+  cap_w_ = options_.power_cap_w > 0.0 ? options_.power_cap_w
+                                      : device_.power_cap_w;
+  OPENEI_CHECK(options_.reject_factor >= 1.0, "reject_factor ",
+               options_.reject_factor, " below 1");
+  OPENEI_CHECK(options_.rolling_window_s > 0.0, "rolling window must be > 0");
+}
+
+double EnergyGovernor::charge(double sim_busy_seconds, std::size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ledger_.state() == hwsim::PowerState::kIdle) {
+    ledger_.set_state(hwsim::PowerState::kActive);
+  }
+  double joules = ledger_.charge_busy(sim_busy_seconds);
+  std::int64_t now = now_ns_();
+  charges_.emplace_back(now, joules);
+  rows_charged_ += rows;
+  prune_locked(now);
+  return joules;
+}
+
+void EnergyGovernor::on_queue_depth(std::size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rows == 0) return;
+  switch (ledger_.state()) {
+    case hwsim::PowerState::kIdle:
+      ledger_.set_state(hwsim::PowerState::kActive);
+      break;
+    case hwsim::PowerState::kActive:
+      if (rows >= options_.boost_queue_depth) {
+        ledger_.set_state(hwsim::PowerState::kBoost);
+        ++boost_entries_;
+      }
+      break;
+    case hwsim::PowerState::kBoost:
+      break;
+  }
+}
+
+void EnergyGovernor::on_drained() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (ledger_.state()) {
+    case hwsim::PowerState::kBoost:
+      ledger_.set_state(hwsim::PowerState::kActive);
+      break;
+    case hwsim::PowerState::kActive:
+      ledger_.set_state(hwsim::PowerState::kIdle);
+      break;
+    case hwsim::PowerState::kIdle:
+      break;
+  }
+}
+
+void EnergyGovernor::set_freq_level(std::size_t level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.set_freq_level(level);
+}
+
+EnergyGovernor::Admission EnergyGovernor::admit() {
+  if (cap_w_ <= 0.0) return Admission::kOk;
+  std::lock_guard<std::mutex> lock(mu_);
+  double watts = rolling_watts_locked(now_ns_());
+  if (watts > cap_w_ * options_.reject_factor) {
+    ++rejects_;
+    return Admission::kReject;
+  }
+  if (watts > cap_w_) {
+    ++degrades_;
+    return Admission::kDegrade;
+  }
+  return Admission::kOk;
+}
+
+double EnergyGovernor::rolling_watts() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rolling_watts_locked(now_ns_());
+}
+
+double EnergyGovernor::rolling_watts_locked(std::int64_t now) {
+  prune_locked(now);
+  double busy_j = 0.0;
+  for (const auto& [t, j] : charges_) busy_j += j;
+  return ledger_.state_power_w(ledger_.state(), ledger_.freq_level()) +
+         busy_j / options_.rolling_window_s;
+}
+
+void EnergyGovernor::prune_locked(std::int64_t now) {
+  auto horizon =
+      now - static_cast<std::int64_t>(options_.rolling_window_s * 1e9);
+  while (!charges_.empty() && charges_.front().first < horizon) {
+    charges_.pop_front();
+  }
+}
+
+EnergyGovernor::Snapshot EnergyGovernor::snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.ledger = ledger_.snapshot();
+  snap.rolling_watts = rolling_watts_locked(now_ns_());
+  snap.power_cap_w = cap_w_;
+  snap.degrades = degrades_;
+  snap.rejects = rejects_;
+  snap.boost_entries = boost_entries_;
+  return snap;
+}
+
+}  // namespace openei::runtime

@@ -1,0 +1,115 @@
+// Online frequency/power governor wrapping the hwsim energy ledger.
+//
+// One governor serves a whole EiService: every simulated inference (direct,
+// micro-batched, or streaming) charges its busy-energy here, and the queue
+// observers drive the power-state ladder the way a cpufreq governor would —
+// step up to boost under backlog, decay back toward idle when drained.  On
+// top of the account it enforces the device's power envelope: when the
+// rolling watts exceed `power_cap_w` the admission check asks the caller to
+// degrade to a cheaper model variant, and past `reject_factor` times the cap
+// it sheds load outright (libei turns that into a 503, mirroring the
+// memory-pressure admission path).
+//
+// Thread-safe; all time flows through the injectable clock shared with the
+// ledger, so the whole governor is deterministic under test.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "hwsim/power.h"
+
+namespace openei::runtime {
+
+class EnergyGovernor {
+ public:
+  struct Options {
+    /// Rolling-watts budget; 0 inherits the device profile's power_cap_w
+    /// (which itself defaults to 0 = account only, never degrade/reject).
+    double power_cap_w = 0.0;
+    /// Load shedding kicks in at cap * reject_factor.
+    double reject_factor = 1.5;
+    /// Window for the rolling-watts estimate.
+    double rolling_window_s = 1.0;
+    /// Queued rows at or above this step the ladder toward boost.
+    std::size_t boost_queue_depth = 16;
+    /// Nanosecond clock; defaults to wall time.  Tests inject a fake.
+    std::function<std::int64_t()> now;
+  };
+
+  /// Verdict for a new request against the power envelope.
+  enum class Admission { kOk, kDegrade, kReject };
+
+  struct Snapshot {
+    hwsim::EnergyLedger::Snapshot ledger;
+    double rolling_watts = 0.0;
+    double power_cap_w = 0.0;
+    std::uint64_t degrades = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t boost_entries = 0;
+  };
+
+  explicit EnergyGovernor(hwsim::DeviceProfile device)
+      : EnergyGovernor(std::move(device), Options{}) {}
+  EnergyGovernor(hwsim::DeviceProfile device, Options options);
+
+  /// Charge `sim_busy_seconds` of nominal-clock compute for `rows` samples,
+  /// stepping idle -> active first if needed.  Returns the joules charged.
+  double charge(double sim_busy_seconds, std::size_t rows = 1);
+
+  /// Queue-pressure observer: depth >= boost_queue_depth climbs one rung
+  /// toward boost; any depth wakes an idle device to active.
+  void on_queue_depth(std::size_t rows);
+
+  /// Drain observer: one rung down (boost -> active -> idle).
+  void on_drained();
+
+  /// Pin the active-state DVFS rung (e.g. from an energy-schedule choice).
+  void set_freq_level(std::size_t level);
+
+  /// Check a new request against the rolling-watts envelope.  Always kOk
+  /// when no cap is configured.  Records the degrade/reject decision.
+  Admission admit();
+
+  /// Rolling draw estimate: baseline wattage of the current state plus busy
+  /// joules charged inside the trailing window, amortized over the window.
+  double rolling_watts();
+
+  Snapshot snapshot();
+
+  const hwsim::DeviceProfile& device() const { return device_; }
+
+  static const char* to_string(Admission a) {
+    switch (a) {
+      case Admission::kOk:
+        return "ok";
+      case Admission::kDegrade:
+        return "degrade";
+      case Admission::kReject:
+        return "reject";
+    }
+    return "unknown";
+  }
+
+ private:
+  double rolling_watts_locked(std::int64_t now);
+  void prune_locked(std::int64_t now);
+
+  hwsim::DeviceProfile device_;
+  Options options_;
+  double cap_w_ = 0.0;
+  std::function<std::int64_t()> now_ns_;
+
+  std::mutex mu_;
+  hwsim::EnergyLedger ledger_;
+  std::deque<std::pair<std::int64_t, double>> charges_;  // (t_ns, joules)
+  std::uint64_t degrades_ = 0;
+  std::uint64_t rejects_ = 0;
+  std::uint64_t boost_entries_ = 0;
+  std::uint64_t rows_charged_ = 0;
+};
+
+}  // namespace openei::runtime

@@ -23,6 +23,12 @@ struct InferenceResult {
   hwsim::InferenceCost per_sample;
   double batch_latency_s = 0.0;
   double batch_energy_j = 0.0;
+  /// Joules actually charged to the device's energy ledger for this
+  /// request (EnergyGovernor::charge), prorated per request when a fused
+  /// flush charged once for the whole batch.  0 when no governor is wired;
+  /// otherwise this is what `sim_energy_mj` trace attributes report, so
+  /// traces reconcile exactly against `ei_energy_joules_total`.
+  double ledger_energy_j = 0.0;
 };
 
 class InferenceSession {

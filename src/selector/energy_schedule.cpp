@@ -1,0 +1,127 @@
+#include "selector/energy_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace openei::selector {
+namespace {
+
+struct Candidate {
+  EnergyScheduleChoice choice;
+  bool valid = false;
+};
+
+/// Strict deterministic ordering: less energy wins, then lower watts, then
+/// lower latency, then lexicographic model name.
+bool better_choice(const EnergyScheduleChoice& a,
+                   const EnergyScheduleChoice& b) {
+  if (a.predicted_energy_per_req_j != b.predicted_energy_per_req_j) {
+    return a.predicted_energy_per_req_j < b.predicted_energy_per_req_j;
+  }
+  if (a.predicted_watts != b.predicted_watts) {
+    return a.predicted_watts < b.predicted_watts;
+  }
+  if (a.predicted_latency_s != b.predicted_latency_s) {
+    return a.predicted_latency_s < b.predicted_latency_s;
+  }
+  return a.model_name < b.model_name;
+}
+
+}  // namespace
+
+EnergyScheduleChoice plan_energy_schedule(const CapabilityDatabase& db,
+                                          const hwsim::DeviceProfile& device,
+                                          const EnergyScheduleRequest& request) {
+  OPENEI_CHECK(request.arrival_rate_hz > 0.0, "arrival rate must be > 0; got ",
+               request.arrival_rate_hz);
+  OPENEI_CHECK(!request.batch_sizes.empty(), "no candidate batch sizes");
+  OPENEI_CHECK(!device.freq_levels.empty(), "device '", device.name,
+               "' has an empty freq ladder");
+
+  const Requirements& req = request.requirements;
+  double lambda = request.arrival_rate_hz;
+
+  // Rung ladder: every active freq level, then boost (if allowed).
+  struct Rung {
+    std::size_t level;
+    double scale;
+    bool boost;
+  };
+  std::vector<Rung> rungs;
+  for (std::size_t i = 0; i < device.freq_levels.size(); ++i) {
+    rungs.push_back({i, device.freq_levels[i], false});
+  }
+  if (request.allow_boost) {
+    rungs.push_back({device.freq_levels.size() - 1, device.boost_freq_scale,
+                     true});
+  }
+
+  Candidate best;          // min energy among fully feasible
+  Candidate best_effort;   // max capacity fallback when nothing is feasible
+  for (const CapabilityEntry& entry : db.on_device(device.name)) {
+    if (!entry.deployable) continue;
+    double nominal_latency = entry.alem.latency_s;
+    if (nominal_latency <= 0.0) continue;
+    for (const Rung& rung : rungs) {
+      double f = rung.scale;
+      for (std::size_t b : request.batch_sizes) {
+        if (b == 0) continue;
+        EnergyScheduleChoice c;
+        c.model_name = entry.model_name;
+        c.package_name = entry.package_name;
+        c.batch_rows = b;
+        c.freq_level = rung.level;
+        c.boost = rung.boost;
+        c.freq_scale = f;
+        // Per-sample service stretches by 1/f; a batch of b serves b samples
+        // in b * L / f, so capacity is f / L regardless of b — batching buys
+        // fewer flushes (and lower governor churn), not raw throughput.
+        double service_s = nominal_latency * static_cast<double>(b) / f;
+        c.capacity_hz = f / nominal_latency;
+        // Worst case for the first sample in a batch: wait for the other
+        // b - 1 arrivals, then the whole stretched service.
+        double fill_wait_s = static_cast<double>(b - 1) / lambda;
+        c.predicted_latency_s = fill_wait_s + service_s;
+        // Cube-law dynamic power * stretched time = E * f^2 per sample.
+        c.predicted_energy_per_req_j = entry.alem.energy_j * f * f;
+        double utilization =
+            std::min(1.0, lambda * nominal_latency / f);
+        double dynamic_w =
+            (device.active_power_w - device.idle_power_w) * f * f * f;
+        c.predicted_watts = device.idle_power_w + utilization * dynamic_w;
+
+        bool meets_load = c.capacity_hz >= lambda;
+        bool meets_alem =
+            entry.alem.accuracy >= req.min_accuracy &&
+            c.predicted_latency_s <= req.max_latency_s &&
+            c.predicted_energy_per_req_j <= req.max_energy_j &&
+            entry.alem.memory_bytes <= req.max_memory_bytes;
+        c.feasible = meets_load && meets_alem;
+
+        if (c.feasible && (!best.valid || better_choice(c, best.choice))) {
+          best.choice = c;
+          best.valid = true;
+        }
+        // Fallback ranking: most capacity first so an infeasible epoch picks
+        // the plan that drains backlog fastest; ties resolve like the
+        // primary ordering for determinism.
+        if (!best_effort.valid ||
+            c.capacity_hz > best_effort.choice.capacity_hz ||
+            (c.capacity_hz == best_effort.choice.capacity_hz &&
+             better_choice(c, best_effort.choice))) {
+          best_effort.choice = c;
+          best_effort.valid = true;
+        }
+      }
+    }
+  }
+
+  if (best.valid) return best.choice;
+  OPENEI_CHECK(best_effort.valid, "no deployable capability entries on '",
+               device.name, "'");
+  best_effort.choice.feasible = false;
+  return best_effort.choice;
+}
+
+}  // namespace openei::selector

@@ -1,0 +1,63 @@
+// Energy-governed online scheduling: pick (model variant, batch size, DVFS
+// rung) under a drifting arrival rate so Eq. 1's constraints hold at minimum
+// energy per request.
+//
+// This extends the point-selection of selecting_algorithm.h along the axis
+// the sustainability paper (PAPERS.md) argues for: energy as a *scheduling
+// input*.  The closed-form model mirrors hwsim's cube-law DVFS semantics
+// (hwsim/power.h): at clock fraction f a model's nominal per-sample latency
+// L stretches to L/f while its above-idle energy scales to E*f^2, so the
+// cheapest feasible plan usually sits at the lowest rung that still clears
+// the latency bound and the offered load — and only queue pressure justifies
+// boost.  Everything is deterministic: same database + request, same choice.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hwsim/device.h"
+#include "selector/alem.h"
+#include "selector/capability_db.h"
+
+namespace openei::selector {
+
+struct EnergyScheduleRequest {
+  Requirements requirements;
+  /// Offered load the plan must sustain (requests/s).
+  double arrival_rate_hz = 1.0;
+  /// Candidate micro-batch sizes, ascending.
+  std::vector<std::size_t> batch_sizes = {1, 2, 4, 8};
+  /// Whether the boost rung may be planned (vs. reserved for transients).
+  bool allow_boost = true;
+};
+
+struct EnergyScheduleChoice {
+  std::string model_name;
+  std::string package_name;
+  std::size_t batch_rows = 1;
+  /// Index into device.freq_levels; meaningful when !boost.
+  std::size_t freq_level = 0;
+  bool boost = false;
+  double freq_scale = 1.0;
+  /// Worst-case per-request latency: batch fill wait + stretched service.
+  double predicted_latency_s = 0.0;
+  /// Above-idle joules per request at this rung (E * f^2).
+  double predicted_energy_per_req_j = 0.0;
+  /// Average draw at the offered load (idle + utilization * dynamic).
+  double predicted_watts = 0.0;
+  /// Requests/s this configuration can sustain.
+  double capacity_hz = 0.0;
+  /// False when no configuration meets every constraint at the offered
+  /// load; the choice then maximizes capacity so the backlog drains.
+  bool feasible = false;
+};
+
+/// Evaluates every (deployable entry on `device`) x (freq rung + boost) x
+/// (batch size) and returns the minimum-energy feasible configuration,
+/// tie-broken by lower watts, then lower latency, then model name.
+EnergyScheduleChoice plan_energy_schedule(const CapabilityDatabase& db,
+                                          const hwsim::DeviceProfile& device,
+                                          const EnergyScheduleRequest& request);
+
+}  // namespace openei::selector

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "runtime/energy_governor.h"
 
 namespace openei::stream {
 
@@ -85,6 +86,9 @@ PushResult StreamSession::submit(nn::Tensor frame, double max_wait_s) {
   PushResult result = queue_.push(std::move(queued), max_wait_s);
   if (result.outcome == PushOutcome::kAdmitted) {
     if (admitted_counter_ != nullptr) admitted_counter_->increment();
+    if (options_.governor != nullptr) {
+      options_.governor->on_queue_depth(queue_.counters().depth);
+    }
   } else if (rejected_counter_ != nullptr) {
     rejected_counter_->increment();
   }
@@ -117,6 +121,15 @@ void StreamSession::worker_loop() {
       continue;
     }
     inferred_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.governor != nullptr) {
+      result.ledger_energy_j =
+          options_.governor->charge(result.batch_latency_s, 1);
+    }
+    // Ledger-charged joules when a governor is wired (what the device
+    // actually accrued, DVFS-adjusted); cost-model estimate otherwise.
+    double frame_energy_j = options_.governor != nullptr
+                                ? result.ledger_energy_j
+                                : result.batch_energy_j;
     last_sim_latency_s_.store(result.batch_latency_s,
                               std::memory_order_relaxed);
     double infer_s =
@@ -125,7 +138,7 @@ void StreamSession::worker_loop() {
       infer.set_attribute("model", model_);
       infer.set_attribute("queue_wait_us", queue_wait_s * 1e6);
       infer.set_attribute("sim_latency_us", result.batch_latency_s * 1e6);
-      infer.set_attribute("sim_energy_mj", result.batch_energy_j * 1e3);
+      infer.set_attribute("sim_energy_mj", frame_energy_j * 1e3);
       infer.set_attribute(
           "sim_memory_bytes",
           static_cast<double>(result.per_sample.memory_bytes));
@@ -140,7 +153,7 @@ void StreamSession::worker_loop() {
     delivered.queue_wait_s = queue_wait_s;
     delivered.infer_s = infer_s;
     delivered.sim_latency_s = result.batch_latency_s;
-    delivered.sim_energy_j = result.batch_energy_j;
+    delivered.sim_energy_j = frame_energy_j;
     delivered.trace_id = frame->span.trace_id();
     deliver(std::move(delivered));
     if (delivered_counter_ != nullptr) delivered_counter_->increment();
@@ -149,6 +162,9 @@ void StreamSession::worker_loop() {
     }
     deliver_span.finish();
     frame->span.finish();
+    if (options_.governor != nullptr && queue_.counters().depth == 0) {
+      options_.governor->on_drained();
+    }
 
     if (options_.pace_sim_latency_scale > 0.0) {
       // Chunked so close() interrupts the pace promptly: rate shaping must

@@ -76,6 +76,12 @@ class StreamSession {
     /// profile — not the host CPU — sets the service rate.  0 = no pacing
     /// (serving default); bench_stream uses it to compare device profiles.
     double pace_sim_latency_scale = 0.0;
+    /// Device energy account (may be null).  Every delivered frame charges
+    /// its simulated busy time against the ledger — the charged joules are
+    /// what stream.infer's sim_energy_mj reports — and the frame queue
+    /// feeds the governor's pressure ladder (depth on submit, drained when
+    /// the worker empties it).
+    runtime::EnergyGovernor* governor = nullptr;
   };
 
   /// Borrows the cache (the owning service outlives every session).

@@ -3,6 +3,7 @@
 // just the curated cases in the per-module suites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <deque>
@@ -18,7 +19,9 @@
 #include "data/synthetic.h"
 #include "hwsim/device.h"
 #include "hwsim/package.h"
+#include "hwsim/power.h"
 #include "net/request_parser.h"
+#include "runtime/energy_governor.h"
 #include "nn/serialize.h"
 #include "nn/train.h"
 #include "nn/zoo.h"
@@ -1017,6 +1020,205 @@ TEST_P(StreamProperty, CountersBalanceExactlyAtEveryCheckpoint) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamProperty,
+                         ::testing::Values(7, 21, 42, 77, 123, 2026));
+
+// ---------------------------------------------------------------------------
+// Energy ledger vs. an exact reference model: random op schedules (clock
+// advances — including non-monotone jumps — legal state steps, DVFS rung
+// changes, busy charges) must keep hwsim::EnergyLedger bit-identical to an
+// independent re-implementation of its accounting, with every counter
+// checked at every checkpoint.
+// ---------------------------------------------------------------------------
+
+/// Mirrors EnergyLedger's arithmetic expression-for-expression so the
+/// comparison is exact (EXPECT_DOUBLE_EQ), not approximate.
+struct ReferenceLedger {
+  hwsim::DeviceProfile device;
+  std::int64_t start_ns = 0;
+  std::int64_t last_settle_ns = 0;
+  int state = 0;  // 0 idle / 1 active / 2 boost
+  std::size_t freq_level = 0;
+  double state_j[3] = {0.0, 0.0, 0.0};
+  double state_seconds[3] = {0.0, 0.0, 0.0};
+  double busy_j = 0.0;
+  double busy_seconds = 0.0;
+  std::uint64_t charges = 0;
+  std::uint64_t transitions = 0;
+
+  explicit ReferenceLedger(hwsim::DeviceProfile d, std::int64_t now)
+      : device(std::move(d)), start_ns(now), last_settle_ns(now) {
+    freq_level = device.freq_levels.size() - 1;
+  }
+
+  double freq_scale_of(int s, std::size_t level) const {
+    if (s == 0) return 0.0;
+    if (s == 2) return device.boost_freq_scale;
+    std::size_t clamped = std::min(level, device.freq_levels.size() - 1);
+    return device.freq_levels[clamped];
+  }
+
+  double power_of(int s, std::size_t level) const {
+    if (s == 0) return device.idle_power_w;
+    if (s == 2) return device.boost_power();
+    double f = freq_scale_of(1, level);
+    return device.idle_power_w +
+           (device.active_power_w - device.idle_power_w) * f * f * f;
+  }
+
+  void settle(std::int64_t now) {
+    double dt = std::max<std::int64_t>(0, now - last_settle_ns) * 1e-9;
+    last_settle_ns = std::max(now, last_settle_ns);
+    state_seconds[state] += dt;
+    state_j[state] += dt * power_of(state, freq_level);
+  }
+
+  void set_state(std::int64_t now, int next) {
+    settle(now);
+    if (next == state) return;
+    state = next;
+    ++transitions;
+  }
+
+  void set_freq(std::int64_t now, std::size_t level) {
+    settle(now);
+    freq_level = std::min(level, device.freq_levels.size() - 1);
+  }
+
+  double charge(std::int64_t now, double busy_s) {
+    settle(now);
+    double f = freq_scale_of(state, freq_level);
+    double stretched = busy_s / f;
+    double joules = (power_of(state, freq_level) - device.idle_power_w) *
+                    stretched;
+    state_j[state] += joules;
+    busy_j += joules;
+    busy_seconds += stretched;
+    ++charges;
+    return joules;
+  }
+};
+
+class EnergyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnergyProperty, LedgerMatchesReferenceModelUnderRandomSchedule) {
+  Rng rng(GetParam());
+  hwsim::DeviceProfile device = hwsim::raspberry_pi_4();
+  std::int64_t now_ns = 0;
+  hwsim::EnergyLedger ledger(device, [&now_ns] { return now_ns; });
+  ReferenceLedger reference(device, now_ns);
+
+  double last_total = 0.0;
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: {  // advance the clock (occasionally backwards: clamp path)
+        std::int64_t jump = rng.uniform_int(0, 2'000'000'000);
+        if (rng.flip(0.1)) jump = -jump / 2;
+        now_ns += jump;
+        break;
+      }
+      case 1: {  // legal single-rung state step (or same-state no-op)
+        int step = rng.flip() ? 1 : -1;
+        int next = std::min(2, std::max(0, reference.state + step));
+        ledger.set_state(static_cast<hwsim::PowerState>(next));
+        reference.set_state(now_ns, next);
+        break;
+      }
+      case 2: {  // DVFS rung change, sometimes past the ladder (clamp path)
+        auto level = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   device.freq_levels.size() + 1)));
+        ledger.set_freq_level(level);
+        reference.set_freq(now_ns, level);
+        break;
+      }
+      default: {  // busy charge (illegal while idle: step up first)
+        if (reference.state == 0) {
+          ledger.set_state(hwsim::PowerState::kActive);
+          reference.set_state(now_ns, 1);
+        }
+        double busy_s = rng.uniform(0.0, 0.05);
+        double charged = ledger.charge_busy(busy_s);
+        EXPECT_DOUBLE_EQ(charged, reference.charge(now_ns, busy_s));
+        break;
+      }
+    }
+
+    // Checkpoint: every exported field matches the reference exactly, and
+    // the account is monotone.
+    hwsim::EnergyLedger::Snapshot snap = ledger.snapshot();
+    reference.settle(now_ns);
+    double reference_total = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_DOUBLE_EQ(snap.state_j[s], reference.state_j[s]) << "op " << op;
+      EXPECT_DOUBLE_EQ(snap.state_seconds[s], reference.state_seconds[s])
+          << "op " << op;
+      reference_total += reference.state_j[s];
+    }
+    EXPECT_DOUBLE_EQ(snap.total_j, reference_total) << "op " << op;
+    EXPECT_DOUBLE_EQ(snap.busy_j, reference.busy_j) << "op " << op;
+    EXPECT_DOUBLE_EQ(snap.busy_seconds, reference.busy_seconds)
+        << "op " << op;
+    EXPECT_EQ(snap.charges, reference.charges) << "op " << op;
+    EXPECT_EQ(snap.transitions, reference.transitions) << "op " << op;
+    EXPECT_EQ(static_cast<int>(snap.state), reference.state) << "op " << op;
+    EXPECT_EQ(snap.freq_level, reference.freq_level) << "op " << op;
+    EXPECT_DOUBLE_EQ(
+        snap.elapsed_seconds,
+        (reference.last_settle_ns - reference.start_ns) * 1e-9)
+        << "op " << op;
+    EXPECT_GE(snap.total_j, last_total) << "op " << op;
+    // Idle floor: no state draws less than idle.
+    EXPECT_GE(snap.total_j,
+              device.idle_power_w * snap.elapsed_seconds - 1e-9)
+        << "op " << op;
+    last_total = snap.total_j;
+  }
+}
+
+TEST_P(EnergyProperty, GovernorConservesChargesUnderRandomTraffic) {
+  Rng rng(GetParam() ^ 0x9E3779B97F4A7C15ULL);
+  hwsim::DeviceProfile device = hwsim::raspberry_pi_4();
+  std::int64_t now_ns = 0;
+  runtime::EnergyGovernor::Options options;
+  options.power_cap_w = rng.flip() ? device.active_power_w : 0.0;
+  options.boost_queue_depth = 4;
+  options.now = [&now_ns] { return now_ns; };
+  runtime::EnergyGovernor governor(device, options);
+
+  double charged_sum = 0.0;
+  for (int op = 0; op < 300; ++op) {
+    now_ns += rng.uniform_int(0, 200'000'000);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        charged_sum += governor.charge(rng.uniform(0.0, 0.01),
+                                       static_cast<std::size_t>(
+                                           rng.uniform_int(1, 8)));
+        break;
+      case 1:
+        governor.on_queue_depth(
+            static_cast<std::size_t>(rng.uniform_int(0, 8)));
+        break;
+      case 2:
+        governor.on_drained();
+        break;
+      default:
+        governor.admit();  // decision recorded; never throws
+        break;
+    }
+    runtime::EnergyGovernor::Snapshot snap = governor.snapshot();
+    // Every charged joule the callers saw is in the ledger, exactly once.
+    EXPECT_DOUBLE_EQ(snap.ledger.busy_j, charged_sum) << "op " << op;
+    EXPECT_DOUBLE_EQ(snap.ledger.total_j, snap.ledger.state_j[0] +
+                                              snap.ledger.state_j[1] +
+                                              snap.ledger.state_j[2])
+        << "op " << op;
+    // The rolling estimate never reads below the idle baseline.
+    EXPECT_GE(governor.rolling_watts(), device.idle_power_w - 1e-12)
+        << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyProperty,
                          ::testing::Values(7, 21, 42, 77, 123, 2026));
 
 TEST(CostModelProperty, EnergyAndMemoryNonNegativeEverywhere) {

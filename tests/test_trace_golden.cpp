@@ -159,6 +159,65 @@ TEST(TraceGolden, DirectPathHasNoBatchSpanAndArenaForwardIsZeroAlloc) {
   EXPECT_EQ(infer.at("attributes").at("peak_tensor_bytes").as_number(), 0.0);
 }
 
+TEST(TraceGolden, EnergyDegradedRequestPinsTheCanonicalSpanTree) {
+  // A power cap below the idle draw forces every request over budget; the
+  // wide reject factor keeps it serviceable, so the request must degrade:
+  // the select stage flips to min-energy and rides the cheaper variant.
+  // The span tree shape is identical to a healthy direct request — only
+  // the select attribution and the response flags change.
+  core::EdgeNodeConfig config{hwsim::raspberry_pi_4(),
+                              hwsim::openei_package(), 256, {}};
+  config.service.coalesce_inference = false;
+  config.service.tracing.enabled = true;
+  config.service.tracing.seed = 2026;
+  config.service.tracing.ring_capacity = 32;
+  config.service.energy.power_cap_w = 0.5;
+  config.service.energy.reject_factor = 100.0;
+  auto node = std::make_unique<core::EdgeNode>(std::move(config));
+  common::Rng rng(99);
+  node->deploy_model("safety", "detection",
+                     nn::zoo::make_mlp("detector", 8, 3, {16}, rng), 0.9);
+  node->deploy_model("safety", "detection",
+                     nn::zoo::make_mlp("detector-lite", 8, 3, {4}, rng), 0.7);
+  common::JsonArray features;
+  for (std::size_t f = 0; f < 8; ++f) {
+    features.emplace_back(0.1 * static_cast<double>(f));
+  }
+  node->ingest("cam", 1.0, Json(std::move(features)));
+
+  auto response = node->call(
+      "GET", "/ei_algorithms/safety/detection?sensor=cam&timestamp=1");
+  ASSERT_EQ(response.status, 200);
+  Json body = Json::parse(response.body);
+  EXPECT_EQ(body.at("model").as_string(), "detector-lite");
+  EXPECT_TRUE(body.at("energy_degraded").as_bool());
+  EXPECT_GT(body.at("ledger_energy_j").as_number(), 0.0);
+
+  Json trace = Json::parse(
+      node->call("GET", "/ei_trace/" + body.at("trace_id").as_string()).body);
+  const Json& root = trace.at("root");
+  EXPECT_EQ(child_names(root),
+            (std::vector<std::string>{"ei.select", "ei.parse", "ei.infer",
+                                      "ei.serialize"}));
+  EXPECT_EQ(trace.at("span_count").as_number(), 5.0);  // direct: no ei.batch
+
+  const Json& select = child_named(root, "ei.select");
+  const Json& select_attrs = select.at("attributes");
+  EXPECT_EQ(select_attrs.at("energy_degraded").as_number(), 1.0);
+  EXPECT_EQ(select_attrs.at("model").as_string(), "detector-lite");
+  EXPECT_EQ(select_attrs.at("candidates").as_number(), 2.0);
+  EXPECT_EQ(select_attrs.at("eligible").as_number(), 2.0);
+
+  // sim_energy_mj on ei.infer is sourced from the device ledger (what the
+  // account actually accrued for this request), and must reconcile with the
+  // response's ledger_energy_j exactly.
+  const Json& infer = child_named(root, "ei.infer");
+  EXPECT_TRUE(child_names(infer).empty());
+  EXPECT_EQ(infer.at("attributes").at("model").as_string(), "detector-lite");
+  EXPECT_DOUBLE_EQ(infer.at("attributes").at("sim_energy_mj").as_number(),
+                   body.at("ledger_energy_j").as_number() * 1e3);
+}
+
 TEST(TraceGolden, TraceIdsAreDeterministicAcrossIdenticalNodes) {
   auto a = make_traced_node(true);
   auto b = make_traced_node(true);
